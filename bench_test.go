@@ -1,0 +1,327 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6) at CI scale. The full-scale, figure-formatted runs
+// live in cmd/tropic-bench; DESIGN.md maps each experiment to both.
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics reported per benchmark (b.ReportMetric) carry the
+// quantity the paper plots: CPU fraction, latency percentiles, recovery
+// time, bytes per resource, transactions per second.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// BenchmarkTable1SpawnVMLog measures one spawnVM transaction end to end
+// (submit → simulate → lock → physical replay → commit), the paper's
+// flagship example whose execution log is Table 1.
+func BenchmarkTable1SpawnVMLog(b *testing.B) {
+	ctx := context.Background()
+	env, err := exp.Start(ctx, exp.PlatformParams{
+		Topology: tcloud.Topology{ComputeHosts: 64, StorageCapGB: 1 << 30},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Stop()
+	cli := env.Platform.Client()
+	defer cli.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host := i % 64
+		rec, err := cli.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+			tcloud.StorageHostPath(host/4), tcloud.ComputeHostPath(host),
+			fmt.Sprintf("b1vm%07d", i), "1024")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.State != tropic.StateCommitted {
+			b.Fatalf("state %s: %s", rec.State, rec.Error)
+		}
+		if len(rec.Log) != 5 {
+			b.Fatalf("execution log has %d records, want 5 (Table 1)", len(rec.Log))
+		}
+		b.StopTimer()
+		// Keep hosts from filling up between iterations.
+		if _, err := cli.SubmitAndWait(ctx, tcloud.ProcDestroyVM,
+			tcloud.ComputeHostPath(host), fmt.Sprintf("b1vm%07d", i),
+			tcloud.StorageHostPath(host/4)); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFig3WorkloadGen regenerates the EC2 trace (8,417 spawns/h,
+// 2.34/s mean, 14/s peak at 0.8h — Figure 3's series).
+func BenchmarkFig3WorkloadGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := workload.GenerateEC2Trace(int64(i + 1))
+		if tr.Total() != workload.EC2TotalSpawns {
+			b.Fatalf("total = %d", tr.Total())
+		}
+	}
+}
+
+// BenchmarkFig4ControllerLoad replays a peak window of the EC2 trace at
+// 1× and 3× against a logical-only platform and reports the controller
+// busy fraction — the Figure 4 CPU-utilization measurement (shape:
+// utilization scales with the load multiplier).
+func BenchmarkFig4ControllerLoad(b *testing.B) {
+	for _, mult := range []int{1, 2} {
+		mult := mult
+		b.Run(fmt.Sprintf("%dx", mult), func(b *testing.B) {
+			ctx := context.Background()
+			var mean, peak float64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Fig45(ctx, exp.Fig45Params{
+					Multipliers:   []int{mult},
+					Hosts:         400,
+					WindowFrom:    2850,
+					WindowTo:      2880,
+					Compression:   10,
+					CommitLatency: 50 * time.Microsecond,
+					Seed:          2011,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean += res[0].MeanCPU
+				peak += res[0].PeakCPU
+			}
+			b.ReportMetric(mean/float64(b.N), "cpu-mean-frac")
+			b.ReportMetric(peak/float64(b.N), "cpu-peak-frac")
+		})
+	}
+}
+
+// BenchmarkFig5TxnLatency measures the per-transaction latency
+// distribution under the replayed EC2 trace — Figure 5's CDF (median
+// under 1s for all multipliers at paper scale).
+func BenchmarkFig5TxnLatency(b *testing.B) {
+	for _, mult := range []int{1, 2} {
+		mult := mult
+		b.Run(fmt.Sprintf("%dx", mult), func(b *testing.B) {
+			ctx := context.Background()
+			var p50, p99 float64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Fig45(ctx, exp.Fig45Params{
+					Multipliers:   []int{mult},
+					Hosts:         400,
+					WindowFrom:    2850,
+					WindowTo:      2880,
+					Compression:   10,
+					CommitLatency: 50 * time.Microsecond,
+					Seed:          2011,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p50 += res[0].Latency.Quantile(0.5) * 1000
+				p99 += res[0].Latency.Quantile(0.99) * 1000
+			}
+			b.ReportMetric(p50/float64(b.N), "latency-p50-ms")
+			b.ReportMetric(p99/float64(b.N), "latency-p99-ms")
+		})
+	}
+}
+
+// BenchmarkConstraintCheck measures the §6.2 safety overhead: checking
+// the VM-memory and VM-type constraints over a loaded host, the
+// logical-layer cost the paper bounds at 10ms per transaction.
+func BenchmarkConstraintCheck(b *testing.B) {
+	schema := tcloud.NewSchema()
+	tree := tcloud.Topology{ComputeHosts: 1}.BuildModel()
+	hostPath := tcloud.ComputeHostPath(0)
+	for i := 0; i < 8; i++ {
+		if _, err := tree.Create(fmt.Sprintf("%s/vm%d", hostPath, i), tcloud.TypeVM,
+			map[string]any{"memMB": int64(1024), "state": "running", "hypervisor": "xen", "image": "img"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	vmPath := hostPath + "/vm0"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := schema.CheckConstraints(tree, vmPath); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConstraintCheckEndToEnd runs the full §6.2 experiment (a
+// hosting-mix workload with constraints enforced) and reports the mean
+// constraint time per transaction.
+func BenchmarkConstraintCheckEndToEnd(b *testing.B) {
+	ctx := context.Background()
+	var mean time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Safety(ctx, exp.SafetyParams{Hosts: 16, Ops: 100, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean += res.MeanConstraintTime
+	}
+	b.ReportMetric(float64(mean.Nanoseconds())/float64(b.N), "constraint-ns/txn")
+}
+
+// BenchmarkRollback measures the §6.3 robustness overhead: rolling the
+// logical layer back through a five-record spawnVM execution log (the
+// paper bounds the logical rollback at 9ms per transaction).
+func BenchmarkRollback(b *testing.B) {
+	ctx := context.Background()
+	var mean time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Robustness(ctx, exp.RobustnessParams{Hosts: 4, Ops: 20, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean += res.MeanRollbackTime
+	}
+	b.ReportMetric(float64(mean.Nanoseconds())/float64(b.N), "rollback-ns/txn")
+}
+
+// BenchmarkFailoverRecovery kills the lead controller mid-workload and
+// measures recovery time — §6.4's experiment (recovery dominated by the
+// failure-detection interval; no transaction lost).
+func BenchmarkFailoverRecovery(b *testing.B) {
+	ctx := context.Background()
+	var recovery time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := exp.HA(ctx, exp.HAParams{
+			Hosts: 8, OpsBeforeKill: 8, OpsDuringKill: 4,
+			SessionTimeout: 100 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Lost != 0 {
+			b.Fatalf("lost %d transactions", res.Lost)
+		}
+		recovery += res.RecoveryTime
+	}
+	b.ReportMetric(float64(recovery.Milliseconds())/float64(b.N), "recovery-ms")
+}
+
+// BenchmarkThroughputScaling measures committed transactions/second as
+// the managed-resource count grows (§6.1: throughput stays constant
+// with scale).
+func BenchmarkThroughputScaling(b *testing.B) {
+	for _, hosts := range []int{100, 2000} {
+		hosts := hosts
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			ctx := context.Background()
+			var tps float64
+			for i := 0; i < b.N; i++ {
+				pts, err := exp.Throughput(ctx, []int{hosts}, 100, 100*time.Microsecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tps += pts[0].PerSecond
+			}
+			b.ReportMetric(tps/float64(b.N), "txns/s")
+		})
+	}
+}
+
+// BenchmarkMemFootprintPerResource measures the logical model's heap
+// cost per VM slot (§6.1: memory tracks resource count; 2M VMs fit the
+// paper's 32GB machines).
+func BenchmarkMemFootprintPerResource(b *testing.B) {
+	var bps float64
+	for i := 0; i < b.N; i++ {
+		pts := exp.Memory([]int{2000})
+		bps += pts[0].BytesPerSlot
+	}
+	b.ReportMetric(bps/float64(b.N), "bytes/vm-slot")
+}
+
+// BenchmarkSchedulingPolicyAblation compares the paper's FIFO todoQ
+// policy against the §3.1.1 future-work aggressive policy under a
+// contended workload, reporting the mean latency of independent
+// transactions (what head-of-line blocking penalizes) and deferrals
+// (the re-simulation cost the aggressive policy pays).
+func BenchmarkSchedulingPolicyAblation(b *testing.B) {
+	ctx := context.Background()
+	var fifoLat, aggrLat, fifoDef, aggrDef float64
+	for i := 0; i < b.N; i++ {
+		results, err := exp.Ablation(ctx, exp.AblationParams{
+			Hosts: 8, Txns: 24, ActionLatency: 5 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fifoLat += float64(results[0].IndependentLatency.Milliseconds())
+		aggrLat += float64(results[1].IndependentLatency.Milliseconds())
+		fifoDef += float64(results[0].Deferrals)
+		aggrDef += float64(results[1].Deferrals)
+	}
+	n := float64(b.N)
+	b.ReportMetric(fifoLat/n, "fifo-indep-ms")
+	b.ReportMetric(aggrLat/n, "aggr-indep-ms")
+	b.ReportMetric(fifoDef/n, "fifo-deferrals")
+	b.ReportMetric(aggrDef/n, "aggr-deferrals")
+}
+
+// BenchmarkModelSnapshot measures checkpoint serialization, the
+// recovery-path cost at the 12,500-host paper scale.
+func BenchmarkModelSnapshot(b *testing.B) {
+	tree := tcloud.Topology{ComputeHosts: 12500}.BuildModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := tree.MarshalSnapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(data)), "snapshot-bytes")
+		}
+	}
+}
+
+// BenchmarkSimulationOnly measures pure logical simulation of a spawnVM
+// plus its full undo rollback (no store, no locks): the paper's claim
+// that simulation CPU is not the bottleneck (store I/O is) rests on
+// this being microseconds. Each iteration rolls its spawn back, so the
+// model stays constant-size and per-op cost is meaningful.
+func BenchmarkSimulationOnly(b *testing.B) {
+	schema := tcloud.NewSchema()
+	tree := tcloud.Topology{ComputeHosts: 1}.BuildModel()
+	sp, hp := tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0)
+	apply := func(path, action string, args ...string) {
+		_, def, err := schema.ActionFor(tree, path, action)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := def.Simulate(tree, path, args); err != nil {
+			b.Fatal(err)
+		}
+		if err := schema.CheckConstraints(tree, path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Forward: the five Table 1 actions.
+		apply(sp, "cloneImage", tcloud.TemplateImage, "img")
+		apply(sp, "exportImage", "img")
+		apply(hp, "importImage", "img")
+		apply(hp, "createVM", "vm", "img", "1024")
+		apply(hp, "startVM", "vm")
+		// Undo in reverse chronological order (logical rollback).
+		apply(hp, "stopVM", "vm")
+		apply(hp, "removeVM", "vm")
+		apply(hp, "unimportImage", "img")
+		apply(sp, "unexportImage", "img")
+		apply(sp, "removeImage", "img")
+	}
+}

@@ -1,0 +1,341 @@
+// Command tropic-bench regenerates the tables and figures of the TROPIC
+// paper's evaluation (§6) and prints them in the same form the paper
+// reports: per-second series for Figures 3 and 4, a latency CDF for
+// Figure 5, the Table 1 execution log, and scalar results for the
+// safety (§6.2), robustness (§6.3), availability (§6.4), throughput and
+// memory (§6.1) experiments.
+//
+// Usage:
+//
+//	tropic-bench -exp all                 # CI-scale pass over everything
+//	tropic-bench -exp fig45 -full         # paper-scale: 12,500 hosts, full hour
+//	tropic-bench -exp fig45 -hosts 1000 -window 2700:3060 -compression 20
+//
+// Absolute numbers differ from the paper (simulated store and devices,
+// different hardware); the reproduced quantity is the *shape*: linear
+// CPU scaling with load until saturation, sub-second median latency at
+// low multipliers, rollback/constraint overheads far under their
+// bounds, and failover dominated by the failure-detection interval.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		expName     = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|all")
+		full        = flag.Bool("full", false, "paper-scale run (12,500 hosts, full 1-hour trace; takes many minutes)")
+		hosts       = flag.Int("hosts", 400, "compute hosts (logical-only experiments)")
+		mults       = flag.String("mult", "1,2,3,4,5", "comma-separated EC2 load multipliers")
+		window      = flag.String("window", "2700:3000", "trace window seconds from:to")
+		compression = flag.Float64("compression", 10, "trace time compression factor")
+		commitLat   = flag.Duration("commit-latency", 50*time.Microsecond, "simulated store quorum latency")
+		seed        = flag.Int64("seed", 2011, "workload seed")
+		timeout     = flag.Duration("timeout", 30*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	run := func(name string, fn func(context.Context) error) {
+		fmt.Printf("\n==================== %s ====================\n", name)
+		start := time.Now()
+		if err := fn(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	p45 := exp.Fig45Params{
+		Multipliers:   parseMults(*mults),
+		Hosts:         *hosts,
+		CommitLatency: *commitLat,
+		Compression:   *compression,
+		Seed:          *seed,
+	}
+	p45.WindowFrom, p45.WindowTo = parseWindow(*window)
+	if *full {
+		p45.Hosts = 12500
+		p45.WindowFrom, p45.WindowTo = 0, 3600
+		p45.Compression = 1
+	}
+
+	all := *expName == "all"
+	if all || *expName == "table1" {
+		run("Table 1: spawnVM execution log", runTable1)
+	}
+	if all || *expName == "fig3" {
+		run("Figure 3: VMs launched per second (EC2 workload)", func(ctx context.Context) error {
+			return runFig3(*seed)
+		})
+	}
+	if all || *expName == "fig4" || *expName == "fig5" || *expName == "fig45" {
+		run("Figures 4 & 5: controller CPU and transaction latency (EC2 replay)", func(ctx context.Context) error {
+			return runFig45(ctx, p45)
+		})
+	}
+	if all || *expName == "safety" {
+		run("§6.2 Safety: constraint enforcement overhead", func(ctx context.Context) error {
+			return runSafety(ctx, *hosts, *seed)
+		})
+	}
+	if all || *expName == "robustness" {
+		run("§6.3 Robustness: transaction rollback overhead", func(ctx context.Context) error {
+			return runRobustness(ctx, *seed)
+		})
+	}
+	if all || *expName == "ha" {
+		run("§6.4 High availability: controller failover", runHA)
+	}
+	if all || *expName == "throughput" {
+		run("§6.1 Throughput vs resource scale", func(ctx context.Context) error {
+			return runThroughput(ctx, *commitLat)
+		})
+	}
+	if all || *expName == "mem" {
+		run("§6.1 Memory footprint vs resource scale", func(ctx context.Context) error {
+			return runMemory(*full)
+		})
+	}
+	if all || *expName == "ablation" {
+		run("§3.1.1 ablation: FIFO vs aggressive scheduling", runAblation)
+	}
+}
+
+func runAblation(ctx context.Context) error {
+	results, err := exp.Ablation(ctx, exp.AblationParams{
+		Hosts: 8, Txns: 48, ActionLatency: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-12s %-22s %-12s %s\n", "policy", "makespan", "indep-txn latency", "deferrals", "committed")
+	for _, r := range results {
+		fmt.Printf("%-12s %-12v %-22v %-12d %d\n",
+			r.Policy, r.Makespan.Round(time.Millisecond),
+			r.IndependentLatency.Round(time.Millisecond), r.Deferrals, r.Committed)
+	}
+	fmt.Println("FIFO head-of-line blocks independent transactions behind a conflicted head;")
+	fmt.Println("the aggressive policy trades re-simulation work (deferrals) for their latency.")
+	return nil
+}
+
+func parseMults(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var k int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &k); err == nil && k > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func parseWindow(s string) (int, int) {
+	var from, to int
+	if _, err := fmt.Sscanf(s, "%d:%d", &from, &to); err != nil {
+		return 0, 3600
+	}
+	return from, to
+}
+
+func runTable1(ctx context.Context) error {
+	res, err := exp.Table1(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatTable1(res))
+	return nil
+}
+
+func runFig3(seed int64) error {
+	res := exp.Fig3(seed)
+	fmt.Printf("total=%d spawns  mean=%.2f/s  peak=%d/s at second %d (%.1f h)\n",
+		res.Trace.Total(), res.Trace.Mean(), peakRate(res), peakSec(res), float64(peakSec(res))/3600)
+	fmt.Println("\nVMs launched per second, averaged per minute (x-axis: hour fraction):")
+	for m, v := range res.PerMinute {
+		fmt.Printf("  %.3fh %5.2f/s %s\n", float64(m)/60, v, bar(v, 14, 50))
+	}
+	return nil
+}
+
+func peakSec(r exp.Fig3Result) int  { s, _ := r.Trace.Peak(); return s }
+func peakRate(r exp.Fig3Result) int { _, v := r.Trace.Peak(); return v }
+
+func runFig45(ctx context.Context, p exp.Fig45Params) error {
+	fmt.Printf("hosts=%d (VM slots=%d)  window=[%d,%d)s  compression=%.0fx  commit-latency=%v\n",
+		p.Hosts, p.Hosts*8, p.WindowFrom, p.WindowTo, p.Compression, p.CommitLatency)
+	results, err := exp.Fig45(ctx, p)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nFigure 4 — controller busy fraction (CPU utilization proxy) per replayed second:")
+	for _, r := range results {
+		fmt.Printf("  %dx EC2: mean=%.1f%% peak=%.1f%%  %s\n",
+			r.Multiplier, 100*r.MeanCPU, 100*r.PeakCPU,
+			sparkline(r.CPUSeries))
+	}
+	fmt.Println("\nFigure 5 — CDF of transaction latency:")
+	fmt.Printf("  %-8s %10s %10s %10s %10s %10s\n", "load", "p10", "p50", "p90", "p99", "max")
+	for _, r := range results {
+		fmt.Printf("  %dx EC2  %9.0fms %9.0fms %9.0fms %9.0fms %9.0fms   (n=%d, committed=%d)\n",
+			r.Multiplier,
+			1000*r.Latency.Quantile(0.10), 1000*r.Latency.Quantile(0.50),
+			1000*r.Latency.Quantile(0.90), 1000*r.Latency.Quantile(0.99),
+			1000*r.Latency.Max(), r.Submitted, r.Committed)
+	}
+	fmt.Println("\n  CDF points (latency ms : cumulative fraction):")
+	for _, r := range results {
+		pts := r.Latency.CDF(8)
+		var b strings.Builder
+		fmt.Fprintf(&b, "  %dx:", r.Multiplier)
+		for _, pt := range pts {
+			fmt.Fprintf(&b, " %.0fms:%.2f", pt.X*1000, pt.P)
+		}
+		fmt.Println(b.String())
+	}
+	return nil
+}
+
+func runSafety(ctx context.Context, hosts int, seed int64) error {
+	res, err := exp.Safety(ctx, exp.SafetyParams{Hosts: min(hosts, 100), Ops: 500, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transactions=%d  constraint-check mean=%v/txn  total=%v  violations=%d\n",
+		res.Txns, res.MeanConstraintTime, res.TotalConstraint, res.Violations)
+	fmt.Printf("paper bound: < 10ms/txn — %s\n", verdict(res.MeanConstraintTime < 10*time.Millisecond))
+	return nil
+}
+
+func runRobustness(ctx context.Context, seed int64) error {
+	res, err := exp.Robustness(ctx, exp.RobustnessParams{Hosts: 8, Ops: 100, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("injected errors: spawn(last step)=%d migrate(last step)=%d  aborted=%d\n",
+		res.SpawnErrors, res.MigrateErrors, res.Aborted)
+	fmt.Printf("logical rollback mean=%v/txn\n", res.MeanRollbackTime)
+	fmt.Printf("paper bound: < 9ms/txn — %s\n", verdict(res.MeanRollbackTime < 9*time.Millisecond))
+	return nil
+}
+
+func runHA(ctx context.Context) error {
+	for _, st := range []time.Duration{100 * time.Millisecond, 400 * time.Millisecond} {
+		res, err := exp.HA(ctx, exp.HAParams{
+			Hosts: 16, OpsBeforeKill: 24, OpsDuringKill: 8, SessionTimeout: st,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("detection interval=%v: recovery=%v  submitted=%d committed=%d lost=%d\n",
+			st, res.RecoveryTime.Round(time.Millisecond), res.Submitted, res.Committed, res.Lost)
+	}
+	fmt.Println("paper: recovery ≈ failure-detection interval (12.5s at their ZooKeeper settings); no transaction lost")
+	return nil
+}
+
+func runThroughput(ctx context.Context, commitLat time.Duration) error {
+	pts, err := exp.Throughput(ctx, []int{100, 1000, 10000}, 200, commitLat)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-12s %-12s %s\n", "hosts", "VM slots", "txns", "throughput")
+	for _, p := range pts {
+		fmt.Printf("%-12d %-12d %-12d %.1f txns/s\n", p.Hosts, p.Hosts*8, p.Txns, p.PerSecond)
+	}
+	fmt.Println("paper: throughput stays constant as resources scale (store I/O bound)")
+	return nil
+}
+
+func runMemory(full bool) error {
+	counts := []int{1250, 5000, 12500}
+	if full {
+		counts = append(counts, 50000)
+	}
+	pts := exp.Memory(counts)
+	fmt.Printf("%-10s %-10s %-12s %-14s %-14s %s\n",
+		"hosts", "VM slots", "model nodes", "heap", "bytes/slot", "projected @2M VMs")
+	for _, p := range pts {
+		fmt.Printf("%-10d %-10d %-12d %-14s %-14.0f %.2f GB\n",
+			p.Hosts, p.VMSlots, p.ModelNodes, fmtBytes(p.HeapBytes), p.BytesPerSlot, p.Projected2MVMs)
+	}
+	fmt.Println("paper: footprint tracks managed-resource count; 2M VMs is the 32GB-machine ceiling")
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "HOLDS"
+	}
+	return "VIOLATED"
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// bar renders a proportional ASCII bar.
+func bar(v, max float64, width int) string {
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// sparkline renders a series as coarse ASCII levels.
+func sparkline(vs []float64) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	levels := []byte(" .:-=+*#%@")
+	max := 0.0
+	for _, v := range vs {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	// Downsample to at most 60 chars.
+	step := (len(vs) + 59) / 60
+	var b strings.Builder
+	for i := 0; i < len(vs); i += step {
+		sum, n := 0.0, 0
+		for j := i; j < i+step && j < len(vs); j++ {
+			sum += vs[j]
+			n++
+		}
+		v := sum / float64(n)
+		idx := int(v / max * float64(len(levels)-1))
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteByte(levels[idx])
+	}
+	return b.String()
+}

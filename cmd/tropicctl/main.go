@@ -1,0 +1,201 @@
+// Command tropicctl is the operator CLI for a running tropicd: it
+// submits transactional orchestrations, inspects their records, sends
+// TERM/KILL signals, and triggers reconciliation (repair/reload).
+//
+//	tropicctl -addr http://localhost:7077 submit spawnVM \
+//	    /storageRoot/storageHost0000 /vmRoot/vmHost00000 vm1 1024
+//	tropicctl wait t-0000000001
+//	tropicctl signal t-0000000002 TERM
+//	tropicctl repair /vmRoot/vmHost00000
+//	tropicctl stats
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:7077", "tropicd base URL")
+	wait := flag.Bool("wait", true, "submit: wait for the terminal state")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+	var err error
+	switch args[0] {
+	case "submit":
+		if len(args) < 2 {
+			err = fmt.Errorf("submit needs a procedure name")
+			break
+		}
+		err = c.submit(args[1], args[2:], *wait)
+	case "get":
+		err = c.txn("/v1/txn", arg(args, 1))
+	case "wait":
+		err = c.txn("/v1/wait", arg(args, 1))
+	case "signal":
+		if len(args) < 3 {
+			err = fmt.Errorf("signal needs <id> <TERM|KILL>")
+			break
+		}
+		err = c.post("/v1/signal", map[string]string{"id": args[1], "signal": args[2]})
+	case "repair":
+		err = c.post("/v1/repair", map[string]string{"target": arg(args, 1)})
+	case "reload":
+		err = c.post("/v1/reload", map[string]string{"target": arg(args, 1)})
+	case "stats":
+		err = c.get("/v1/stats", nil)
+	default:
+		err = fmt.Errorf("unknown command %q", args[0])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tropicctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: tropicctl [-addr URL] <command> [args]
+
+commands:
+  submit <proc> [args...]   submit a transaction (waits unless -wait=false)
+  get <id>                  fetch a transaction record
+  wait <id>                 block until the transaction is terminal
+  signal <id> <TERM|KILL>   abort a stalled transaction (§4)
+  repair <path>             logical→physical reconciliation
+  reload <path>             physical→logical reconciliation
+  stats                     controller and worker counters
+`)
+	flag.PrintDefaults()
+}
+
+func arg(args []string, i int) string {
+	if i < len(args) {
+		return args[i]
+	}
+	return ""
+}
+
+type client struct {
+	base string
+}
+
+func (c *client) submit(proc string, procArgs []string, wait bool) error {
+	body, err := c.request(http.MethodPost, "/v1/submit",
+		map[string]any{"proc": proc, "args": procArgs}, nil)
+	if err != nil {
+		return err
+	}
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return err
+	}
+	fmt.Println("submitted", resp.ID)
+	if !wait {
+		return nil
+	}
+	return c.txn("/v1/wait", resp.ID)
+}
+
+func (c *client) txn(path, id string) error {
+	if id == "" {
+		return fmt.Errorf("transaction id required")
+	}
+	body, err := c.request(http.MethodGet, path, nil, map[string]string{"id": id})
+	if err != nil {
+		return err
+	}
+	return prettyPrint(body)
+}
+
+func (c *client) post(path string, payload any) error {
+	body, err := c.request(http.MethodPost, path, payload, nil)
+	if err != nil {
+		return err
+	}
+	if len(bytes.TrimSpace(body)) > 2 { // not just "{}"
+		return prettyPrint(body)
+	}
+	fmt.Println("ok")
+	return nil
+}
+
+func (c *client) get(path string, query map[string]string) error {
+	body, err := c.request(http.MethodGet, path, nil, query)
+	if err != nil {
+		return err
+	}
+	return prettyPrint(body)
+}
+
+func (c *client) request(method, path string, payload any, query map[string]string) ([]byte, error) {
+	url := c.base + path
+	if len(query) > 0 {
+		sep := "?"
+		for k, v := range query {
+			url += sep + k + "=" + v
+			sep = "&"
+		}
+	}
+	var rd io.Reader
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+func prettyPrint(body []byte) error {
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		fmt.Println(string(body))
+		return nil
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}

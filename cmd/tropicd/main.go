@@ -1,0 +1,267 @@
+// Command tropicd runs a TROPIC deployment — replicated controllers,
+// physical workers, and a simulated device cloud — and exposes the
+// orchestration API over HTTP, playing the role of Figure 1's API
+// service gateway.
+//
+//	tropicd -listen :7077 -hosts 16
+//
+// Endpoints (JSON):
+//
+//	POST /v1/submit   {"proc":"spawnVM","args":[...]}      → {"id":"t-..."}
+//	GET  /v1/txn?id=t-...                                  → transaction record
+//	GET  /v1/wait?id=t-...                                 → record, blocks until terminal
+//	POST /v1/signal   {"id":"t-...","signal":"TERM"}       → {}
+//	POST /v1/repair   {"target":"/vmRoot/vmHost00000"}     → {}
+//	POST /v1/reload   {"target":"/vmRoot/vmHost00000"}     → {}
+//	GET  /v1/stats                                         → controller+worker counters
+//	GET  /healthz                                          → "ok"
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/reconcile"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":7077", "HTTP listen address")
+		hosts       = flag.Int("hosts", 16, "simulated compute hosts")
+		logicalOnly = flag.Bool("logical-only", false, "bypass device execution (§5 testing mode)")
+		controllers = flag.Int("controllers", 3, "controller replicas")
+		commitLat   = flag.Duration("commit-latency", 0, "simulated store quorum latency")
+		actionLat   = flag.Duration("action-latency", 5*time.Millisecond, "simulated device call latency")
+		sessionTO   = flag.Duration("session-timeout", 2*time.Second, "failure-detection interval")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "tropicd ", log.LstdFlags|log.Lmicroseconds)
+	cfg := tropic.Config{
+		Schema:         tcloud.NewSchema(),
+		Procedures:     tcloud.Procedures(),
+		Controllers:    *controllers,
+		CommitLatency:  *commitLat,
+		SessionTimeout: *sessionTO,
+		Logf:           logger.Printf,
+	}
+	tp := tcloud.Topology{ComputeHosts: *hosts}
+	if *logicalOnly {
+		cfg.Bootstrap = tp.BuildModel()
+		cfg.Executor = tropic.NoopExecutor{Latency: *actionLat}
+	} else {
+		cloud, err := tp.BuildCloud()
+		if err != nil {
+			logger.Fatalf("build cloud: %v", err)
+		}
+		cloud.SetActionLatency(*actionLat)
+		cfg.Bootstrap = cloud.Snapshot()
+		cfg.Executor = cloud
+		cfg.Reconciler = reconcile.New(cloud, cloud, tcloud.RepairRules())
+	}
+
+	p, err := tropic.New(cfg)
+	if err != nil {
+		logger.Fatalf("platform: %v", err)
+	}
+	startCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := p.Start(startCtx); err != nil {
+		cancel()
+		logger.Fatalf("start: %v", err)
+	}
+	cancel()
+	defer p.Stop()
+	logger.Printf("platform up: %d compute hosts (%d VM slots), %d storage hosts, leader %s",
+		*hosts, *hosts*8, tp.StorageHosts(), p.Leader().Name())
+
+	srv := &http.Server{Addr: *listen, Handler: newAPI(p, logger)}
+	go func() {
+		logger.Printf("listening on %s", *listen)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("listen: %v", err)
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	<-sigCh
+	logger.Printf("shutting down")
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = srv.Shutdown(shutdownCtx)
+}
+
+// api serves the orchestration HTTP endpoints.
+type api struct {
+	p      *tropic.Platform
+	cli    *tropic.Client
+	logger *log.Logger
+	mux    *http.ServeMux
+}
+
+func newAPI(p *tropic.Platform, logger *log.Logger) http.Handler {
+	a := &api{p: p, cli: p.Client(), logger: logger, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/v1/submit", a.handleSubmit)
+	a.mux.HandleFunc("/v1/txn", a.handleGet)
+	a.mux.HandleFunc("/v1/wait", a.handleWait)
+	a.mux.HandleFunc("/v1/signal", a.handleSignal)
+	a.mux.HandleFunc("/v1/repair", a.handleReconcile(tropicRepair))
+	a.mux.HandleFunc("/v1/reload", a.handleReconcile(tropicReload))
+	a.mux.HandleFunc("/v1/stats", a.handleStats)
+	a.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return a.mux
+}
+
+type submitReq struct {
+	Proc string   `json:"proc"`
+	Args []string `json:"args"`
+}
+
+type signalReq struct {
+	ID     string `json:"id"`
+	Signal string `json:"signal"`
+}
+
+type targetReq struct {
+	Target string `json:"target"`
+}
+
+func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req submitReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id, err := a.cli.Submit(req.Proc, req.Args...)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]string{"id": id})
+}
+
+func (a *api) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec, err := a.cli.Get(r.URL.Query().Get("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, rec)
+}
+
+func (a *api) handleWait(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Minute)
+	defer cancel()
+	rec, err := a.cli.Wait(ctx, r.URL.Query().Get("id"))
+	if err != nil {
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	writeJSON(w, rec)
+}
+
+func (a *api) handleSignal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req signalReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch req.Signal {
+	case "TERM", "KILL":
+	default:
+		httpError(w, http.StatusBadRequest, "signal must be TERM or KILL")
+		return
+	}
+	var err error
+	if req.Signal == "TERM" {
+		err = a.cli.Signal(req.ID, tropic.SignalTerm)
+	} else {
+		err = a.cli.Signal(req.ID, tropic.SignalKill)
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]string{})
+}
+
+type reconcileKind int
+
+const (
+	tropicRepair reconcileKind = iota
+	tropicReload
+)
+
+func (a *api) handleReconcile(kind reconcileKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		var req targetReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), time.Minute)
+		defer cancel()
+		var err error
+		if kind == tropicRepair {
+			err = a.cli.Repair(ctx, req.Target)
+		} else {
+			err = a.cli.Reload(ctx, req.Target)
+		}
+		if err != nil {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeJSON(w, map[string]string{})
+	}
+}
+
+func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
+	leaderName := ""
+	if l := a.p.Leader(); l != nil {
+		leaderName = l.Name()
+	}
+	writeJSON(w, map[string]any{
+		"leader":     leaderName,
+		"controller": a.p.ControllerStats(),
+		"worker":     a.p.Worker().Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Header already sent; nothing else to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

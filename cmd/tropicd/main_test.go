@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/reconcile"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *device.Cloud) {
+	t.Helper()
+	tp := tcloud.Topology{ComputeHosts: 2}
+	cloud, err := tp.BuildCloud()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tropic.New(tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  cloud.Snapshot(),
+		Executor:   cloud,
+		Reconciler: reconcile.New(cloud, cloud, tcloud.RepairRules()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	srv := httptest.NewServer(newAPI(p, log.New(io.Discard, "", 0)))
+	t.Cleanup(srv.Close)
+	return srv, cloud
+}
+
+func postJSON(t *testing.T, url string, payload any) (int, []byte) {
+	t.Helper()
+	b, _ := json.Marshal(payload)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func TestAPISubmitWaitLifecycle(t *testing.T) {
+	srv, cloud := newTestServer(t)
+	code, body := postJSON(t, srv.URL+"/v1/submit", submitReq{
+		Proc: tcloud.ProcSpawnVM,
+		Args: []string{tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vm1", "1024"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil || sr.ID == "" {
+		t.Fatalf("submit body: %s", body)
+	}
+	resp, err := http.Get(srv.URL + "/v1/wait?id=" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rec struct {
+		State string `json:"state"`
+		Log   []any  `json:"log"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != "committed" || len(rec.Log) != 5 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if cloud.ComputeHost(tcloud.ComputeHostName(0)).VMs["vm1"] == nil {
+		t.Fatal("device state missing vm1")
+	}
+	// GET /v1/txn also serves the record.
+	resp2, err := http.Get(srv.URL + "/v1/txn?id=" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("txn: %d", resp2.StatusCode)
+	}
+}
+
+func TestAPIRepair(t *testing.T) {
+	srv, cloud := newTestServer(t)
+	code, _ := postJSON(t, srv.URL+"/v1/submit", submitReq{
+		Proc: tcloud.ProcSpawnVM,
+		Args: []string{tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vm1", "1024"},
+	})
+	if code != http.StatusOK {
+		t.Fatal("submit failed")
+	}
+	// Wait for commit before mutating out-of-band.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := cloud.VMInfo(tcloud.ComputeHostName(0), "vm1"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("vm1 never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cloud.OutOfBandStopVM(tcloud.ComputeHostName(0), "vm1")
+	code, body := postJSON(t, srv.URL+"/v1/repair", targetReq{Target: tcloud.ComputeHostPath(0)})
+	if code != http.StatusOK {
+		t.Fatalf("repair: %d %s", code, body)
+	}
+	if cloud.ComputeHost(tcloud.ComputeHostName(0)).VMs["vm1"].State != device.VMRunning {
+		t.Fatal("repair did not restart vm1")
+	}
+}
+
+func TestAPIValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// GET on a POST endpoint.
+	resp, err := http.Get(srv.URL + "/v1/submit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET submit: %d", resp.StatusCode)
+	}
+	// Bad JSON.
+	r2, err := http.Post(srv.URL+"/v1/submit", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: %d", r2.StatusCode)
+	}
+	// Bad signal value.
+	code, _ := postJSON(t, srv.URL+"/v1/signal", signalReq{ID: "t-1", Signal: "NUKE"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad signal: %d", code)
+	}
+	// Missing txn.
+	r3, err := http.Get(srv.URL + "/v1/txn?id=t-9999999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing txn: %d", r3.StatusCode)
+	}
+	// Health and stats.
+	for _, path := range []string{"/healthz", "/v1/stats"} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, r.StatusCode)
+		}
+	}
+}
+
+func TestAPISignalTERM(t *testing.T) {
+	srv, cloud := newTestServer(t)
+	inj := device.NewInjector(1)
+	inj.Add(device.FaultRule{Action: "importImage", Delay: 400 * time.Millisecond})
+	cloud.SetFaultInjector(inj)
+
+	code, body := postJSON(t, srv.URL+"/v1/submit", submitReq{
+		Proc: tcloud.ProcSpawnVM,
+		Args: []string{tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vmT", "1024"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("submit: %s", body)
+	}
+	var sr struct {
+		ID string `json:"id"`
+	}
+	json.Unmarshal(body, &sr)
+	time.Sleep(80 * time.Millisecond)
+	if code, b := postJSON(t, srv.URL+"/v1/signal", signalReq{ID: sr.ID, Signal: "TERM"}); code != http.StatusOK {
+		t.Fatalf("signal: %d %s", code, b)
+	}
+	resp, err := http.Get(srv.URL + "/v1/wait?id=" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rec struct {
+		State string `json:"state"`
+	}
+	json.NewDecoder(resp.Body).Decode(&rec)
+	if rec.State != "aborted" {
+		t.Fatalf("state = %s, want aborted", rec.State)
+	}
+	if got := fmt.Sprint(len(cloud.ComputeHost(tcloud.ComputeHostName(0)).VMs)); got != "0" {
+		t.Fatal("TERM left device state behind")
+	}
+}

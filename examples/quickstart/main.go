@@ -1,0 +1,97 @@
+// Quickstart: define a minimal cloud service on TROPIC from scratch —
+// one entity type with an action/undo pair and a constraint, one stored
+// procedure — then run transactions against it and watch ACID semantics
+// do their job: the third allocation violates the capacity constraint
+// and aborts with no effect.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/tropic"
+)
+
+func main() {
+	// 1. Data model: a pool of licenses, each grantable to a tenant.
+	schema := tropic.NewSchema()
+	schema.Entity("root")
+	schema.Entity("licensePool").
+		Action(&tropic.ActionDef{
+			Name: "grant",
+			Simulate: func(t *tropic.Tree, path string, args []string) error {
+				_, err := t.Create(path+"/"+args[0], "license", map[string]any{"tenant": args[0]})
+				return err
+			},
+			Undo: "revoke",
+		}).
+		Action(&tropic.ActionDef{
+			Name: "revoke",
+			Simulate: func(t *tropic.Tree, path string, args []string) error {
+				return t.Delete(path + "/" + args[0])
+			},
+			Undo: "grant",
+		}).
+		Constrain(tropic.Constraint{
+			Name: "pool-capacity",
+			Check: func(t *tropic.Tree, path string, n *tropic.Node) error {
+				if int64(len(n.Children)) > n.GetInt("capacity") {
+					return fmt.Errorf("%d grants exceed capacity %d", len(n.Children), n.GetInt("capacity"))
+				}
+				return nil
+			},
+		})
+	schema.Entity("license")
+
+	// 2. Stored procedure: orchestration logic executed transactionally.
+	procs := map[string]tropic.Procedure{
+		"grantLicense": func(c *tropic.Ctx) error {
+			return c.Do("/pool", "grant", c.Arg(0))
+		},
+	}
+
+	// 3. Initial model: one pool with capacity 2.
+	boot := tropic.NewTree()
+	if _, err := boot.Create("/pool", "licensePool", map[string]any{"capacity": int64(2)}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Platform: 3 controller replicas, logical-only mode.
+	p, err := tropic.New(tropic.Config{
+		Schema:     schema,
+		Procedures: procs,
+		Bootstrap:  boot,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer p.Stop()
+
+	// 5. Transactions: two grants commit, the third violates the
+	// constraint and aborts with no effect.
+	cli := p.Client()
+	defer cli.Close()
+	for _, tenant := range []string{"alice", "bob", "carol"} {
+		rec, err := cli.SubmitAndWait(ctx, "grantLicense", tenant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("grantLicense(%s): %s", tenant, rec.State)
+		if rec.Error != "" {
+			fmt.Printf("  (%s)", rec.Error)
+		}
+		fmt.Println()
+	}
+	st := p.ControllerStats()
+	fmt.Printf("\ncommitted=%d aborted=%d constraint-violations=%d\n",
+		st.Committed, st.Aborted, st.Violations)
+}

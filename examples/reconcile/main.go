@@ -1,0 +1,113 @@
+// Reconciliation: reproduce the §4 volatility scenarios. A compute host
+// reboots behind TROPIC's back (VMs power off), an operator deletes a
+// volume via the device CLI, and a transaction's undo fails partway —
+// then detect the divergence by comparing the layers and heal it with
+// repair (logical→physical) and reload (physical→logical).
+//
+//	go run ./examples/reconcile
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/reconcile"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+func main() {
+	tp := tcloud.Topology{ComputeHosts: 4}
+	cloud, err := tp.BuildCloud()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := reconcile.New(cloud, cloud, tcloud.RepairRules())
+	p, err := tropic.New(tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  cloud.Snapshot(),
+		Executor:   cloud,
+		Reconciler: rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer p.Stop()
+	cli := p.Client()
+	defer cli.Close()
+
+	host0 := tcloud.ComputeHostPath(0)
+	storage0 := tcloud.StorageHostPath(0)
+	for _, vm := range []string{"web", "db"} {
+		r, err := cli.SubmitAndWait(ctx, tcloud.ProcSpawnVM, storage0, host0, vm, "1024")
+		if err != nil || r.State != tropic.StateCommitted {
+			log.Fatalf("spawn %s: %v %v", vm, r, err)
+		}
+	}
+	fmt.Println("spawned web and db on", host0)
+
+	// --- Scenario 1: unexpected host reboot (§4's repair example) ----
+	fmt.Println("\n[1] host reboots out-of-band: all its VMs power off")
+	cloud.PowerOffHost(tcloud.ComputeHostName(0))
+	cloud.PowerOnHost(tcloud.ComputeHostName(0))
+	diverged, err := rec.Diverged(p.Leader(), host0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    divergence detected at: %v\n", diverged)
+	if err := cli.Repair(ctx, host0); err != nil {
+		log.Fatal(err)
+	}
+	state := cloud.ComputeHost(tcloud.ComputeHostName(0)).VMs["web"].State
+	fmt.Printf("    repair re-ran startVM: web is %q again ✔\n", state)
+
+	// --- Scenario 2: failed undo leaves orphans ----------------------
+	fmt.Println("\n[2] spawn fails at createVM and its rollback fails at unimportImage")
+	inj := device.NewInjector(1)
+	inj.Add(device.FaultRule{Action: "createVM", Err: "hypervisor wedged"})
+	inj.Add(device.FaultRule{Action: "unimportImage", Err: "stuck export"})
+	cloud.SetFaultInjector(inj)
+	r, err := cli.SubmitAndWait(ctx, tcloud.ProcSpawnVM, storage0, host0, "ghost", "1024")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    transaction ended %q (cross-layer inconsistency, subtree quarantined)\n", r.State)
+	inj.Clear()
+	if r2, _ := cli.SubmitAndWait(ctx, tcloud.ProcSpawnVM, storage0, host0, "blocked", "1024"); r2 != nil {
+		fmt.Printf("    new txn on quarantined host: %s ✔\n", r2.State)
+	}
+	if err := cli.Repair(ctx, host0); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Repair(ctx, storage0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("    repair removed orphan import and image; host serving again ✔")
+
+	// --- Scenario 3: out-of-band decommission needs reload -----------
+	fmt.Println("\n[3] operator deletes db's volume via the storage CLI")
+	if err := cloud.OutOfBandRemoveImage(tcloud.StorageHostName(0), "db-img"); err != nil {
+		log.Fatal(err)
+	}
+	imgPath := storage0 + "/db-img"
+	if err := cli.Reload(ctx, imgPath); err != nil {
+		log.Fatal(err)
+	}
+	exists := p.Leader().LogicalTree().Exists(imgPath)
+	fmt.Printf("    reload synced logical layer: volume present=%v ✔\n", exists)
+
+	// Final check: full convergence under /vmRoot.
+	if err := cli.Repair(ctx, tcloud.VMRoot); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall scenarios reconciled; layers converged ✔")
+}

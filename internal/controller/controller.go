@@ -1,0 +1,985 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/election"
+	"repro/internal/lock"
+	"repro/internal/model"
+	"repro/internal/proto"
+	"repro/internal/queue"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// Config parameterizes a controller instance.
+type Config struct {
+	// Name identifies the controller in the leader election.
+	Name string
+	// Ensemble is the coordination store backing queues, election, and
+	// persistent transaction state.
+	Ensemble *store.Ensemble
+	// Schema defines the data model's entities.
+	Schema *model.Schema
+	// Procedures is the stored-procedure registry.
+	Procedures map[string]Procedure
+	// Bootstrap is the initial logical data model, written as the first
+	// snapshot if the store has none (typically the device layer's
+	// snapshot, or a synthetic tree in logical-only mode).
+	Bootstrap *model.Tree
+	// CheckpointEvery folds the commit log into a fresh snapshot after
+	// this many commits, when no transaction is in flight. 0 disables
+	// checkpointing.
+	CheckpointEvery int
+	// RetainTerminal bounds how many terminal transaction records are
+	// kept after a checkpoint (oldest are garbage-collected; their
+	// effects live on in the snapshot). 0 keeps all records forever.
+	RetainTerminal int
+	// Reconciler handles reload/repair requests (§4); nil rejects them.
+	Reconciler Reconciler
+	// Policy selects the todoQ scheduling strategy (§3.1.1). The paper
+	// ships FIFO and names the aggressive strategy as future work; both
+	// are implemented here (see the scheduling-policy ablation bench).
+	Policy SchedulingPolicy
+	// Logf receives diagnostic output; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// SchedulingPolicy picks how schedule() treats a deferred transaction.
+type SchedulingPolicy int
+
+const (
+	// ScheduleFIFO is the paper's policy: a transaction deferred on a
+	// resource conflict returns to the front of todoQ and scheduling
+	// stalls until the next event — simple and fair, but one conflicted
+	// transaction head-of-line-blocks everything behind it.
+	ScheduleFIFO SchedulingPolicy = iota
+	// ScheduleAggressive is the §3.1.1 future-work strategy: when the
+	// head defers, the scheduler keeps going and tries the transactions
+	// queued behind it. Independent transactions proceed at the cost of
+	// extra simulation work (deferred transactions are re-simulated on
+	// retry) and possible head-of-queue starvation under persistent
+	// conflicts.
+	ScheduleAggressive
+)
+
+// Stats counts controller activity. Retrieve a consistent copy with
+// Controller.Stats.
+type Stats struct {
+	Accepted   int64
+	Committed  int64
+	Aborted    int64
+	Failed     int64
+	Deferrals  int64
+	Violations int64
+	// BusyNanos accumulates time spent executing logical-layer work
+	// (acceptance, simulation, scheduling, cleanup); the Figure 4 CPU
+	// metric is BusyNanos over wall time.
+	BusyNanos int64
+	// ConstraintNanos accumulates time spent in constraint checking
+	// during simulation — the §6.2 safety-overhead metric.
+	ConstraintNanos int64
+	// RollbackNanos accumulates time spent rolling the logical layer
+	// back on aborts — the §6.3 robustness-overhead metric.
+	RollbackNanos int64
+	// Rollbacks counts logical rollbacks performed.
+	Rollbacks int64
+}
+
+// Controller is one TROPIC controller replica. All replicas run Run;
+// the elected leader executes the logical layer while followers stand
+// by to take over (§2.3).
+type Controller struct {
+	cfg    Config
+	cli    *store.Client
+	inputQ *queue.Queue
+	phyQ   *queue.Queue
+	cand   *election.Candidate
+
+	// Leader-only state, rebuilt by recover() on election.
+	ltree    *model.Tree
+	locks    *lock.Manager
+	todo     []*txn.Txn
+	inFlight map[string]*txn.Txn
+
+	stats   Stats
+	leading atomic.Bool
+
+	mu     sync.Mutex // guards stats snapshotting
+	killed atomic.Bool
+}
+
+// New connects a controller to the ensemble and ensures the store
+// layout exists.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Ensemble == nil || cfg.Schema == nil {
+		return nil, errors.New("controller: Ensemble and Schema are required")
+	}
+	if cfg.Name == "" {
+		return nil, errors.New("controller: Name is required")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cli := cfg.Ensemble.Connect()
+	for _, p := range []string{proto.TxnsPath, proto.InputQPath, proto.PhyQPath,
+		proto.ElectionPath, proto.CommitLogPath, proto.InconsistentPath, proto.UnusablePath} {
+		if err := cli.EnsurePath(p); err != nil {
+			cli.Close()
+			return nil, fmt.Errorf("controller: layout: %w", err)
+		}
+	}
+	inputQ, err := queue.New(cli, proto.InputQPath)
+	if err != nil {
+		cli.Close()
+		return nil, err
+	}
+	phyQ, err := queue.New(cli, proto.PhyQPath)
+	if err != nil {
+		cli.Close()
+		return nil, err
+	}
+	cand, err := election.New(cli, proto.ElectionPath, cfg.Name)
+	if err != nil {
+		cli.Close()
+		return nil, err
+	}
+	c := &Controller{
+		cfg:    cfg,
+		cli:    cli,
+		inputQ: inputQ,
+		phyQ:   phyQ,
+		cand:   cand,
+	}
+	if cfg.Bootstrap != nil {
+		if err := c.writeBootstrapSnapshot(cfg.Bootstrap); err != nil {
+			cli.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// writeBootstrapSnapshot installs the initial model snapshot unless one
+// already exists (only the first controller to boot wins).
+func (c *Controller) writeBootstrapSnapshot(t *model.Tree) error {
+	data, err := t.MarshalSnapshot()
+	if err != nil {
+		return fmt.Errorf("controller: bootstrap snapshot: %w", err)
+	}
+	env := proto.Snapshot{Tree: data}
+	_, err = c.cli.Create(proto.SnapshotPath, env.Encode(), 0)
+	if errors.Is(err, store.ErrNodeExists) {
+		return nil
+	}
+	return err
+}
+
+// Run enrolls in the election and serves: followers block awaiting
+// leadership; the leader executes the logical layer until ctx is done,
+// its session expires, or the ensemble loses quorum.
+func (c *Controller) Run(ctx context.Context) error {
+	if err := c.cand.Enroll(); err != nil {
+		return err
+	}
+	if err := c.cand.AwaitLeadership(ctx); err != nil {
+		return err
+	}
+	c.cfg.Logf("controller %s: elected leader", c.cfg.Name)
+	if err := c.recover(); err != nil {
+		return fmt.Errorf("controller %s: recover: %w", c.cfg.Name, err)
+	}
+	// Only a fully recovered controller reports itself leading: its
+	// logical model, lock table, and todoQ are rebuilt and it is about
+	// to serve. (Recovery time as observed by clients therefore
+	// includes state reconstruction, as in the paper's measurement.)
+	c.leading.Store(true)
+	defer c.leading.Store(false)
+	return c.lead(ctx)
+}
+
+// Leading reports whether this controller is currently the leader. A
+// killed (crashed) controller is never leading, even before its session
+// expires.
+func (c *Controller) Leading() bool { return c.leading.Load() && !c.killed.Load() }
+
+// Name returns the controller's election identity.
+func (c *Controller) Name() string { return c.cfg.Name }
+
+// Kill simulates a controller crash: the store session stops
+// heartbeating (ephemeral election node lingers until the session
+// timeout, exactly like a crashed machine), and the leader loop dies on
+// its next store operation.
+func (c *Controller) Kill() {
+	c.killed.Store(true)
+	c.cli.Kill()
+}
+
+// Close releases the controller's session gracefully.
+func (c *Controller) Close() {
+	_ = c.cand.Resign()
+	c.cli.Close()
+}
+
+// Stats returns a copy of the activity counters. The mutex-guarded
+// counters and the atomically-updated timing counters are read with
+// their respective disciplines (a whole-struct copy would race with the
+// atomic writers).
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	s := Stats{
+		Accepted:   c.stats.Accepted,
+		Committed:  c.stats.Committed,
+		Aborted:    c.stats.Aborted,
+		Failed:     c.stats.Failed,
+		Deferrals:  c.stats.Deferrals,
+		Violations: c.stats.Violations,
+	}
+	c.mu.Unlock()
+	s.BusyNanos = atomic.LoadInt64(&c.stats.BusyNanos)
+	s.ConstraintNanos = atomic.LoadInt64(&c.stats.ConstraintNanos)
+	s.RollbackNanos = atomic.LoadInt64(&c.stats.RollbackNanos)
+	s.Rollbacks = atomic.LoadInt64(&c.stats.Rollbacks)
+	return s
+}
+
+// --- Leader loop ------------------------------------------------------
+
+// lead processes inputQ until ctx is done or the session dies. The
+// lead controller is the queue's only consumer; each item is deleted
+// atomically with the persistent effects of processing it, so a leader
+// crash at any point neither loses nor double-applies a message.
+func (c *Controller) lead(ctx context.Context) error {
+	for {
+		data, itemPath, err := c.inputQ.TakeHead(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		start := time.Now()
+		msg, err := proto.DecodeInputMsg(data)
+		if err != nil {
+			c.cfg.Logf("controller %s: dropping bad input item: %v", c.cfg.Name, err)
+			_ = c.inputQ.Remove(itemPath)
+			continue
+		}
+		if err := c.handle(msg, itemPath); err != nil {
+			if errors.Is(err, store.ErrSessionExpired) || errors.Is(err, store.ErrNoQuorum) {
+				return err
+			}
+			c.cfg.Logf("controller %s: handle %s: %v", c.cfg.Name, msg.Kind, err)
+			// The item stays queued and is retried; pause briefly so a
+			// persistently failing head item cannot hot-loop.
+			time.Sleep(time.Millisecond)
+		}
+		c.schedule()
+		atomic.AddInt64(&c.stats.BusyNanos, time.Since(start).Nanoseconds())
+	}
+}
+
+func (c *Controller) handle(msg proto.InputMsg, itemPath string) error {
+	switch msg.Kind {
+	case proto.KindSubmit:
+		return c.accept(msg, itemPath)
+	case proto.KindResult:
+		return c.cleanup(msg, itemPath)
+	case proto.KindSignal:
+		if err := c.signal(msg.TxnPath, txn.Signal(msg.Signal)); err != nil {
+			return err
+		}
+		return c.inputQ.Remove(itemPath)
+	case proto.KindReload, proto.KindRepair:
+		var err error
+		if c.cfg.Reconciler == nil {
+			err = fmt.Errorf("%s %s: no reconciler configured", msg.Kind, msg.Target)
+		} else if msg.Kind == proto.KindReload {
+			err = c.cfg.Reconciler.Reload(c, msg.Target)
+		} else {
+			err = c.cfg.Reconciler.Repair(c, msg.Target)
+		}
+		c.reply(msg, err)
+		if rerr := c.inputQ.Remove(itemPath); rerr != nil {
+			return rerr
+		}
+		// The request itself is complete even if reconciliation was
+		// refused; the refusal went to the reply node.
+		if err != nil {
+			c.cfg.Logf("controller %s: %s %s: %v", c.cfg.Name, msg.Kind, msg.Target, err)
+		}
+		return nil
+	default:
+		if err := c.inputQ.Remove(itemPath); err != nil {
+			return err
+		}
+		return fmt.Errorf("unknown input message kind %q", msg.Kind)
+	}
+}
+
+// reply delivers a request's outcome to its reply node, if any.
+func (c *Controller) reply(msg proto.InputMsg, err error) {
+	if msg.Reply == "" {
+		return
+	}
+	r := proto.Reply{OK: err == nil}
+	if err != nil {
+		r.Error = err.Error()
+	}
+	if serr := c.cli.Set(msg.Reply, r.Encode(), -1); serr != nil {
+		c.cfg.Logf("controller %s: reply to %s: %v", c.cfg.Name, msg.Reply, serr)
+	}
+}
+
+// accept moves a submitted transaction into todoQ (Figure 2, ②),
+// atomically with consuming its submit notice.
+func (c *Controller) accept(msg proto.InputMsg, itemPath string) error {
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			return c.inputQ.Remove(itemPath)
+		}
+		return err
+	}
+	if rec.State != txn.StateInitialized {
+		// Duplicate submit notice (e.g. the record was already accepted
+		// by recovery); drop it.
+		return c.inputQ.Remove(itemPath)
+	}
+	if err := rec.Transition(txn.StateAccepted); err != nil {
+		return err
+	}
+	err = c.cli.Multi(
+		c.inputQ.RemoveOp(itemPath),
+		store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+	)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Accepted++
+	c.mu.Unlock()
+	c.todo = append(c.todo, rec)
+	return nil
+}
+
+// scheduleOutcome classifies one scheduling attempt.
+type scheduleOutcome int
+
+const (
+	outcomeRunnable scheduleOutcome = iota
+	outcomeConflict
+	outcomeAborted
+)
+
+// schedule works through todoQ. Under the paper's FIFO policy it stops
+// at the first transaction deferred on a resource conflict (the
+// deferred transaction stays at the front and scheduling resumes on the
+// next event); under the aggressive policy it continues past deferred
+// transactions so independent work behind them proceeds (§3.1.1).
+func (c *Controller) schedule() {
+	i := 0
+	for i < len(c.todo) {
+		t := c.todo[i]
+		if t.Signal == txn.SignalTerm || t.Signal == txn.SignalKill {
+			c.todo = append(c.todo[:i], c.todo[i+1:]...)
+			c.abortQueued(t, "terminated by operator signal")
+			continue
+		}
+		switch c.trySchedule(t) {
+		case outcomeRunnable, outcomeAborted:
+			c.todo = append(c.todo[:i], c.todo[i+1:]...)
+		case outcomeConflict:
+			c.mu.Lock()
+			c.stats.Deferrals++
+			c.mu.Unlock()
+			t.State = txn.StateDeferred // in-memory only; persisted as accepted
+			if c.cfg.Policy == ScheduleFIFO {
+				return
+			}
+			i++ // aggressive: try the transactions queued behind it
+		}
+	}
+}
+
+// trySchedule simulates t against the logical model, checks constraints,
+// and attempts to acquire its locks (Figure 2, ③A-③C).
+func (c *Controller) trySchedule(t *txn.Txn) scheduleOutcome {
+	t.State = txn.StateAccepted
+	t.Log = nil
+	cctx := newCtx(c.ltree, c.cfg.Schema, t)
+	proc, ok := c.cfg.Procedures[t.Proc]
+	var simErr error
+	if !ok {
+		simErr = fmt.Errorf("unknown stored procedure %q", t.Proc)
+	} else {
+		simErr = proc(cctx)
+	}
+	atomic.AddInt64(&c.stats.ConstraintNanos, cctx.constraintNanos)
+	if simErr != nil {
+		// Roll back whatever the simulation applied, then abort (③A).
+		c.rollbackTimed(t.ID, t.Log)
+		if errors.Is(simErr, ErrConstraint) {
+			c.mu.Lock()
+			c.stats.Violations++
+			c.mu.Unlock()
+		}
+		c.abortQueued(t, simErr.Error())
+		return outcomeAborted
+	}
+	reqs := cctx.lockRequests()
+	if err := c.locks.Acquire(t.ID, reqs); err != nil {
+		// Resource conflict: undo the simulation and defer (③B).
+		c.rollbackTimed(t.ID, t.Log)
+		t.Log = nil
+		return outcomeConflict
+	}
+	// Runnable (③C): persist state+log and enqueue to phyQ atomically,
+	// so a leader crash cannot strand a started transaction outside
+	// phyQ or double-enqueue it.
+	if err := t.Transition(txn.StateStarted); err != nil {
+		c.locks.ReleaseAll(t.ID)
+		c.abortQueued(t, err.Error())
+		return outcomeAborted
+	}
+	txnPath := c.txnPath(t.ID)
+	err := c.cli.Multi(
+		store.SetOp(txnPath, t.Encode(), -1),
+		c.phyQ.PutOp(proto.PhyMsg{TxnPath: txnPath}.Encode()),
+	)
+	if err != nil {
+		c.cfg.Logf("controller %s: start %s: %v", c.cfg.Name, t.ID, err)
+		c.locks.ReleaseAll(t.ID)
+		// Roll the simulation back; the transaction stays accepted and
+		// will be retried on the next event.
+		if rbErr := rollbackLog(c.ltree, c.cfg.Schema, t.Log); rbErr == nil {
+			t.State = txn.StateAccepted
+			t.Log = nil
+			return outcomeConflict
+		}
+		c.abortQueued(t, err.Error())
+		return outcomeAborted
+	}
+	c.inFlight[t.ID] = t
+	return outcomeRunnable
+}
+
+// rollbackTimed rolls the logical layer back via the execution log,
+// accumulating the §6.3 rollback-overhead metric.
+func (c *Controller) rollbackTimed(id string, records []txn.LogRecord) {
+	start := time.Now()
+	if err := rollbackLog(c.ltree, c.cfg.Schema, records); err != nil {
+		c.cfg.Logf("controller %s: logical rollback of %s: %v", c.cfg.Name, id, err)
+	}
+	atomic.AddInt64(&c.stats.RollbackNanos, time.Since(start).Nanoseconds())
+	atomic.AddInt64(&c.stats.Rollbacks, 1)
+}
+
+// abortQueued marks a not-yet-started transaction aborted and persists
+// the terminal state (③A).
+func (c *Controller) abortQueued(t *txn.Txn, reason string) {
+	t.Error = reason
+	t.Log = nil
+	t.State = txn.StateAccepted // normalize transient deferred state
+	if err := t.Transition(txn.StateAborted); err != nil {
+		c.cfg.Logf("controller %s: abort %s: %v", c.cfg.Name, t.ID, err)
+		return
+	}
+	if err := c.cli.Set(c.txnPath(t.ID), t.Encode(), -1); err != nil {
+		c.cfg.Logf("controller %s: persist abort %s: %v", c.cfg.Name, t.ID, err)
+	}
+	c.mu.Lock()
+	c.stats.Aborted++
+	c.mu.Unlock()
+}
+
+// cleanup finishes a transaction whose physical execution completed
+// (Figure 2, ⑤A/⑤B).
+func (c *Controller) cleanup(msg proto.InputMsg, itemPath string) error {
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			return c.inputQ.Remove(itemPath)
+		}
+		return err
+	}
+	t, tracked := c.inFlight[rec.ID]
+	if !tracked || rec.State.Terminal() {
+		// A transaction this leader does not own (already finalized —
+		// e.g. KILLed — or cleaned up before a failover): drop the
+		// notice.
+		return c.inputQ.Remove(itemPath)
+	}
+	outcome := txn.State(msg.Outcome)
+	switch outcome {
+	case txn.StateCommitted, txn.StateAborted, txn.StateFailed:
+	default:
+		if err := c.inputQ.Remove(itemPath); err != nil {
+			return err
+		}
+		return fmt.Errorf("result notice for %s with outcome %q", rec.ID, msg.Outcome)
+	}
+
+	// Persist the terminal state atomically with consuming the notice —
+	// and, for commits, with the commit-log entry recovery replays. The
+	// in-memory effects follow only after persistence succeeds, so a
+	// retried cleanup never rolls the logical layer back twice.
+	rec.Error = msg.Error
+	rec.UndoneThrough = msg.UndoneThrough
+	if err := rec.Transition(outcome); err != nil {
+		return err
+	}
+	ops := []store.Op{
+		c.inputQ.RemoveOp(itemPath),
+		store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+	}
+	if outcome == txn.StateCommitted {
+		ops = append(ops, store.CreateOp(proto.CommitLogPrefix,
+			proto.CommitLogEntry{TxnPath: msg.TxnPath}.Encode(), store.FlagSequence))
+	}
+	if err := c.cli.Multi(ops...); err != nil {
+		return err
+	}
+
+	delete(c.inFlight, rec.ID)
+	switch outcome {
+	case txn.StateCommitted:
+		// ⑤A: logical effects are already in the tree from simulation.
+		c.mu.Lock()
+		c.stats.Committed++
+		c.mu.Unlock()
+		c.locks.ReleaseAll(rec.ID)
+		c.maybeCheckpoint()
+	case txn.StateAborted:
+		// ⑤B: physical execution failed and was fully undone; roll the
+		// logical layer back too.
+		c.rollbackTimed(t.ID, t.Log)
+		c.mu.Lock()
+		c.stats.Aborted++
+		c.mu.Unlock()
+		c.locks.ReleaseAll(rec.ID)
+	case txn.StateFailed:
+		// Undo failed partway: the logical layer rolls back, but the
+		// physical layer is only partially rolled back — a cross-layer
+		// inconsistency. Mark every path the transaction wrote so
+		// further transactions are denied until reconciliation (§4).
+		c.rollbackTimed(t.ID, t.Log)
+		c.markInconsistentFromLog(t.Log)
+		c.mu.Lock()
+		c.stats.Failed++
+		c.mu.Unlock()
+		c.locks.ReleaseAll(rec.ID)
+	}
+	return nil
+}
+
+// signal applies a TERM/KILL operator signal (§4).
+func (c *Controller) signal(txnPath string, sig txn.Signal) error {
+	rec, _, err := c.loadTxn(txnPath)
+	if err != nil {
+		return err
+	}
+	switch {
+	case rec.State.Terminal():
+		return nil
+	case rec.State == txn.StateInitialized || rec.State == txn.StateAccepted:
+		// Not started yet: mark the in-memory copy so schedule() aborts
+		// it before simulation.
+		for _, t := range c.todo {
+			if t.ID == rec.ID {
+				t.Signal = sig
+				return nil
+			}
+		}
+		// Not in todo yet (still in inputQ): persist the signal so
+		// accept() sees it. The record's Signal field rides along.
+		return c.updateTxn(txnPath, func(r *txn.Txn) error {
+			r.Signal = sig
+			return nil
+		})
+	case rec.State == txn.StateStarted:
+		if sig == txn.SignalTerm {
+			// Graceful: ask the worker to stop and roll back; cleanup
+			// happens when its aborted result arrives.
+			return c.updateTxn(txnPath, func(r *txn.Txn) error {
+				r.Signal = txn.SignalTerm
+				return nil
+			})
+		}
+		// KILL: abort immediately in the logical layer only. The
+		// worker may still be executing; any divergence is reconciled
+		// by repair later (§4).
+		t, tracked := c.inFlight[rec.ID]
+		if !tracked {
+			return nil
+		}
+		delete(c.inFlight, rec.ID)
+		c.rollbackTimed(t.ID, t.Log)
+		c.markInconsistentFromLog(t.Log)
+		c.locks.ReleaseAll(rec.ID)
+		c.mu.Lock()
+		c.stats.Aborted++
+		c.mu.Unlock()
+		return c.updateTxn(txnPath, func(r *txn.Txn) error {
+			r.Signal = txn.SignalKill
+			if r.State.Terminal() {
+				return nil
+			}
+			r.Error = "killed by operator"
+			return r.Transition(txn.StateAborted)
+		})
+	}
+	return nil
+}
+
+// markInconsistentFromLog flags every path written by an execution log
+// as inconsistent, in memory and persistently.
+func (c *Controller) markInconsistentFromLog(records []txn.LogRecord) {
+	seen := make(map[string]bool)
+	for _, r := range records {
+		def, _ := resolveDef(c.ltree, c.cfg.Schema, r)
+		for _, p := range touchedPathsRecord(def, r) {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			c.MarkInconsistent(p)
+		}
+	}
+}
+
+// Reconciler handles the two §4 reconciliation mechanisms on behalf of
+// the lead controller. Implementations run on the controller's event
+// goroutine, serialized with scheduling, and must respect the lock
+// table (no reconciliation under subtrees with in-flight transactions).
+type Reconciler interface {
+	// Reload performs physical→logical synchronization of the target
+	// subtree.
+	Reload(c *Controller, target string) error
+	// Repair performs logical→physical synchronization of the target
+	// subtree.
+	Repair(c *Controller, target string) error
+}
+
+// Schema exposes the data model schema for reconciliation.
+func (c *Controller) Schema() *model.Schema { return c.cfg.Schema }
+
+// MarkUnusable flags a node whose reconciliation failed due to hardware
+// faults; future transactions must not use it (§4).
+func (c *Controller) MarkUnusable(path string) {
+	if n, err := c.ltree.Get(path); err == nil {
+		n.Unusable = true
+	}
+	zpath := proto.UnusablePath + "/" + proto.EncodePath(path)
+	if _, err := c.cli.Create(zpath, nil, 0); err != nil && !errors.Is(err, store.ErrNodeExists) {
+		c.cfg.Logf("controller %s: persist unusable %s: %v", c.cfg.Name, path, err)
+	}
+}
+
+// ClearUnusable removes the unusable mark (e.g. after hardware
+// replacement and reload).
+func (c *Controller) ClearUnusable(path string) {
+	if n, err := c.ltree.Get(path); err == nil {
+		n.Unusable = false
+	}
+	zpath := proto.UnusablePath + "/" + proto.EncodePath(path)
+	if err := c.cli.Delete(zpath, -1); err != nil && !errors.Is(err, store.ErrNoNode) {
+		c.cfg.Logf("controller %s: clear unusable %s: %v", c.cfg.Name, path, err)
+	}
+}
+
+// MarkInconsistent flags a model path as diverged between layers. The
+// mark denies transactions on the node and its descendants until a
+// reload/repair clears it.
+func (c *Controller) MarkInconsistent(path string) {
+	if n, err := c.ltree.Get(path); err == nil {
+		n.Inconsistent = true
+	}
+	zpath := proto.InconsistentPath + "/" + proto.EncodePath(path)
+	if _, err := c.cli.Create(zpath, nil, 0); err != nil && !errors.Is(err, store.ErrNodeExists) {
+		c.cfg.Logf("controller %s: persist inconsistent %s: %v", c.cfg.Name, path, err)
+	}
+}
+
+// ClearInconsistent removes the divergence mark after reconciliation.
+func (c *Controller) ClearInconsistent(path string) {
+	if n, err := c.ltree.Get(path); err == nil {
+		n.Inconsistent = false
+	}
+	zpath := proto.InconsistentPath + "/" + proto.EncodePath(path)
+	if err := c.cli.Delete(zpath, -1); err != nil && !errors.Is(err, store.ErrNoNode) {
+		c.cfg.Logf("controller %s: clear inconsistent %s: %v", c.cfg.Name, path, err)
+	}
+}
+
+// --- Checkpointing ----------------------------------------------------
+
+// maybeCheckpoint folds the commit log into a fresh snapshot when
+// enough commits accumulated and no transaction is in flight (the
+// logical tree then contains exactly the committed state).
+func (c *Controller) maybeCheckpoint() {
+	if c.cfg.CheckpointEvery <= 0 || len(c.inFlight) > 0 {
+		return
+	}
+	entries, err := c.cli.Children(proto.CommitLogPath)
+	if err != nil || len(entries) < c.cfg.CheckpointEvery {
+		return
+	}
+	if err := c.checkpoint(entries); err != nil {
+		c.cfg.Logf("controller %s: checkpoint: %v", c.cfg.Name, err)
+	}
+}
+
+func (c *Controller) checkpoint(entries []string) error {
+	data, err := c.ltree.MarshalSnapshot()
+	if err != nil {
+		return err
+	}
+	sort.Strings(entries)
+	env := proto.Snapshot{Tree: data, LastCommitSeq: entries[len(entries)-1]}
+	if err := c.cli.Set(proto.SnapshotPath, env.Encode(), -1); err != nil {
+		return err
+	}
+	// Prune folded commit-log entries.
+	for _, name := range entries {
+		if err := c.cli.Delete(proto.CommitLogPath+"/"+name, -1); err != nil && !errors.Is(err, store.ErrNoNode) {
+			return err
+		}
+	}
+	if c.cfg.RetainTerminal > 0 {
+		if err := c.gcTxnRecords(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gcTxnRecords deletes the oldest terminal transaction records beyond
+// the retention bound. Safe only after a checkpoint: the records'
+// effects are folded into the snapshot, so recovery no longer needs
+// them (non-terminal records are never touched).
+func (c *Controller) gcTxnRecords() error {
+	ids, err := c.cli.Children(proto.TxnsPath)
+	if err != nil {
+		return err
+	}
+	sort.Strings(ids)
+	var terminal []string
+	for _, id := range ids {
+		rec, _, err := c.loadTxn(proto.TxnsPath + "/" + id)
+		if err != nil {
+			if errors.Is(err, store.ErrNoNode) {
+				continue
+			}
+			return err
+		}
+		if rec.State.Terminal() {
+			terminal = append(terminal, id)
+		}
+	}
+	if len(terminal) <= c.cfg.RetainTerminal {
+		return nil
+	}
+	for _, id := range terminal[:len(terminal)-c.cfg.RetainTerminal] {
+		if err := c.cli.Delete(proto.TxnsPath+"/"+id, -1); err != nil && !errors.Is(err, store.ErrNoNode) {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Recovery (§2.3) --------------------------------------------------
+
+// recover rebuilds the leader's in-memory state from persistent storage:
+// logical tree = snapshot + commit-log replay + re-simulation of
+// in-flight transactions; lock table = write sets of in-flight
+// transactions; todoQ = accepted (and orphaned initialized) records in
+// submission order.
+func (c *Controller) recover() error {
+	c.locks = lock.NewManager()
+	c.inFlight = make(map[string]*txn.Txn)
+	c.todo = nil
+
+	// 1. Base snapshot.
+	data, _, err := c.cli.Get(proto.SnapshotPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			return errors.New("no model snapshot: platform was never bootstrapped")
+		}
+		return err
+	}
+	env, err := proto.DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	c.ltree, err = model.UnmarshalSnapshot(env.Tree)
+	if err != nil {
+		return err
+	}
+
+	// 2. Replay committed transactions newer than the snapshot, in
+	// commit order.
+	entries, err := c.cli.Children(proto.CommitLogPath)
+	if err != nil {
+		return err
+	}
+	sort.Strings(entries)
+	for _, name := range entries {
+		if env.LastCommitSeq != "" && name <= env.LastCommitSeq {
+			continue
+		}
+		edata, _, err := c.cli.Get(proto.CommitLogPath + "/" + name)
+		if err != nil {
+			if errors.Is(err, store.ErrNoNode) {
+				continue
+			}
+			return err
+		}
+		entry, err := proto.DecodeCommitLogEntry(edata)
+		if err != nil {
+			return err
+		}
+		rec, _, err := c.loadTxn(entry.TxnPath)
+		if err != nil {
+			return err
+		}
+		if err := replayLog(c.ltree, c.cfg.Schema, rec.Log); err != nil {
+			return fmt.Errorf("replay committed %s: %w", rec.ID, err)
+		}
+	}
+
+	// 3. Restore inconsistency and unusable marks.
+	marks, err := c.cli.Children(proto.InconsistentPath)
+	if err != nil {
+		return err
+	}
+	for _, name := range marks {
+		if n, err := c.ltree.Get(proto.DecodePath(name)); err == nil {
+			n.Inconsistent = true
+		}
+	}
+	marks, err = c.cli.Children(proto.UnusablePath)
+	if err != nil {
+		return err
+	}
+	for _, name := range marks {
+		if n, err := c.ltree.Get(proto.DecodePath(name)); err == nil {
+			n.Unusable = true
+		}
+	}
+
+	// 4. Scan transaction records.
+	ids, err := c.cli.Children(proto.TxnsPath)
+	if err != nil {
+		return err
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		path := proto.TxnsPath + "/" + id
+		rec, _, err := c.loadTxn(path)
+		if err != nil {
+			if errors.Is(err, store.ErrNoNode) {
+				continue
+			}
+			return err
+		}
+		switch rec.State {
+		case txn.StateInitialized:
+			// The old leader may have consumed the submit notice without
+			// accepting; re-accept directly. A still-pending submit
+			// notice becomes a harmless duplicate.
+			if err := rec.Transition(txn.StateAccepted); err == nil {
+				if err := c.cli.Set(path, rec.Encode(), -1); err != nil {
+					return err
+				}
+				c.mu.Lock()
+				c.stats.Accepted++
+				c.mu.Unlock()
+				c.todo = append(c.todo, rec)
+			}
+		case txn.StateAccepted, txn.StateDeferred:
+			rec.State = txn.StateAccepted
+			c.todo = append(c.todo, rec)
+		case txn.StateStarted:
+			// Re-apply the simulated effects and re-take the locks; the
+			// worker will (or already did) deliver a result notice.
+			if err := replayLog(c.ltree, c.cfg.Schema, rec.Log); err != nil {
+				return fmt.Errorf("replay in-flight %s: %w", rec.ID, err)
+			}
+			reqs := lockRequestsFromLog(c.ltree, c.cfg.Schema, rec.Log)
+			if err := c.locks.Acquire(rec.ID, reqs); err != nil {
+				return fmt.Errorf("re-lock in-flight %s: %w", rec.ID, err)
+			}
+			c.inFlight[rec.ID] = rec
+		}
+	}
+	c.schedule()
+	c.cfg.Logf("controller %s: recovered %d in-flight, %d queued, model %d nodes",
+		c.cfg.Name, len(c.inFlight), len(c.todo), c.ltree.Size())
+	return nil
+}
+
+// --- Store helpers ----------------------------------------------------
+
+func (c *Controller) txnPath(id string) string {
+	if strings.HasPrefix(id, proto.TxnsPath) {
+		return id
+	}
+	return proto.TxnsPath + "/" + id
+}
+
+func (c *Controller) loadTxn(path string) (*txn.Txn, store.Stat, error) {
+	data, stat, err := c.cli.Get(path)
+	if err != nil {
+		return nil, stat, err
+	}
+	rec, err := txn.Decode(data)
+	if err != nil {
+		return nil, stat, err
+	}
+	// The record's identity is its store node name; fill it in so
+	// submitters don't need a second write after sequence allocation.
+	rec.ID = path[strings.LastIndexByte(path, '/')+1:]
+	return rec, stat, nil
+}
+
+// updateTxn applies a mutation to a transaction record with
+// compare-and-set retry, so concurrent controller/worker updates never
+// lose writes.
+func (c *Controller) updateTxn(path string, mutate func(*txn.Txn) error) error {
+	for i := 0; i < 64; i++ {
+		rec, stat, err := c.loadTxn(path)
+		if err != nil {
+			return err
+		}
+		if err := mutate(rec); err != nil {
+			return err
+		}
+		err = c.cli.Set(path, rec.Encode(), stat.Version)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, store.ErrBadVersion) {
+			return err
+		}
+	}
+	return fmt.Errorf("controller: update %s: too many CAS conflicts", path)
+}
+
+// LogicalTree exposes the leader's logical model for reconciliation and
+// tests. It must only be accessed while the controller is quiescent or
+// from reconciliation hooks running on the leader goroutine.
+func (c *Controller) LogicalTree() *model.Tree { return c.ltree }
+
+// LockManager exposes the leader's lock table for tests.
+func (c *Controller) LockManager() *lock.Manager { return c.locks }
+
+// Client exposes the controller's store client for platform plumbing.
+func (c *Controller) Client() *store.Client { return c.cli }

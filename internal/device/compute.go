@@ -1,0 +1,172 @@
+package device
+
+import "fmt"
+
+// VM states mirror the hypervisor's view.
+const (
+	VMStopped = "stopped"
+	VMRunning = "running"
+)
+
+// VM is a virtual machine instance on a compute server.
+type VM struct {
+	Name  string
+	Image string // imported image backing the VM's disk
+	MemMB int64
+	State string
+}
+
+// ComputeServer simulates a virtualized compute host (Xen in TROPIC's
+// testbed). All methods are called with the owning Cloud's lock held.
+type ComputeServer struct {
+	Name       string
+	Hypervisor string // e.g. "xen", "kvm" — the VM-type constraint's input
+	MemMB      int64  // physical memory available to guests
+	VMs        map[string]*VM
+	Imports    map[string]bool // network block devices currently imported
+	PoweredOff bool            // set by out-of-band failure injection
+}
+
+func newComputeServer(name, hypervisor string, memMB int64) *ComputeServer {
+	return &ComputeServer{
+		Name:       name,
+		Hypervisor: hypervisor,
+		MemMB:      memMB,
+		VMs:        make(map[string]*VM),
+		Imports:    make(map[string]bool),
+	}
+}
+
+// usedMemMB sums guest memory of all VMs placed on the host (running or
+// not), the quantity the host-memory constraint bounds.
+func (c *ComputeServer) usedMemMB() int64 {
+	var sum int64
+	for _, vm := range c.VMs {
+		sum += vm.MemMB
+	}
+	return sum
+}
+
+func (c *ComputeServer) checkPower() error {
+	if c.PoweredOff {
+		return fmt.Errorf("%w: host %s is powered off", ErrUnreachable, c.Name)
+	}
+	return nil
+}
+
+// importImage attaches a network block device exported by a storage
+// server.
+func (c *ComputeServer) importImage(image string) error {
+	if err := c.checkPower(); err != nil {
+		return err
+	}
+	if c.Imports[image] {
+		return fmt.Errorf("%w: host %s already imported %q", ErrExists, c.Name, image)
+	}
+	c.Imports[image] = true
+	return nil
+}
+
+// unimportImage detaches a network block device. It must not be in use
+// by any VM.
+func (c *ComputeServer) unimportImage(image string) error {
+	if err := c.checkPower(); err != nil {
+		return err
+	}
+	if !c.Imports[image] {
+		return fmt.Errorf("%w: host %s has no import %q", ErrNotFound, c.Name, image)
+	}
+	for _, vm := range c.VMs {
+		if vm.Image == image {
+			return fmt.Errorf("%w: import %q used by VM %s", ErrBusy, image, vm.Name)
+		}
+	}
+	delete(c.Imports, image)
+	return nil
+}
+
+// createVM defines a stopped VM backed by an imported image.
+func (c *ComputeServer) createVM(name, image string, memMB int64) error {
+	if err := c.checkPower(); err != nil {
+		return err
+	}
+	if _, exists := c.VMs[name]; exists {
+		return fmt.Errorf("%w: host %s already has VM %q", ErrExists, c.Name, name)
+	}
+	if !c.Imports[image] {
+		return fmt.Errorf("%w: host %s has not imported %q", ErrNotFound, c.Name, image)
+	}
+	if c.usedMemMB()+memMB > c.MemMB {
+		return fmt.Errorf("%w: host %s memory %d+%d > %dMB", ErrCapacity, c.Name, c.usedMemMB(), memMB, c.MemMB)
+	}
+	c.VMs[name] = &VM{Name: name, Image: image, MemMB: memMB, State: VMStopped}
+	return nil
+}
+
+// removeVM deletes a stopped VM's configuration.
+func (c *ComputeServer) removeVM(name string) error {
+	if err := c.checkPower(); err != nil {
+		return err
+	}
+	vm, ok := c.VMs[name]
+	if !ok {
+		return fmt.Errorf("%w: host %s has no VM %q", ErrNotFound, c.Name, name)
+	}
+	if vm.State == VMRunning {
+		return fmt.Errorf("%w: VM %q is running", ErrBusy, name)
+	}
+	delete(c.VMs, name)
+	return nil
+}
+
+// setVMMem changes a stopped VM's memory reservation.
+func (c *ComputeServer) setVMMem(name string, memMB int64) error {
+	if err := c.checkPower(); err != nil {
+		return err
+	}
+	vm, ok := c.VMs[name]
+	if !ok {
+		return fmt.Errorf("%w: host %s has no VM %q", ErrNotFound, c.Name, name)
+	}
+	if vm.State == VMRunning {
+		return fmt.Errorf("%w: VM %q must be stopped to resize", ErrBusy, name)
+	}
+	if c.usedMemMB()-vm.MemMB+memMB > c.MemMB {
+		return fmt.Errorf("%w: host %s memory %d-%d+%d > %dMB", ErrCapacity,
+			c.Name, c.usedMemMB(), vm.MemMB, memMB, c.MemMB)
+	}
+	vm.MemMB = memMB
+	return nil
+}
+
+// startVM boots a VM.
+func (c *ComputeServer) startVM(name string) error {
+	if err := c.checkPower(); err != nil {
+		return err
+	}
+	vm, ok := c.VMs[name]
+	if !ok {
+		return fmt.Errorf("%w: host %s has no VM %q", ErrNotFound, c.Name, name)
+	}
+	if vm.State == VMRunning {
+		return fmt.Errorf("%w: VM %q already running", ErrExists, name)
+	}
+	vm.State = VMRunning
+	return nil
+}
+
+// stopVM shuts a VM down.
+func (c *ComputeServer) stopVM(name string) error {
+	if err := c.checkPower(); err != nil {
+		return err
+	}
+	vm, ok := c.VMs[name]
+	if !ok {
+		return fmt.Errorf("%w: host %s has no VM %q", ErrNotFound, c.Name, name)
+	}
+	if vm.State == VMStopped {
+		return fmt.Errorf("%w: VM %q already stopped", ErrNotFound, name)
+	}
+	vm.State = VMStopped
+	return nil
+}

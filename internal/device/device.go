@@ -1,0 +1,374 @@
+// Package device simulates the physical substrate TROPIC orchestrates:
+// compute servers (Xen hypervisors), storage servers (LVM volumes with
+// GNBD/DRBD network export), and a programmable switch layer with VLANs
+// (paper §5). The simulators expose exactly the device-API surface that
+// TROPIC's physical-layer actions invoke, plus the failure modes §4
+// reasons about: injectable API errors, latency, host power-off, and
+// out-of-band state changes behind the platform's back.
+//
+// The package deliberately contains no TROPIC logic — it is the
+// substitute for real hardware, so the orchestration code paths above it
+// are identical to a deployment against physical devices.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Error categories for device API failures.
+var (
+	// ErrNotFound: the target object does not exist on the device.
+	ErrNotFound = errors.New("device: not found")
+	// ErrExists: the object already exists.
+	ErrExists = errors.New("device: already exists")
+	// ErrCapacity: the device is out of the relevant resource.
+	ErrCapacity = errors.New("device: capacity exceeded")
+	// ErrBusy: the object is in use and cannot be changed.
+	ErrBusy = errors.New("device: busy")
+	// ErrUnreachable: the device does not respond (powered off,
+	// partitioned).
+	ErrUnreachable = errors.New("device: unreachable")
+	// ErrInvalidArg: malformed action arguments.
+	ErrInvalidArg = errors.New("device: invalid argument")
+	// ErrInjected: a fault-injection rule fired.
+	ErrInjected = errors.New("device: injected fault")
+	// ErrUnknownAction: the action is not part of the device API.
+	ErrUnknownAction = errors.New("device: unknown action")
+)
+
+// Well-known model-path roots for the three device classes.
+const (
+	StorageRoot = "/storageRoot"
+	VMRoot      = "/vmRoot"
+	NetRoot     = "/netRoot"
+)
+
+// Cloud is the collection of simulated devices making up one data
+// center. It implements the physical executor interface the workers
+// drive. A single mutex serializes device mutations; per-call simulated
+// latency happens outside the lock so concurrent workers overlap in
+// time, as real device calls would.
+type Cloud struct {
+	mu      sync.Mutex
+	storage map[string]*StorageServer
+	compute map[string]*ComputeServer
+	network map[string]*Switch
+
+	faults        *Injector
+	actionLatency time.Duration
+
+	calls map[string]int // per-action invocation counters
+}
+
+// NewCloud creates an empty simulated data center.
+func NewCloud() *Cloud {
+	return &Cloud{
+		storage: make(map[string]*StorageServer),
+		compute: make(map[string]*ComputeServer),
+		network: make(map[string]*Switch),
+		calls:   make(map[string]int),
+	}
+}
+
+// SetFaultInjector installs (or clears, with nil) the fault injector.
+func (c *Cloud) SetFaultInjector(in *Injector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = in
+}
+
+// SetActionLatency sets a fixed simulated duration for every device API
+// call, modeling how slow physical state changes are relative to
+// logical simulation (§2.2).
+func (c *Cloud) SetActionLatency(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.actionLatency = d
+}
+
+// AddStorageServer provisions a storage host.
+func (c *Cloud) AddStorageServer(name string, capacityGB int64) *StorageServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := newStorageServer(name, capacityGB)
+	c.storage[name] = s
+	return s
+}
+
+// AddComputeServer provisions a compute host.
+func (c *Cloud) AddComputeServer(name, hypervisor string, memMB int64) *ComputeServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := newComputeServer(name, hypervisor, memMB)
+	c.compute[name] = s
+	return s
+}
+
+// AddSwitch provisions a switch.
+func (c *Cloud) AddSwitch(name string, maxVLANs int) *Switch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw := newSwitch(name, maxVLANs)
+	c.network[name] = sw
+	return sw
+}
+
+// AddImageTemplate installs a golden image on a storage host.
+func (c *Cloud) AddImageTemplate(storageHost, name string, sizeGB int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.storage[storageHost]
+	if !ok {
+		return fmt.Errorf("%w: storage host %q", ErrNotFound, storageHost)
+	}
+	if _, exists := s.Images[name]; exists {
+		return fmt.Errorf("%w: image %q", ErrExists, name)
+	}
+	s.Images[name] = &Image{Name: name, SizeGB: sizeGB, Template: true}
+	return nil
+}
+
+// Calls reports how many times an action has been executed.
+func (c *Cloud) Calls(action string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls[action]
+}
+
+// Execute performs one physical action: the device-API invocation behind
+// a LogRecord. path addresses the node the action was recorded on (a
+// host or switch, per Table 1), action is the API name, and args its
+// parameters.
+func (c *Cloud) Execute(path, action string, args []string) error {
+	// Fault evaluation and latency happen before touching device state,
+	// modeling network/API time; injected errors leave state unchanged
+	// (the call "never reached" the device).
+	c.mu.Lock()
+	inj := c.faults
+	lat := c.actionLatency
+	c.mu.Unlock()
+	delay, injErr := inj.check(path, action)
+	if lat+delay > 0 {
+		time.Sleep(lat + delay)
+	}
+	if injErr != nil {
+		return injErr
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls[action]++
+
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	if len(parts) < 2 || parts[0] == "" {
+		return fmt.Errorf("%w: path %q does not address a device", ErrInvalidArg, path)
+	}
+	root, host := "/"+parts[0], parts[1]
+	switch root {
+	case StorageRoot:
+		s, ok := c.storage[host]
+		if !ok {
+			return fmt.Errorf("%w: storage host %q", ErrNotFound, host)
+		}
+		return c.execStorage(s, action, args)
+	case VMRoot:
+		h, ok := c.compute[host]
+		if !ok {
+			return fmt.Errorf("%w: compute host %q", ErrNotFound, host)
+		}
+		return c.execCompute(h, action, args)
+	case NetRoot:
+		sw, ok := c.network[host]
+		if !ok {
+			return fmt.Errorf("%w: switch %q", ErrNotFound, host)
+		}
+		return c.execNetwork(sw, action, args)
+	default:
+		return fmt.Errorf("%w: unknown device root %q", ErrInvalidArg, root)
+	}
+}
+
+func needArgs(action string, args []string, n int) error {
+	if len(args) < n {
+		return fmt.Errorf("%w: %s needs %d args, got %v", ErrInvalidArg, action, n, args)
+	}
+	return nil
+}
+
+func (c *Cloud) execStorage(s *StorageServer, action string, args []string) error {
+	switch action {
+	case "cloneImage":
+		if err := needArgs(action, args, 2); err != nil {
+			return err
+		}
+		return s.cloneImage(args[0], args[1])
+	case "removeImage":
+		if err := needArgs(action, args, 1); err != nil {
+			return err
+		}
+		return s.removeImage(args[0])
+	case "exportImage":
+		if err := needArgs(action, args, 1); err != nil {
+			return err
+		}
+		return s.exportImage(args[0])
+	case "unexportImage":
+		if err := needArgs(action, args, 1); err != nil {
+			return err
+		}
+		return s.unexportImage(args[0])
+	default:
+		return fmt.Errorf("%w: storage action %q", ErrUnknownAction, action)
+	}
+}
+
+func (c *Cloud) execCompute(h *ComputeServer, action string, args []string) error {
+	switch action {
+	case "importImage":
+		if err := needArgs(action, args, 1); err != nil {
+			return err
+		}
+		return h.importImage(args[0])
+	case "unimportImage":
+		if err := needArgs(action, args, 1); err != nil {
+			return err
+		}
+		return h.unimportImage(args[0])
+	case "createVM":
+		if err := needArgs(action, args, 2); err != nil {
+			return err
+		}
+		mem := int64(1024)
+		if len(args) >= 3 {
+			m, err := strconv.ParseInt(args[2], 10, 64)
+			if err != nil || m <= 0 {
+				return fmt.Errorf("%w: createVM memMB %q", ErrInvalidArg, args[2])
+			}
+			mem = m
+		}
+		return h.createVM(args[0], args[1], mem)
+	case "removeVM":
+		if err := needArgs(action, args, 1); err != nil {
+			return err
+		}
+		return h.removeVM(args[0])
+	case "startVM":
+		if err := needArgs(action, args, 1); err != nil {
+			return err
+		}
+		return h.startVM(args[0])
+	case "stopVM":
+		if err := needArgs(action, args, 1); err != nil {
+			return err
+		}
+		return h.stopVM(args[0])
+	case "setVMMem":
+		if err := needArgs(action, args, 2); err != nil {
+			return err
+		}
+		mem, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil || mem <= 0 {
+			return fmt.Errorf("%w: setVMMem memMB %q", ErrInvalidArg, args[1])
+		}
+		return h.setVMMem(args[0], mem)
+	case "migrateVM":
+		if err := needArgs(action, args, 2); err != nil {
+			return err
+		}
+		return c.migrateVM(h, args[0], args[1])
+	default:
+		return fmt.Errorf("%w: compute action %q", ErrUnknownAction, action)
+	}
+}
+
+// migrateVM live-migrates a VM from src to the compute host addressed by
+// dstHostPath (a /vmRoot/<host> model path). Caller holds c.mu.
+func (c *Cloud) migrateVM(src *ComputeServer, vmName, dstHostPath string) error {
+	parts := strings.Split(strings.TrimPrefix(dstHostPath, "/"), "/")
+	if len(parts) != 2 || "/"+parts[0] != VMRoot {
+		return fmt.Errorf("%w: migrate destination %q", ErrInvalidArg, dstHostPath)
+	}
+	dst, ok := c.compute[parts[1]]
+	if !ok {
+		return fmt.Errorf("%w: compute host %q", ErrNotFound, parts[1])
+	}
+	if err := src.checkPower(); err != nil {
+		return err
+	}
+	if err := dst.checkPower(); err != nil {
+		return err
+	}
+	vm, ok := src.VMs[vmName]
+	if !ok {
+		return fmt.Errorf("%w: host %s has no VM %q", ErrNotFound, src.Name, vmName)
+	}
+	if src == dst {
+		return fmt.Errorf("%w: VM %q already on %s", ErrExists, vmName, dst.Name)
+	}
+	if _, exists := dst.VMs[vmName]; exists {
+		return fmt.Errorf("%w: host %s already has VM %q", ErrExists, dst.Name, vmName)
+	}
+	if src.Hypervisor != dst.Hypervisor {
+		// Real hypervisors refuse cross-type migration; TROPIC's VM-type
+		// constraint exists to catch this in the logical layer first.
+		return fmt.Errorf("%w: cannot migrate %s VM to %s host", ErrInvalidArg, src.Hypervisor, dst.Hypervisor)
+	}
+	if dst.usedMemMB()+vm.MemMB > dst.MemMB {
+		return fmt.Errorf("%w: host %s memory %d+%d > %dMB", ErrCapacity, dst.Name, dst.usedMemMB(), vm.MemMB, dst.MemMB)
+	}
+	// The VM's disk is network-attached, so migration moves the import
+	// along with the guest.
+	delete(src.VMs, vmName)
+	delete(src.Imports, vm.Image)
+	dst.VMs[vmName] = vm
+	dst.Imports[vm.Image] = true
+	return nil
+}
+
+func (c *Cloud) execNetwork(sw *Switch, action string, args []string) error {
+	switch action {
+	case "createVLAN":
+		if err := needArgs(action, args, 1); err != nil {
+			return err
+		}
+		id, err := parseVLANID(args[0])
+		if err != nil {
+			return err
+		}
+		return sw.createVLAN(id)
+	case "deleteVLAN":
+		if err := needArgs(action, args, 1); err != nil {
+			return err
+		}
+		id, err := parseVLANID(args[0])
+		if err != nil {
+			return err
+		}
+		return sw.deleteVLAN(id)
+	case "attachPort":
+		if err := needArgs(action, args, 2); err != nil {
+			return err
+		}
+		id, err := parseVLANID(args[0])
+		if err != nil {
+			return err
+		}
+		return sw.attachPort(id, args[1])
+	case "detachPort":
+		if err := needArgs(action, args, 2); err != nil {
+			return err
+		}
+		id, err := parseVLANID(args[0])
+		if err != nil {
+			return err
+		}
+		return sw.detachPort(id, args[1])
+	default:
+		return fmt.Errorf("%w: network action %q", ErrUnknownAction, action)
+	}
+}

@@ -1,0 +1,380 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func testCloud(t *testing.T) *Cloud {
+	t.Helper()
+	c := NewCloud()
+	c.AddStorageServer("s1", 100)
+	c.AddComputeServer("h1", "xen", 8192)
+	c.AddComputeServer("h2", "xen", 4096)
+	c.AddComputeServer("hk", "kvm", 8192)
+	c.AddSwitch("sw1", 8)
+	if err := c.AddImageTemplate("s1", "tmpl", 10); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// spawnSteps executes the Table 1 spawnVM sequence directly against the
+// devices.
+func spawnSteps(t *testing.T, c *Cloud, vm string) {
+	t.Helper()
+	steps := []struct {
+		path, action string
+		args         []string
+	}{
+		{"/storageRoot/s1", "cloneImage", []string{"tmpl", vm + "-img"}},
+		{"/storageRoot/s1", "exportImage", []string{vm + "-img"}},
+		{"/vmRoot/h1", "importImage", []string{vm + "-img"}},
+		{"/vmRoot/h1", "createVM", []string{vm, vm + "-img", "1024"}},
+		{"/vmRoot/h1", "startVM", []string{vm}},
+	}
+	for _, s := range steps {
+		if err := c.Execute(s.path, s.action, s.args); err != nil {
+			t.Fatalf("%s %s: %v", s.action, s.args, err)
+		}
+	}
+}
+
+func TestSpawnSequence(t *testing.T) {
+	c := testCloud(t)
+	spawnSteps(t, c, "vm1")
+	h := c.ComputeHost("h1")
+	if h.VMs["vm1"] == nil || h.VMs["vm1"].State != VMRunning {
+		t.Fatalf("vm1 = %+v", h.VMs["vm1"])
+	}
+	if got := c.Calls("createVM"); got != 1 {
+		t.Fatalf("createVM calls = %d", got)
+	}
+}
+
+func TestUndoSequenceRestoresState(t *testing.T) {
+	c := testCloud(t)
+	spawnSteps(t, c, "vm1")
+	// Execute the Table 1 undo actions in reverse order.
+	undos := []struct {
+		path, action string
+		args         []string
+	}{
+		{"/vmRoot/h1", "stopVM", []string{"vm1"}},
+		{"/vmRoot/h1", "removeVM", []string{"vm1"}},
+		{"/vmRoot/h1", "unimportImage", []string{"vm1-img"}},
+		{"/storageRoot/s1", "unexportImage", []string{"vm1-img"}},
+		{"/storageRoot/s1", "removeImage", []string{"vm1-img"}},
+	}
+	for _, u := range undos {
+		if err := c.Execute(u.path, u.action, u.args); err != nil {
+			t.Fatalf("undo %s: %v", u.action, err)
+		}
+	}
+	if len(c.ComputeHost("h1").VMs) != 0 || len(c.ComputeHost("h1").Imports) != 0 {
+		t.Fatal("compute state not restored")
+	}
+	s := c.StorageHost("s1")
+	if len(s.Images) != 1 || s.Images["tmpl"] == nil {
+		t.Fatalf("storage state not restored: %v", s.Images)
+	}
+}
+
+func TestStorageErrors(t *testing.T) {
+	c := testCloud(t)
+	cases := []struct {
+		action string
+		args   []string
+		want   error
+	}{
+		{"cloneImage", []string{"missing", "x"}, ErrNotFound},
+		{"cloneImage", []string{"tmpl", "tmpl"}, ErrExists},
+		{"removeImage", []string{"missing"}, ErrNotFound},
+		{"removeImage", []string{"tmpl"}, ErrBusy}, // template protected
+		{"exportImage", []string{"missing"}, ErrNotFound},
+		{"unexportImage", []string{"tmpl"}, ErrNotFound}, // not exported
+		{"bogusAction", nil, ErrUnknownAction},
+		{"cloneImage", []string{"justone"}, ErrInvalidArg},
+	}
+	for _, tc := range cases {
+		err := c.Execute("/storageRoot/s1", tc.action, tc.args)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s %v: err = %v, want %v", tc.action, tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestStorageCapacity(t *testing.T) {
+	c := NewCloud()
+	c.AddStorageServer("s1", 25)
+	c.AddImageTemplate("s1", "tmpl", 10)
+	if err := c.Execute("/storageRoot/s1", "cloneImage", []string{"tmpl", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// 10 (tmpl) + 10 (a) = 20; one more 10GB clone exceeds 25.
+	err := c.Execute("/storageRoot/s1", "cloneImage", []string{"tmpl", "b"})
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v, want ErrCapacity", err)
+	}
+}
+
+func TestExportedImageCannotBeRemoved(t *testing.T) {
+	c := testCloud(t)
+	c.Execute("/storageRoot/s1", "cloneImage", []string{"tmpl", "img"})
+	c.Execute("/storageRoot/s1", "exportImage", []string{"img"})
+	if err := c.Execute("/storageRoot/s1", "removeImage", []string{"img"}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	c := testCloud(t)
+	cases := []struct {
+		action string
+		args   []string
+		want   error
+	}{
+		{"createVM", []string{"vm1", "noimport"}, ErrNotFound},
+		{"removeVM", []string{"missing"}, ErrNotFound},
+		{"startVM", []string{"missing"}, ErrNotFound},
+		{"stopVM", []string{"missing"}, ErrNotFound},
+		{"unimportImage", []string{"missing"}, ErrNotFound},
+		{"createVM", []string{"vm1", "img", "notanumber"}, ErrInvalidArg},
+	}
+	for _, tc := range cases {
+		err := c.Execute("/vmRoot/h1", tc.action, tc.args)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s %v: err = %v, want %v", tc.action, tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestComputeMemoryCapacity(t *testing.T) {
+	c := testCloud(t)
+	c.Execute("/storageRoot/s1", "cloneImage", []string{"tmpl", "i1"})
+	c.Execute("/storageRoot/s1", "exportImage", []string{"i1"})
+	c.Execute("/vmRoot/h2", "importImage", []string{"i1"})
+	if err := c.Execute("/vmRoot/h2", "createVM", []string{"vm1", "i1", "4096"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Execute("/storageRoot/s1", "cloneImage", []string{"tmpl", "i2"})
+	c.Execute("/storageRoot/s1", "exportImage", []string{"i2"})
+	c.Execute("/vmRoot/h2", "importImage", []string{"i2"})
+	err := c.Execute("/vmRoot/h2", "createVM", []string{"vm2", "i2", "1"})
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v, want ErrCapacity (h2 is full)", err)
+	}
+}
+
+func TestRunningVMProtections(t *testing.T) {
+	c := testCloud(t)
+	spawnSteps(t, c, "vm1")
+	if err := c.Execute("/vmRoot/h1", "removeVM", []string{"vm1"}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("remove running: %v", err)
+	}
+	if err := c.Execute("/vmRoot/h1", "unimportImage", []string{"vm1-img"}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("unimport in use: %v", err)
+	}
+	if err := c.Execute("/vmRoot/h1", "startVM", []string{"vm1"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("double start: %v", err)
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	c := testCloud(t)
+	spawnSteps(t, c, "vm1")
+	if err := c.Execute("/vmRoot/h1", "migrateVM", []string{"vm1", "/vmRoot/h2"}); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if c.ComputeHost("h1").VMs["vm1"] != nil {
+		t.Fatal("vm1 still on h1")
+	}
+	vm := c.ComputeHost("h2").VMs["vm1"]
+	if vm == nil || vm.State != VMRunning {
+		t.Fatalf("vm1 on h2 = %+v", vm)
+	}
+	if !c.ComputeHost("h2").Imports["vm1-img"] || c.ComputeHost("h1").Imports["vm1-img"] {
+		t.Fatal("disk import did not move with the VM")
+	}
+}
+
+func TestMigrateCrossHypervisorRefused(t *testing.T) {
+	c := testCloud(t)
+	spawnSteps(t, c, "vm1")
+	err := c.Execute("/vmRoot/h1", "migrateVM", []string{"vm1", "/vmRoot/hk"})
+	if !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("cross-hypervisor migrate err = %v", err)
+	}
+}
+
+func TestMigrateCapacityRefused(t *testing.T) {
+	c := testCloud(t)
+	spawnSteps(t, c, "vm1") // 1024MB on h1
+	// Fill h2 to the brim first.
+	c.Execute("/storageRoot/s1", "cloneImage", []string{"tmpl", "i2"})
+	c.Execute("/storageRoot/s1", "exportImage", []string{"i2"})
+	c.Execute("/vmRoot/h2", "importImage", []string{"i2"})
+	if err := c.Execute("/vmRoot/h2", "createVM", []string{"big", "i2", "4096"}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Execute("/vmRoot/h1", "migrateVM", []string{"vm1", "/vmRoot/h2"})
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v, want ErrCapacity", err)
+	}
+}
+
+func TestNetworkActions(t *testing.T) {
+	c := testCloud(t)
+	if err := c.Execute("/netRoot/sw1", "createVLAN", []string{"100"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Execute("/netRoot/sw1", "attachPort", []string{"100", "vm1.eth0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Execute("/netRoot/sw1", "deleteVLAN", []string{"100"}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("delete with ports: %v", err)
+	}
+	if err := c.Execute("/netRoot/sw1", "detachPort", []string{"100", "vm1.eth0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Execute("/netRoot/sw1", "deleteVLAN", []string{"100"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Execute("/netRoot/sw1", "createVLAN", []string{"9999"}); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("vlan range: %v", err)
+	}
+}
+
+func TestVLANTableCapacity(t *testing.T) {
+	c := NewCloud()
+	c.AddSwitch("sw", 2)
+	c.Execute("/netRoot/sw", "createVLAN", []string{"1"})
+	c.Execute("/netRoot/sw", "createVLAN", []string{"2"})
+	if err := c.Execute("/netRoot/sw", "createVLAN", []string{"3"}); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v, want ErrCapacity", err)
+	}
+}
+
+func TestPowerOff(t *testing.T) {
+	c := testCloud(t)
+	spawnSteps(t, c, "vm1")
+	if err := c.PowerOffHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.ComputeHost("h1").VMs["vm1"].State != VMStopped {
+		t.Fatal("VM still running after host power-off")
+	}
+	if err := c.Execute("/vmRoot/h1", "startVM", []string{"vm1"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("API on dead host: %v", err)
+	}
+	c.PowerOnHost("h1")
+	if err := c.Execute("/vmRoot/h1", "startVM", []string{"vm1"}); err != nil {
+		t.Fatalf("start after power-on: %v", err)
+	}
+}
+
+func TestFaultInjectionNthCall(t *testing.T) {
+	c := testCloud(t)
+	in := NewInjector(1)
+	in.Add(FaultRule{Action: "startVM", FailOn: 2, Err: "flaky hypervisor"})
+	c.SetFaultInjector(in)
+	spawnSteps(t, c, "vm1") // first startVM succeeds
+	c.Execute("/vmRoot/h1", "stopVM", []string{"vm1"})
+	err := c.Execute("/vmRoot/h1", "startVM", []string{"vm1"}) // second fails
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// Injected failure must not change device state.
+	if c.ComputeHost("h1").VMs["vm1"].State != VMStopped {
+		t.Fatal("state changed by injected failure")
+	}
+	if err := c.Execute("/vmRoot/h1", "startVM", []string{"vm1"}); err != nil {
+		t.Fatalf("third call: %v", err)
+	}
+}
+
+func TestFaultInjectionEveryCall(t *testing.T) {
+	c := testCloud(t)
+	in := NewInjector(1)
+	in.Add(FaultRule{Action: "cloneImage", Err: "disk error"})
+	c.SetFaultInjector(in)
+	for i := 0; i < 3; i++ {
+		if err := c.Execute("/storageRoot/s1", "cloneImage", []string{"tmpl", "x"}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	in.Clear()
+	if err := c.Execute("/storageRoot/s1", "cloneImage", []string{"tmpl", "x"}); err != nil {
+		t.Fatalf("after clear: %v", err)
+	}
+}
+
+func TestFaultInjectionDelay(t *testing.T) {
+	c := testCloud(t)
+	in := NewInjector(1)
+	in.Add(FaultRule{Action: "exportImage", Delay: 50 * time.Millisecond})
+	c.SetFaultInjector(in)
+	c.Execute("/storageRoot/s1", "cloneImage", []string{"tmpl", "img"})
+	start := time.Now()
+	if err := c.Execute("/storageRoot/s1", "exportImage", []string{"img"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+}
+
+func TestSnapshotReflectsState(t *testing.T) {
+	c := testCloud(t)
+	spawnSteps(t, c, "vm1")
+	c.Execute("/netRoot/sw1", "createVLAN", []string{"7"})
+	snap := c.Snapshot()
+	vm, err := snap.Get("/vmRoot/h1/vm1")
+	if err != nil {
+		t.Fatalf("snapshot missing vm1: %v", err)
+	}
+	if vm.GetString("state") != VMRunning || vm.GetInt("memMB") != 1024 {
+		t.Fatalf("vm node = %+v", vm.Attrs)
+	}
+	img, err := snap.Get("/storageRoot/s1/vm1-img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.GetBool("exported") {
+		t.Fatal("image not marked exported in snapshot")
+	}
+	if _, err := snap.Get("/netRoot/sw1/7"); err != nil {
+		t.Fatal("snapshot missing VLAN")
+	}
+	// Out-of-band change shows up in the next snapshot.
+	c.OutOfBandStopVM("h1", "vm1")
+	snap2 := c.Snapshot()
+	vm2, _ := snap2.Get("/vmRoot/h1/vm1")
+	if vm2.GetString("state") != VMStopped {
+		t.Fatal("out-of-band stop not visible in snapshot")
+	}
+}
+
+func TestSnapshotHost(t *testing.T) {
+	c := testCloud(t)
+	n, err := c.SnapshotHost(VMRoot, "h1")
+	if err != nil || n.Type != TypeVMHost {
+		t.Fatalf("n=%+v err=%v", n, err)
+	}
+	if _, err := c.SnapshotHost(VMRoot, "nope"); err == nil {
+		t.Fatal("missing host snapshotted")
+	}
+}
+
+func TestUnknownDevicePaths(t *testing.T) {
+	c := testCloud(t)
+	for _, p := range []string{"/bogusRoot/x", "/storageRoot", "/"} {
+		if err := c.Execute(p, "cloneImage", []string{"a", "b"}); !errors.Is(err, ErrInvalidArg) && !errors.Is(err, ErrNotFound) {
+			t.Errorf("Execute(%q): %v", p, err)
+		}
+	}
+	if err := c.Execute("/storageRoot/ghost", "cloneImage", []string{"a", "b"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ghost host: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultRule describes one injected failure. Rules model the resource
+// volatility of §4: transient API errors, unresponsive devices, and
+// crash-like failures.
+type FaultRule struct {
+	// Action matches the action name; "" matches any action.
+	Action string
+	// PathPrefix matches the target path by prefix; "" matches any path.
+	PathPrefix string
+	// FailOn fires the rule only on the Nth matching invocation
+	// (1-based); 0 fires on every matching invocation.
+	FailOn int
+	// Probability fires the rule with the given chance in (0,1]; 0 means
+	// deterministic (always, subject to FailOn).
+	Probability float64
+	// Delay stalls the call before deciding the outcome, for modeling
+	// slow or hung devices (the TERM/KILL test bed).
+	Delay time.Duration
+	// Err is the message of the injected error; "" injects no error
+	// (delay-only rule).
+	Err string
+
+	invocations int
+}
+
+// Injector evaluates fault rules against device calls. It is safe for
+// concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rules []*FaultRule
+	rng   *rand.Rand
+}
+
+// NewInjector creates a fault injector seeded deterministically so that
+// experiments are reproducible.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add installs a rule and returns it (so tests can inspect or remove it).
+func (in *Injector) Add(rule FaultRule) *FaultRule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := rule
+	in.rules = append(in.rules, &r)
+	return &r
+}
+
+// Clear removes all rules.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// check consults the rules for a call. It returns a delay to apply and
+// an error to inject (nil for none). Only the first matching, firing
+// rule applies.
+func (in *Injector) check(path, action string) (time.Duration, error) {
+	if in == nil {
+		return 0, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Action != "" && r.Action != action {
+			continue
+		}
+		if r.PathPrefix != "" && !strings.HasPrefix(path, r.PathPrefix) {
+			continue
+		}
+		r.invocations++
+		if r.FailOn != 0 && r.invocations != r.FailOn {
+			continue
+		}
+		if r.Probability > 0 && in.rng.Float64() >= r.Probability {
+			continue
+		}
+		var err error
+		if r.Err != "" {
+			err = fmt.Errorf("%w: %s %s: %s", ErrInjected, action, path, r.Err)
+		}
+		return r.Delay, err
+	}
+	return 0, nil
+}

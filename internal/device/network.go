@@ -1,0 +1,88 @@
+package device
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// VLAN is one virtual LAN configured on a switch, with the ports (VM
+// interfaces) attached to it.
+type VLAN struct {
+	ID    int
+	Ports map[string]bool
+}
+
+// Switch simulates the programmable switch layer (Juniper routers in
+// TROPIC's testbed) that provides VLANs for inter-VM communication. All
+// methods are called with the owning Cloud's lock held.
+type Switch struct {
+	Name     string
+	MaxVLANs int
+	VLANs    map[int]*VLAN
+}
+
+func newSwitch(name string, maxVLANs int) *Switch {
+	if maxVLANs <= 0 {
+		maxVLANs = 4094
+	}
+	return &Switch{Name: name, MaxVLANs: maxVLANs, VLANs: make(map[int]*VLAN)}
+}
+
+func parseVLANID(s string) (int, error) {
+	id, err := strconv.Atoi(s)
+	if err != nil || id < 1 || id > 4094 {
+		return 0, fmt.Errorf("%w: VLAN id %q out of range 1-4094", ErrInvalidArg, s)
+	}
+	return id, nil
+}
+
+// createVLAN provisions a VLAN on the switch.
+func (sw *Switch) createVLAN(id int) error {
+	if _, exists := sw.VLANs[id]; exists {
+		return fmt.Errorf("%w: switch %s already has VLAN %d", ErrExists, sw.Name, id)
+	}
+	if len(sw.VLANs) >= sw.MaxVLANs {
+		return fmt.Errorf("%w: switch %s VLAN table full (%d)", ErrCapacity, sw.Name, sw.MaxVLANs)
+	}
+	sw.VLANs[id] = &VLAN{ID: id, Ports: make(map[string]bool)}
+	return nil
+}
+
+// deleteVLAN removes a VLAN; it must have no attached ports.
+func (sw *Switch) deleteVLAN(id int) error {
+	v, ok := sw.VLANs[id]
+	if !ok {
+		return fmt.Errorf("%w: switch %s has no VLAN %d", ErrNotFound, sw.Name, id)
+	}
+	if len(v.Ports) > 0 {
+		return fmt.Errorf("%w: VLAN %d has %d attached ports", ErrBusy, id, len(v.Ports))
+	}
+	delete(sw.VLANs, id)
+	return nil
+}
+
+// attachPort joins a port (VM interface) to a VLAN.
+func (sw *Switch) attachPort(id int, port string) error {
+	v, ok := sw.VLANs[id]
+	if !ok {
+		return fmt.Errorf("%w: switch %s has no VLAN %d", ErrNotFound, sw.Name, id)
+	}
+	if v.Ports[port] {
+		return fmt.Errorf("%w: port %q already on VLAN %d", ErrExists, port, id)
+	}
+	v.Ports[port] = true
+	return nil
+}
+
+// detachPort removes a port from a VLAN.
+func (sw *Switch) detachPort(id int, port string) error {
+	v, ok := sw.VLANs[id]
+	if !ok {
+		return fmt.Errorf("%w: switch %s has no VLAN %d", ErrNotFound, sw.Name, id)
+	}
+	if !v.Ports[port] {
+		return fmt.Errorf("%w: port %q not on VLAN %d", ErrNotFound, port, id)
+	}
+	delete(v.Ports, port)
+	return nil
+}

@@ -1,0 +1,210 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// joinSorted renders a string set deterministically ("a,b,c"), the
+// canonical encoding shared by the logical model so the two layers
+// compare equal attribute-by-attribute.
+func joinSorted(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// Entity type names shared between the physical snapshot and the logical
+// data model, so the two layers are directly comparable (§4).
+const (
+	TypeStorageRoot = "root.storage"
+	TypeVMRoot      = "root.vm"
+	TypeNetRoot     = "root.net"
+	TypeStorageHost = "storageHost"
+	TypeVMHost      = "vmHost"
+	TypeSwitch      = "switch"
+	TypeImage       = "image"
+	TypeVM          = "vm"
+	TypeVLAN        = "vlan"
+)
+
+// Snapshot exports the devices' current state as a data model tree: the
+// physical data model the workers maintain (§2.2). Reconciliation
+// (reload/repair) compares this against the controller's logical tree.
+func (c *Cloud) Snapshot() *model.Tree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := model.NewTree()
+	sr, _ := t.Create(StorageRoot, TypeStorageRoot, nil)
+	vr, _ := t.Create(VMRoot, TypeVMRoot, nil)
+	nr, _ := t.Create(NetRoot, TypeNetRoot, nil)
+
+	for name, s := range c.storage {
+		hn := model.NewNode(name, TypeStorageHost)
+		hn.Attrs["capGB"] = s.CapacityGB
+		for iname, img := range s.Images {
+			in := model.NewNode(iname, TypeImage)
+			in.Attrs["sizeGB"] = img.SizeGB
+			in.Attrs["template"] = img.Template
+			in.Attrs["exported"] = img.Exported
+			hn.Children[iname] = in
+		}
+		sr.Children[name] = hn
+	}
+	for name, h := range c.compute {
+		hn := model.NewNode(name, TypeVMHost)
+		hn.Attrs["hypervisor"] = h.Hypervisor
+		hn.Attrs["memMB"] = h.MemMB
+		hn.Attrs["imports"] = joinSorted(h.Imports)
+		for vname, vm := range h.VMs {
+			vn := model.NewNode(vname, TypeVM)
+			vn.Attrs["image"] = vm.Image
+			vn.Attrs["memMB"] = vm.MemMB
+			vn.Attrs["state"] = vm.State
+			vn.Attrs["hypervisor"] = h.Hypervisor
+			hn.Children[vname] = vn
+		}
+		vr.Children[name] = hn
+	}
+	for name, sw := range c.network {
+		sn := model.NewNode(name, TypeSwitch)
+		sn.Attrs["maxVLANs"] = int64(sw.MaxVLANs)
+		for id, v := range sw.VLANs {
+			vname := strconv.Itoa(id)
+			vn := model.NewNode(vname, TypeVLAN)
+			vn.Attrs["ports"] = int64(len(v.Ports))
+			sn.Children[vname] = vn
+		}
+		nr.Children[name] = sn
+	}
+	return t
+}
+
+// SnapshotHost exports a single host's subtree, for targeted reload.
+// root must be StorageRoot or VMRoot.
+func (c *Cloud) SnapshotHost(root, host string) (*model.Node, error) {
+	full := c.Snapshot()
+	n, err := full.Get(model.Join(root, host))
+	if err != nil {
+		return nil, fmt.Errorf("device: snapshot %s/%s: %w", root, host, err)
+	}
+	return n, nil
+}
+
+// --- Out-of-band mutations (§4's volatility scenarios) ---------------
+//
+// These bypass TROPIC entirely, modeling operators logging into devices
+// directly, crashes, and power events. They are the inputs to the
+// reconciliation experiments.
+
+// PowerOffHost simulates an unexpected compute-host reboot or outage:
+// every running VM on it stops, and until powered on the host rejects
+// API calls.
+func (c *Cloud) PowerOffHost(host string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.compute[host]
+	if !ok {
+		return fmt.Errorf("%w: compute host %q", ErrNotFound, host)
+	}
+	h.PoweredOff = true
+	for _, vm := range h.VMs {
+		vm.State = VMStopped
+	}
+	return nil
+}
+
+// PowerOnHost restores a powered-off host (VMs stay stopped, as after a
+// real reboot).
+func (c *Cloud) PowerOnHost(host string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.compute[host]
+	if !ok {
+		return fmt.Errorf("%w: compute host %q", ErrNotFound, host)
+	}
+	h.PoweredOff = false
+	return nil
+}
+
+// OutOfBandStopVM models an operator stopping a VM via the hypervisor
+// CLI without going through TROPIC.
+func (c *Cloud) OutOfBandStopVM(host, vm string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.compute[host]
+	if !ok {
+		return fmt.Errorf("%w: compute host %q", ErrNotFound, host)
+	}
+	v, ok := h.VMs[vm]
+	if !ok {
+		return fmt.Errorf("%w: VM %q", ErrNotFound, vm)
+	}
+	v.State = VMStopped
+	return nil
+}
+
+// OutOfBandRemoveImage models an operator deleting a volume directly.
+func (c *Cloud) OutOfBandRemoveImage(host, image string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.storage[host]
+	if !ok {
+		return fmt.Errorf("%w: storage host %q", ErrNotFound, host)
+	}
+	if _, ok := s.Images[image]; !ok {
+		return fmt.Errorf("%w: image %q", ErrNotFound, image)
+	}
+	delete(s.Images, image)
+	return nil
+}
+
+// VMInfo returns a copy of one VM's state under the device lock — the
+// safe way to observe a VM while workers are executing; ok=false when
+// the host or VM is absent.
+func (c *Cloud) VMInfo(host, vm string) (VM, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.compute[host]
+	if !ok {
+		return VM{}, false
+	}
+	v, ok := h.VMs[vm]
+	if !ok {
+		return VM{}, false
+	}
+	return *v, true
+}
+
+// ComputeHost returns a compute server for white-box inspection in
+// tests. The returned struct is NOT synchronized: only read it while
+// no worker is executing (e.g. after transactions reach terminal
+// states); use VMInfo to observe live execution. Nil when absent.
+func (c *Cloud) ComputeHost(name string) *ComputeServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.compute[name]
+}
+
+// StorageHost returns a storage server for white-box inspection; nil
+// when absent.
+func (c *Cloud) StorageHost(name string) *StorageServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.storage[name]
+}
+
+// NetworkSwitch returns a switch for white-box inspection; nil when
+// absent.
+func (c *Cloud) NetworkSwitch(name string) *Switch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.network[name]
+}

@@ -1,0 +1,95 @@
+package device
+
+import "fmt"
+
+// Image is a disk image volume on a storage server: either a template
+// (golden image) or a clone serving as a VM's block device. Exported
+// images are reachable over the network (GNBD-style) so compute servers
+// can import them.
+type Image struct {
+	Name     string
+	SizeGB   int64
+	Template bool
+	Exported bool
+}
+
+// StorageServer simulates a storage host running LVM with GNBD/DRBD
+// network export, as in TROPIC's testbed (§5). All methods are called
+// with the owning Cloud's lock held.
+type StorageServer struct {
+	Name       string
+	CapacityGB int64
+	Images     map[string]*Image
+}
+
+func newStorageServer(name string, capacityGB int64) *StorageServer {
+	return &StorageServer{Name: name, CapacityGB: capacityGB, Images: make(map[string]*Image)}
+}
+
+// usedGB sums the sizes of all volumes on the server.
+func (s *StorageServer) usedGB() int64 {
+	var sum int64
+	for _, img := range s.Images {
+		sum += img.SizeGB
+	}
+	return sum
+}
+
+// cloneImage copies a template into a new volume (LVM snapshot+copy).
+func (s *StorageServer) cloneImage(template, clone string) error {
+	src, ok := s.Images[template]
+	if !ok {
+		return fmt.Errorf("%w: storage %s has no image %q", ErrNotFound, s.Name, template)
+	}
+	if _, exists := s.Images[clone]; exists {
+		return fmt.Errorf("%w: storage %s already has image %q", ErrExists, s.Name, clone)
+	}
+	if s.usedGB()+src.SizeGB > s.CapacityGB {
+		return fmt.Errorf("%w: storage %s full (%d+%d > %dGB)", ErrCapacity, s.Name, s.usedGB(), src.SizeGB, s.CapacityGB)
+	}
+	s.Images[clone] = &Image{Name: clone, SizeGB: src.SizeGB}
+	return nil
+}
+
+// removeImage deletes a volume. Exported volumes must be unexported
+// first, mirroring GNBD's refusal to remove a busy export.
+func (s *StorageServer) removeImage(name string) error {
+	img, ok := s.Images[name]
+	if !ok {
+		return fmt.Errorf("%w: storage %s has no image %q", ErrNotFound, s.Name, name)
+	}
+	if img.Exported {
+		return fmt.Errorf("%w: image %q still exported", ErrBusy, name)
+	}
+	if img.Template {
+		return fmt.Errorf("%w: image %q is a template", ErrBusy, name)
+	}
+	delete(s.Images, name)
+	return nil
+}
+
+// exportImage makes a volume network-visible.
+func (s *StorageServer) exportImage(name string) error {
+	img, ok := s.Images[name]
+	if !ok {
+		return fmt.Errorf("%w: storage %s has no image %q", ErrNotFound, s.Name, name)
+	}
+	if img.Exported {
+		return fmt.Errorf("%w: image %q already exported", ErrExists, name)
+	}
+	img.Exported = true
+	return nil
+}
+
+// unexportImage withdraws a network export.
+func (s *StorageServer) unexportImage(name string) error {
+	img, ok := s.Images[name]
+	if !ok {
+		return fmt.Errorf("%w: storage %s has no image %q", ErrNotFound, s.Name, name)
+	}
+	if !img.Exported {
+		return fmt.Errorf("%w: image %q not exported", ErrNotFound, name)
+	}
+	img.Exported = false
+	return nil
+}

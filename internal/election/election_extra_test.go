@@ -1,0 +1,116 @@
+package election
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func TestReEnrollAfterResign(t *testing.T) {
+	e := newEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	cand, _ := New(c, "/el", "a")
+	if err := cand.Enroll(); err != nil {
+		t.Fatal(err)
+	}
+	first := cand.Node()
+	if err := cand.Resign(); err != nil {
+		t.Fatal(err)
+	}
+	if cand.Node() != "" {
+		t.Fatal("node not cleared after resign")
+	}
+	if err := cand.Enroll(); err != nil {
+		t.Fatal(err)
+	}
+	if cand.Node() == first {
+		t.Fatal("re-enroll reused sequence node")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := cand.AwaitLeadership(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAwaitWithoutEnroll(t *testing.T) {
+	e := newEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	cand, _ := New(c, "/el", "a")
+	if err := cand.AwaitLeadership(context.Background()); err == nil {
+		t.Fatal("await without enroll succeeded")
+	}
+}
+
+func TestLeaderQueryEmptyElection(t *testing.T) {
+	e := newEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	cand, _ := New(c, "/el", "a")
+	id, ok, err := cand.Leader()
+	if err != nil || ok || id != "" {
+		t.Fatalf("leader on empty election: %q %v %v", id, ok, err)
+	}
+}
+
+func TestThreeWaySuccession(t *testing.T) {
+	// Leaders fail one after another; successors take over strictly in
+	// enrollment order.
+	e := newEnsemble(t)
+	var cands []*Candidate
+	var clis []*store.Client
+	for i := 0; i < 3; i++ {
+		cli := e.Connect()
+		clis = append(clis, cli)
+		cand, _ := New(cli, "/el", string(rune('a'+i)))
+		if err := cand.Enroll(); err != nil {
+			t.Fatal(err)
+		}
+		cands = append(cands, cand)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cands[0].AwaitLeadership(ctx); err != nil {
+		t.Fatal(err)
+	}
+	clis[0].Close()
+	if err := cands[1].AwaitLeadership(ctx); err != nil {
+		t.Fatal(err)
+	}
+	clis[1].Close()
+	if err := cands[2].AwaitLeadership(ctx); err != nil {
+		t.Fatal(err)
+	}
+	id, ok, _ := cands[2].Leader()
+	if !ok || id != "c" {
+		t.Fatalf("final leader = %q", id)
+	}
+	clis[2].Close()
+}
+
+func TestAwaitLeadershipSessionExpiry(t *testing.T) {
+	e := newEnsemble(t)
+	c0, c1 := e.Connect(), e.Connect()
+	defer c0.Close()
+	cand0, _ := New(c0, "/el", "a")
+	cand1, _ := New(c1, "/el", "b")
+	cand0.Enroll()
+	cand1.Enroll()
+	// Expire the WAITER's session: its await must fail, not hang.
+	done := make(chan error, 1)
+	go func() { done <- cand1.AwaitLeadership(context.Background()) }()
+	time.Sleep(20 * time.Millisecond)
+	e.ExpireSession(c1.SessionID())
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("await succeeded after own session expiry")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("await hung after session expiry")
+	}
+}

@@ -1,0 +1,173 @@
+package election
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func newEnsemble(t *testing.T) *store.Ensemble {
+	t.Helper()
+	e := store.NewEnsemble(store.Config{
+		Replicas:       3,
+		SessionTimeout: 100 * time.Millisecond,
+		TickInterval:   10 * time.Millisecond,
+	})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestSingleCandidateWins(t *testing.T) {
+	e := newEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	cand, err := New(c, "/election", "ctrl-0")
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := cand.Enroll(); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := cand.AwaitLeadership(ctx); err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	id, ok, err := cand.Leader()
+	if err != nil || !ok || id != "ctrl-0" {
+		t.Fatalf("leader = %q ok=%v err=%v, want ctrl-0", id, ok, err)
+	}
+}
+
+func TestEnrollmentOrderDeterminesLeader(t *testing.T) {
+	e := newEnsemble(t)
+	c0, c1 := e.Connect(), e.Connect()
+	defer c0.Close()
+	defer c1.Close()
+
+	cand0, _ := New(c0, "/election", "ctrl-0")
+	cand1, _ := New(c1, "/election", "ctrl-1")
+	if err := cand0.Enroll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cand1.Enroll(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := cand0.AwaitLeadership(ctx); err != nil {
+		t.Fatalf("first enrollee should lead: %v", err)
+	}
+	// The second candidate must still be waiting.
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer shortCancel()
+	if err := cand1.AwaitLeadership(shortCtx); err != context.DeadlineExceeded {
+		t.Fatalf("follower await err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestFailoverOnResign(t *testing.T) {
+	e := newEnsemble(t)
+	c0, c1 := e.Connect(), e.Connect()
+	defer c0.Close()
+	defer c1.Close()
+
+	cand0, _ := New(c0, "/election", "ctrl-0")
+	cand1, _ := New(c1, "/election", "ctrl-1")
+	cand0.Enroll()
+	cand1.Enroll()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cand1.AwaitLeadership(context.Background())
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := cand0.Resign(); err != nil {
+		t.Fatalf("resign: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("await after resign: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower never became leader after resign")
+	}
+	id, ok, _ := cand1.Leader()
+	if !ok || id != "ctrl-1" {
+		t.Fatalf("leader = %q ok=%v, want ctrl-1", id, ok)
+	}
+}
+
+func TestFailoverOnSessionExpiry(t *testing.T) {
+	e := newEnsemble(t)
+	c0, c1 := e.Connect(), e.Connect()
+	defer c1.Close()
+
+	cand0, _ := New(c0, "/election", "ctrl-0")
+	cand1, _ := New(c1, "/election", "ctrl-1")
+	cand0.Enroll()
+	cand1.Enroll()
+
+	start := time.Now()
+	c0.Kill() // crash the leader; its ephemeral node expires with the session
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cand1.AwaitLeadership(ctx); err != nil {
+		t.Fatalf("await after leader crash: %v", err)
+	}
+	elapsed := time.Since(start)
+	// Failover must take at least roughly the failure-detection time
+	// (session timeout) — this is the §6.4 observation.
+	if elapsed < 50*time.Millisecond {
+		t.Errorf("failover in %v, expected >= ~100ms session timeout", elapsed)
+	}
+}
+
+func TestNoHerdEffect(t *testing.T) {
+	// When the middle candidate of three fails, the last candidate's
+	// predecessor changes but the leader must be undisturbed and the last
+	// candidate must still not become leader.
+	e := newEnsemble(t)
+	c0, c1, c2 := e.Connect(), e.Connect(), e.Connect()
+	defer c0.Close()
+	defer c2.Close()
+
+	cand0, _ := New(c0, "/election", "ctrl-0")
+	cand1, _ := New(c1, "/election", "ctrl-1")
+	cand2, _ := New(c2, "/election", "ctrl-2")
+	cand0.Enroll()
+	cand1.Enroll()
+	cand2.Enroll()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := cand0.AwaitLeadership(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // middle candidate leaves
+
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer shortCancel()
+	if err := cand2.AwaitLeadership(shortCtx); err != context.DeadlineExceeded {
+		t.Fatalf("cand2 await err = %v, want DeadlineExceeded (cand0 still leads)", err)
+	}
+	id, ok, _ := cand0.Leader()
+	if !ok || id != "ctrl-0" {
+		t.Fatalf("leader = %q, want ctrl-0", id)
+	}
+}
+
+func TestResignWithoutEnroll(t *testing.T) {
+	e := newEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	cand, _ := New(c, "/election", "x")
+	if err := cand.Resign(); err != nil {
+		t.Fatalf("resign before enroll: %v", err)
+	}
+}

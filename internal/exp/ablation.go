@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/workload"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// AblationParams drives the scheduling-policy ablation: the §3.1.1
+// design-choice study the paper leaves as future work. The workload
+// interleaves transactions that all contend on one host with
+// transactions on otherwise-idle hosts; FIFO head-of-line blocks the
+// independent work behind each conflict, the aggressive policy does
+// not.
+type AblationParams struct {
+	// Hosts is the number of compute hosts (>= 2).
+	Hosts int
+	// Txns is the total transaction count (half contended, half
+	// independent).
+	Txns int
+	// ActionLatency stretches physical execution so conflicts actually
+	// overlap.
+	ActionLatency time.Duration
+}
+
+// AblationResult compares one policy's run.
+type AblationResult struct {
+	Policy string
+	// Makespan is the full-batch completion time (dominated by the
+	// contended chain under both policies).
+	Makespan time.Duration
+	// IndependentLatency is the mean latency of the *uncontended*
+	// transactions — the quantity head-of-line blocking hurts.
+	IndependentLatency time.Duration
+	Deferrals          int64
+	Committed          int64
+}
+
+// Ablation runs the same contended workload under both scheduling
+// policies and reports makespan and deferral counts.
+func Ablation(ctx context.Context, p AblationParams) ([]AblationResult, error) {
+	if p.Hosts < 2 {
+		p.Hosts = 8
+	}
+	if p.Txns <= 0 {
+		p.Txns = 32
+	}
+	if p.ActionLatency <= 0 {
+		p.ActionLatency = 5 * time.Millisecond
+	}
+	var out []AblationResult
+	for _, pol := range []struct {
+		name   string
+		policy controller.SchedulingPolicy
+	}{
+		{"fifo", controller.ScheduleFIFO},
+		{"aggressive", controller.ScheduleAggressive},
+	} {
+		res, err := ablationRun(ctx, p, pol.policy)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", pol.name, err)
+		}
+		res.Policy = pol.name
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func ablationRun(ctx context.Context, p AblationParams, policy controller.SchedulingPolicy) (AblationResult, error) {
+	// One storage server per compute host, so the odd ("independent")
+	// transactions share nothing with the contended host-0 stream.
+	tp := tcloud.Topology{
+		ComputeHosts: p.Hosts, ComputePerStorage: 1,
+		HostMemMB: 1 << 30, StorageCapGB: 1 << 30,
+	}
+	cfg := tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  tp.BuildModel(),
+		Executor:   tropic.NoopExecutor{Latency: p.ActionLatency},
+		Policy:     policy,
+	}
+	pl, err := tropic.New(cfg)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	if err := pl.Start(ctx); err != nil {
+		pl.Stop()
+		return AblationResult{}, err
+	}
+	defer pl.Stop()
+
+	// Interleave: even transactions pile onto host 0, odd ones spread
+	// across the remaining hosts with disjoint storage.
+	type slot struct {
+		op          workload.Op
+		independent bool
+	}
+	slots := make([]slot, p.Txns)
+	for i := range slots {
+		host := 0
+		if i%2 == 1 {
+			host = 1 + (i/2)%(p.Hosts-1)
+		}
+		slots[i] = slot{
+			op: workload.Op{Proc: tcloud.ProcSpawnVM, Args: []string{
+				tcloud.StorageHostPath(tp.StorageFor(host)),
+				tcloud.ComputeHostPath(host),
+				fmt.Sprintf("ab%04d", i), "1024",
+			}},
+			independent: host != 0,
+		}
+	}
+	begin := time.Now()
+	cli := pl.Client()
+	defer cli.Close()
+	// Submit everything up front (the contention scenario), then wait.
+	ids := make([]string, len(slots))
+	for i, s := range slots {
+		id, err := cli.Submit(s.op.Proc, s.op.Args...)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		ids[i] = id
+	}
+	res := AblationResult{}
+	var indepSum time.Duration
+	indepN := 0
+	for i, id := range ids {
+		rec, err := cli.Wait(ctx, id)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		if rec.State == tropic.StateCommitted {
+			res.Committed++
+		}
+		if slots[i].independent {
+			indepSum += rec.Latency()
+			indepN++
+		}
+	}
+	res.Makespan = time.Since(begin)
+	if indepN > 0 {
+		res.IndependentLatency = indepSum / time.Duration(indepN)
+	}
+	res.Deferrals = pl.ControllerStats().Deferrals
+	return res, nil
+}

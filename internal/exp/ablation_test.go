@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationPolicies(t *testing.T) {
+	results, err := Ablation(testCtx(t, 120*time.Second), AblationParams{
+		Hosts: 8, Txns: 24, ActionLatency: 8 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	fifo, aggr := results[0], results[1]
+	if fifo.Policy != "fifo" || aggr.Policy != "aggressive" {
+		t.Fatalf("order: %+v", results)
+	}
+	// Correctness first: both policies commit everything.
+	if fifo.Committed != 24 || aggr.Committed != 24 {
+		t.Fatalf("committed: fifo=%d aggr=%d", fifo.Committed, aggr.Committed)
+	}
+	// The ablation's point: under contention the aggressive policy
+	// spares independent transactions from head-of-line blocking, so
+	// their mean latency must drop substantially.
+	if aggr.IndependentLatency >= fifo.IndependentLatency {
+		t.Errorf("aggressive did not help independents: fifo=%v aggressive=%v",
+			fifo.IndependentLatency, aggr.IndependentLatency)
+	}
+	t.Logf("fifo: makespan=%v indep-latency=%v (%d deferrals); aggressive: makespan=%v indep-latency=%v (%d deferrals)",
+		fifo.Makespan, fifo.IndependentLatency, fifo.Deferrals,
+		aggr.Makespan, aggr.IndependentLatency, aggr.Deferrals)
+}

@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/txn"
+	"repro/internal/workload"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// --- Table 1 ----------------------------------------------------------
+
+// Table1Result is the spawnVM execution log.
+type Table1Result struct {
+	Records []txn.LogRecord
+}
+
+// Table1 runs one spawnVM transaction end to end and returns its
+// execution log — the exact five rows of the paper's Table 1.
+func Table1(ctx context.Context) (Table1Result, error) {
+	env, err := Start(ctx, PlatformParams{
+		Topology: tcloud.Topology{ComputeHosts: 1},
+	})
+	if err != nil {
+		return Table1Result{}, err
+	}
+	defer env.Stop()
+	cli := env.Platform.Client()
+	defer cli.Close()
+	rec, err := cli.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+		tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vmName", "1024")
+	if err != nil {
+		return Table1Result{}, err
+	}
+	if rec.State != tropic.StateCommitted {
+		return Table1Result{}, fmt.Errorf("spawnVM did not commit: %s (%s)", rec.State, rec.Error)
+	}
+	return Table1Result{Records: rec.Log}, nil
+}
+
+// FormatTable1 renders the log like the paper's Table 1.
+func FormatTable1(r Table1Result) string {
+	out := fmt.Sprintf("%-5s %-30s %-14s %-34s %-14s %s\n",
+		"log#", "resource object path", "action", "args", "undo action", "undo args")
+	for _, rec := range r.Records {
+		out += fmt.Sprintf("%-5d %-30s %-14s %-34s %-14s [%s]\n",
+			rec.Seq, rec.Path, rec.Action,
+			"["+strings.Join(rec.Args, ", ")+"]",
+			rec.Undo, strings.Join(rec.UndoArgs, ", "))
+	}
+	return out
+}
+
+// --- Figure 3 ---------------------------------------------------------
+
+// Fig3Result is the EC2 workload series.
+type Fig3Result struct {
+	Trace workload.EC2Trace
+	// PerMinute is the per-minute average launch rate, the plottable
+	// downsampling of the per-second series.
+	PerMinute []float64
+}
+
+// Fig3 synthesizes the EC2 workload (VMs launched per second over one
+// hour).
+func Fig3(seed int64) Fig3Result {
+	tr := workload.GenerateEC2Trace(seed)
+	perMin := make([]float64, 0, 60)
+	for m := 0; m < len(tr.PerSecond)/60; m++ {
+		sum := 0
+		for s := 0; s < 60; s++ {
+			sum += tr.PerSecond[m*60+s]
+		}
+		perMin = append(perMin, float64(sum)/60)
+	}
+	return Fig3Result{Trace: tr, PerMinute: perMin}
+}
+
+// --- Figures 4 & 5 ----------------------------------------------------
+
+// Fig45Params drives the EC2 replay experiments.
+type Fig45Params struct {
+	// Multipliers are the load scale factors (paper: 1×–5×).
+	Multipliers []int
+	// Hosts is the compute-server count (paper: 12,500 → 100k VMs).
+	Hosts int
+	// WindowFrom/WindowTo select trace seconds to replay (the full
+	// hour is [0, 3600); benchmarks replay a window around the peak).
+	WindowFrom, WindowTo int
+	// Compression divides the timeline: 60 replays each trace minute in
+	// one second.
+	Compression float64
+	// CommitLatency models the store quorum round.
+	CommitLatency time.Duration
+	// Seed fixes the trace.
+	Seed int64
+}
+
+func (p Fig45Params) withDefaults() Fig45Params {
+	if len(p.Multipliers) == 0 {
+		p.Multipliers = []int{1, 2, 3, 4, 5}
+	}
+	if p.Hosts <= 0 {
+		p.Hosts = 12500
+	}
+	if p.WindowTo <= p.WindowFrom {
+		p.WindowFrom, p.WindowTo = 0, workload.EC2TraceSeconds
+	}
+	if p.Compression <= 0 {
+		p.Compression = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 2011
+	}
+	return p
+}
+
+// Fig45Result carries one multiplier's measurements: the CPU-utilization
+// series (Figure 4) and the transaction latency distribution (Figure 5).
+type Fig45Result struct {
+	Multiplier int
+	// CPUSeries is the controller busy fraction per replayed-second
+	// bucket (0..1).
+	CPUSeries []float64
+	// PeakCPU is the series maximum.
+	PeakCPU float64
+	// MeanCPU is the series average.
+	MeanCPU float64
+	// Latency is the per-transaction latency histogram.
+	Latency *metrics.Histogram
+	// Submitted and Committed count transactions.
+	Submitted, Committed int
+}
+
+// Fig45 replays the (windowed, compressed) EC2 trace at each multiplier
+// against a logical-only platform of the configured size, measuring
+// controller utilization and per-transaction latency. One fresh
+// platform per multiplier, as in the paper's runs.
+func Fig45(ctx context.Context, p Fig45Params) ([]Fig45Result, error) {
+	p = p.withDefaults()
+	trace := workload.GenerateEC2Trace(p.Seed).Window(p.WindowFrom, p.WindowTo)
+	var results []Fig45Result
+	for _, mult := range p.Multipliers {
+		r, err := fig45Run(ctx, p, trace.Scale(mult), mult)
+		if err != nil {
+			return results, fmt.Errorf("multiplier %d: %w", mult, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func fig45Run(ctx context.Context, p Fig45Params, trace workload.EC2Trace, mult int) (Fig45Result, error) {
+	env, err := Start(ctx, PlatformParams{
+		Topology:      tcloud.Topology{ComputeHosts: p.Hosts},
+		LogicalOnly:   true,
+		CommitLatency: p.CommitLatency,
+		// Failure detection is not under test here, and compressed
+		// replays saturate the (possibly single-core) machine; a
+		// generous timeout keeps heartbeat starvation from expiring
+		// sessions mid-experiment.
+		SessionTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return Fig45Result{}, err
+	}
+	defer env.Stop()
+	pl := env.Platform
+	cli := pl.Client()
+	defer cli.Close()
+
+	secondDur := time.Duration(float64(time.Second) / p.Compression)
+	start := time.Now()
+
+	// Sample the leader's busy counter once per replayed second.
+	cpu := metrics.NewTimeSeries(start, secondDur)
+	stopSampling := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		meter := metrics.NewBusyMeter(time.Now(), pl.ControllerStats().BusyNanos)
+		tick := time.NewTicker(secondDur)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			case now := <-tick.C:
+				cpu.Add(now, meter.Sample(now, pl.ControllerStats().BusyNanos))
+			}
+		}
+	}()
+
+	lat := metrics.NewHistogram()
+	var mu sync.Mutex
+	committed := 0
+	var wg sync.WaitGroup
+	vmSeq := 0
+	submitted := 0
+
+	// Replay: second s's spawns are submitted at start + s*secondDur.
+	for s, count := range trace.PerSecond {
+		if count == 0 {
+			continue
+		}
+		target := start.Add(time.Duration(s) * secondDur)
+		if d := time.Until(target); d > 0 {
+			select {
+			case <-ctx.Done():
+				return Fig45Result{}, ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		for i := 0; i < count; i++ {
+			host := vmSeq % p.Hosts
+			name := fmt.Sprintf("vm%07d", vmSeq)
+			vmSeq++
+			id, err := cli.Submit(tcloud.ProcSpawnVM,
+				tcloud.StorageHostPath(host/4), tcloud.ComputeHostPath(host), name, "1024")
+			if err != nil {
+				return Fig45Result{}, err
+			}
+			submitted++
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				rec, err := cli.Wait(ctx, id)
+				if err != nil {
+					return
+				}
+				lat.ObserveDuration(rec.Latency())
+				if rec.State == tropic.StateCommitted {
+					mu.Lock()
+					committed++
+					mu.Unlock()
+				}
+			}(id)
+		}
+	}
+	wg.Wait()
+	close(stopSampling)
+	samplerWG.Wait()
+
+	series := cpu.Values()
+	res := Fig45Result{
+		Multiplier: mult,
+		CPUSeries:  series,
+		Latency:    lat,
+		Submitted:  submitted,
+		Committed:  committed,
+	}
+	var sum float64
+	for _, v := range series {
+		if v > res.PeakCPU {
+			res.PeakCPU = v
+		}
+		sum += v
+	}
+	if len(series) > 0 {
+		res.MeanCPU = sum / float64(len(series))
+	}
+	return res, nil
+}

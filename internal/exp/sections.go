@@ -1,0 +1,383 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/workload"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// --- §6.2 Safety: constraint-enforcement overhead ----------------------
+
+// SafetyParams drives the constraint-overhead experiment.
+type SafetyParams struct {
+	Hosts int
+	Ops   int
+	Seed  int64
+}
+
+// SafetyResult reports the per-transaction cost of enforcing the two
+// TCloud constraints (VM type and VM memory) in the logical layer. The
+// paper reports < 10ms per transaction.
+type SafetyResult struct {
+	Txns               int
+	MeanConstraintTime time.Duration
+	TotalConstraint    time.Duration
+	Violations         int64
+}
+
+// Safety replays a hosting workload (spawn/start/stop/migrate mix) and
+// measures time spent in constraint checks per transaction.
+func Safety(ctx context.Context, p SafetyParams) (SafetyResult, error) {
+	if p.Hosts <= 0 {
+		p.Hosts = 50
+	}
+	if p.Ops <= 0 {
+		p.Ops = 500
+	}
+	env, err := Start(ctx, PlatformParams{
+		Topology:    tcloud.Topology{ComputeHosts: p.Hosts},
+		LogicalOnly: true,
+	})
+	if err != nil {
+		return SafetyResult{}, err
+	}
+	defer env.Stop()
+
+	gen := workload.NewHostingGen(tcloud.Topology{ComputeHosts: p.Hosts}, workload.DefaultHostingMix(), p.Seed)
+	ops := gen.Generate(p.Ops)
+	if _, _, err := runOps(ctx, env.Platform, ops, 32); err != nil {
+		return SafetyResult{}, err
+	}
+	st := env.Platform.ControllerStats()
+	n := int(st.Accepted)
+	if n == 0 {
+		return SafetyResult{}, fmt.Errorf("no transactions accepted")
+	}
+	return SafetyResult{
+		Txns:               n,
+		MeanConstraintTime: time.Duration(st.ConstraintNanos / int64(n)),
+		TotalConstraint:    time.Duration(st.ConstraintNanos),
+		Violations:         st.Violations,
+	}, nil
+}
+
+// --- §6.3 Robustness: rollback overhead --------------------------------
+
+// RobustnessParams drives the error-injection experiment.
+type RobustnessParams struct {
+	Hosts int
+	Ops   int
+	Seed  int64
+}
+
+// RobustnessResult reports the logical-layer rollback cost when
+// transactions fail in their last physical action. The paper reports
+// < 9ms per transaction.
+type RobustnessResult struct {
+	Aborted          int64
+	MeanRollbackTime time.Duration
+	// SpawnErrors and MigrateErrors count the two injected scenarios.
+	SpawnErrors, MigrateErrors int
+}
+
+// Robustness runs spawn and migrate transactions whose *last* physical
+// action fails (the paper's two error scenarios: VM spawning error and
+// VM migration error) and measures the logical rollback overhead.
+func Robustness(ctx context.Context, p RobustnessParams) (RobustnessResult, error) {
+	if p.Hosts <= 0 {
+		p.Hosts = 8
+	}
+	if p.Ops <= 0 {
+		p.Ops = 100
+	}
+	env, err := Start(ctx, PlatformParams{
+		Topology: tcloud.Topology{ComputeHosts: p.Hosts},
+	})
+	if err != nil {
+		return RobustnessResult{}, err
+	}
+	defer env.Stop()
+
+	// Fail the last step of each scenario deterministically.
+	inj := device.NewInjector(p.Seed)
+	inj.Add(device.FaultRule{Action: "startVM", Err: "injected spawn error"})
+	inj.Add(device.FaultRule{Action: "migrateVM", Err: "injected migrate error"})
+	env.Cloud.SetFaultInjector(inj)
+
+	cli := env.Platform.Client()
+	defer cli.Close()
+	res := RobustnessResult{}
+	for i := 0; i < p.Ops; i++ {
+		host := i % p.Hosts
+		if i%2 == 0 {
+			// Spawn that fails at startVM (record #5 of Table 1).
+			rec, err := cli.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+				tcloud.StorageHostPath(host/4), tcloud.ComputeHostPath(host),
+				fmt.Sprintf("rvm%05d", i), "1024")
+			if err != nil {
+				return res, err
+			}
+			if rec.State != tropic.StateAborted {
+				return res, fmt.Errorf("spawn %d: state %s, want aborted", i, rec.State)
+			}
+			res.SpawnErrors++
+		} else {
+			// Spawn a VM cleanly (suspend injection), then migrate it;
+			// the migrate's only action fails.
+			inj.Clear()
+			name := fmt.Sprintf("mvm%05d", i)
+			rec, err := cli.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+				tcloud.StorageHostPath(host/4), tcloud.ComputeHostPath(host), name, "1024")
+			if err != nil || rec.State != tropic.StateCommitted {
+				return res, fmt.Errorf("setup spawn %d: %v %v", i, rec, err)
+			}
+			inj.Add(device.FaultRule{Action: "migrateVM", Err: "injected migrate error"})
+			dst := (host + 1) % p.Hosts
+			rec, err = cli.SubmitAndWait(ctx, tcloud.ProcMigrateVM,
+				tcloud.ComputeHostPath(host), name, tcloud.ComputeHostPath(dst))
+			if err != nil {
+				return res, err
+			}
+			if rec.State != tropic.StateAborted {
+				return res, fmt.Errorf("migrate %d: state %s, want aborted", i, rec.State)
+			}
+			res.MigrateErrors++
+			// Clean up so hosts don't fill.
+			inj.Clear()
+			if _, err := cli.SubmitAndWait(ctx, tcloud.ProcDestroyVM,
+				tcloud.ComputeHostPath(host), name, tcloud.StorageHostPath(host/4)); err != nil {
+				return res, err
+			}
+			inj.Add(device.FaultRule{Action: "startVM", Err: "injected spawn error"})
+			inj.Add(device.FaultRule{Action: "migrateVM", Err: "injected migrate error"})
+		}
+	}
+	st := env.Platform.ControllerStats()
+	res.Aborted = st.Aborted
+	if st.Rollbacks > 0 {
+		res.MeanRollbackTime = time.Duration(st.RollbackNanos / st.Rollbacks)
+	}
+	return res, nil
+}
+
+// --- §6.4 High availability: failover ----------------------------------
+
+// HAParams drives the failover experiment.
+type HAParams struct {
+	Hosts          int
+	OpsBeforeKill  int
+	OpsDuringKill  int
+	SessionTimeout time.Duration
+	Seed           int64
+}
+
+// HAResult reports failover behavior: recovery time (dominated by the
+// failure-detection interval) and whether any transaction was lost. The
+// paper reports recovery within 12.5s — their ZooKeeper session
+// timeout — and zero lost transactions.
+type HAResult struct {
+	SessionTimeout time.Duration
+	RecoveryTime   time.Duration
+	Submitted      int
+	Terminal       int
+	Committed      int
+	Lost           int
+}
+
+// HA kills the lead controller mid-workload and verifies that a
+// follower resumes every outstanding transaction.
+func HA(ctx context.Context, p HAParams) (HAResult, error) {
+	if p.Hosts <= 0 {
+		p.Hosts = 16
+	}
+	if p.OpsBeforeKill <= 0 {
+		p.OpsBeforeKill = 24
+	}
+	if p.OpsDuringKill <= 0 {
+		p.OpsDuringKill = 8
+	}
+	if p.SessionTimeout <= 0 {
+		p.SessionTimeout = 150 * time.Millisecond
+	}
+	env, err := Start(ctx, PlatformParams{
+		Topology:       tcloud.Topology{ComputeHosts: p.Hosts},
+		SessionTimeout: p.SessionTimeout,
+		ActionLatency:  2 * time.Millisecond,
+	})
+	if err != nil {
+		return HAResult{}, err
+	}
+	defer env.Stop()
+	pl := env.Platform
+	cli := pl.Client()
+	defer cli.Close()
+
+	res := HAResult{SessionTimeout: p.SessionTimeout}
+	var ids []string
+	submit := func(i int, tag string) error {
+		host := i % p.Hosts
+		id, err := cli.Submit(tcloud.ProcSpawnVM,
+			tcloud.StorageHostPath(host/4), tcloud.ComputeHostPath(host),
+			fmt.Sprintf("%s%05d", tag, i), "1024")
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+		return nil
+	}
+	for i := 0; i < p.OpsBeforeKill; i++ {
+		if err := submit(i, "pre"); err != nil {
+			return res, err
+		}
+	}
+	time.Sleep(10 * time.Millisecond) // let some reach the physical layer
+	killedAt := time.Now()
+	if pl.KillLeader() == "" {
+		return res, fmt.Errorf("no leader to kill")
+	}
+	for i := 0; i < p.OpsDuringKill; i++ {
+		if err := submit(i, "dur"); err != nil {
+			return res, err
+		}
+	}
+	if err := pl.WaitLeader(ctx); err != nil {
+		return res, err
+	}
+	res.RecoveryTime = time.Since(killedAt)
+	res.Submitted = len(ids)
+	for _, id := range ids {
+		rec, err := cli.Wait(ctx, id)
+		if err != nil {
+			return res, err
+		}
+		if rec.State.Terminal() {
+			res.Terminal++
+		}
+		if rec.State == tropic.StateCommitted {
+			res.Committed++
+		}
+	}
+	res.Lost = res.Submitted - res.Terminal
+	return res, nil
+}
+
+// --- §6.1 Throughput scaling -------------------------------------------
+
+// ThroughputPoint is one sweep measurement.
+type ThroughputPoint struct {
+	Hosts     int
+	Txns      int
+	Duration  time.Duration
+	PerSecond float64
+}
+
+// Throughput measures committed transactions per second while the
+// resource scale grows, reproducing the §6.1 finding that throughput
+// stays roughly constant as resources and transactions increase (the
+// bottleneck is store I/O, not model size).
+func Throughput(ctx context.Context, hostCounts []int, txns int, commitLatency time.Duration) ([]ThroughputPoint, error) {
+	if len(hostCounts) == 0 {
+		hostCounts = []int{100, 1000, 10000}
+	}
+	if txns <= 0 {
+		txns = 200
+	}
+	var out []ThroughputPoint
+	for _, hosts := range hostCounts {
+		env, err := Start(ctx, PlatformParams{
+			Topology:      tcloud.Topology{ComputeHosts: hosts},
+			LogicalOnly:   true,
+			CommitLatency: commitLatency,
+		})
+		if err != nil {
+			return out, err
+		}
+		ops := make([]workload.Op, txns)
+		for i := range ops {
+			host := i % hosts
+			ops[i] = workload.Op{Proc: tcloud.ProcSpawnVM, Args: []string{
+				tcloud.StorageHostPath(host / 4), tcloud.ComputeHostPath(host),
+				fmt.Sprintf("tvm%06d", i), "1024",
+			}}
+		}
+		begin := time.Now()
+		_, states, err := runOps(ctx, env.Platform, ops, 64)
+		dur := time.Since(begin)
+		env.Stop()
+		if err != nil {
+			return out, err
+		}
+		if states[tropic.StateCommitted] != txns {
+			return out, fmt.Errorf("hosts=%d: %d/%d committed", hosts, states[tropic.StateCommitted], txns)
+		}
+		out = append(out, ThroughputPoint{
+			Hosts: hosts, Txns: txns, Duration: dur,
+			PerSecond: float64(txns) / dur.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// --- §6.1 Memory footprint ----------------------------------------------
+
+// MemoryPoint reports model memory at one scale.
+type MemoryPoint struct {
+	Hosts          int
+	VMSlots        int
+	ModelNodes     int
+	HeapBytes      uint64
+	BytesPerSlot   float64
+	Projected2MVMs float64 // GB projected at the paper's 2M-VM ceiling
+}
+
+// Memory measures the logical data model's heap footprint as the
+// resource count scales — the §6.1 observation that memory tracks the
+// quantity of managed resources, not the active workload, with a 2M-VM
+// ceiling on the paper's 32GB machines.
+func Memory(hostCounts []int) []MemoryPoint {
+	if len(hostCounts) == 0 {
+		hostCounts = []int{1250, 12500}
+	}
+	var out []MemoryPoint
+	for _, hosts := range hostCounts {
+		// Incremental measurement: hold one tree, then add copies and
+		// divide the heap delta by the copy count. Both readings are
+		// post-GC with live trees, so unrelated garbage collected in
+		// between cannot skew (or underflow) the difference.
+		const copies = 4
+		first := tcloud.Topology{ComputeHosts: hosts}.BuildModel()
+		runtime.GC()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		extra := make([]any, 0, copies)
+		for i := 0; i < copies; i++ {
+			extra = append(extra, tcloud.Topology{ComputeHosts: hosts}.BuildModel())
+		}
+		runtime.GC()
+		var m2 runtime.MemStats
+		runtime.ReadMemStats(&m2)
+		heap := uint64(0)
+		if m2.HeapAlloc > m1.HeapAlloc {
+			heap = (m2.HeapAlloc - m1.HeapAlloc) / copies
+		}
+		slots := hosts * 8
+		bps := float64(heap) / float64(slots)
+		out = append(out, MemoryPoint{
+			Hosts:          hosts,
+			VMSlots:        slots,
+			ModelNodes:     first.Size(),
+			HeapBytes:      heap,
+			BytesPerSlot:   bps,
+			Projected2MVMs: bps * 2e6 / 1e9,
+		})
+		runtime.KeepAlive(first)
+		runtime.KeepAlive(extra)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Paper footnote 1: IW conflicts with R/W; IR conflicts with W.
+	cases := []struct {
+		a, b Mode
+		ok   bool
+	}{
+		{IR, IR, true}, {IR, IW, true}, {IR, R, true}, {IR, W, false},
+		{IW, IR, true}, {IW, IW, true}, {IW, R, false}, {IW, W, false},
+		{R, IR, true}, {R, IW, false}, {R, R, true}, {R, W, false},
+		{W, IR, false}, {W, IW, false}, {W, R, false}, {W, W, false},
+	}
+	for _, c := range cases {
+		if got := compatible(c.a, c.b); got != c.ok {
+			t.Errorf("compatible(%s,%s) = %v, want %v", c.a, c.b, got, c.ok)
+		}
+	}
+}
+
+func TestExpandAddsIntentionLocks(t *testing.T) {
+	reqs := ExpandRequests([]Request{{Path: "/a/b/c", Mode: W}})
+	want := map[string]Mode{"/a": IW, "/a/b": IW, "/a/b/c": W}
+	if len(reqs) != len(want) {
+		t.Fatalf("expanded = %v", reqs)
+	}
+	for _, r := range reqs {
+		if want[r.Path] != r.Mode {
+			t.Errorf("got %s on %s, want %s", r.Mode, r.Path, want[r.Path])
+		}
+	}
+}
+
+func TestExpandSIXCombination(t *testing.T) {
+	// R on a subtree + W inside it must keep both R and IW on the
+	// subtree root (SIX), not collapse to one.
+	reqs := ExpandRequests([]Request{
+		{Path: "/a/b", Mode: R},
+		{Path: "/a/b/c", Mode: W},
+	})
+	var modes []Mode
+	for _, r := range reqs {
+		if r.Path == "/a/b" {
+			modes = append(modes, r.Mode)
+		}
+	}
+	if len(modes) != 2 {
+		t.Fatalf("modes on /a/b = %v, want [R IW] pair", modes)
+	}
+	hasR, hasIW := false, false
+	for _, m := range modes {
+		hasR = hasR || m == R
+		hasIW = hasIW || m == IW
+	}
+	if !hasR || !hasIW {
+		t.Fatalf("modes on /a/b = %v, want R and IW", modes)
+	}
+}
+
+func TestExpandWSubsumes(t *testing.T) {
+	reqs := ExpandRequests([]Request{
+		{Path: "/a", Mode: W},
+		{Path: "/a", Mode: R},
+		{Path: "/a", Mode: IR},
+	})
+	if len(reqs) != 1 || reqs[0].Mode != W {
+		t.Fatalf("expanded = %v, want single W", reqs)
+	}
+}
+
+func TestAcquireConflictAndRelease(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("t1", []Request{{Path: "/vmRoot/h1/vm1", Mode: W}}); err != nil {
+		t.Fatalf("t1 acquire: %v", err)
+	}
+	// Same leaf: conflict.
+	err := m.Acquire("t2", []Request{{Path: "/vmRoot/h1/vm1", Mode: W}})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("t2 acquire err = %v, want ConflictError", err)
+	}
+	if ce.Holder != "t1" {
+		t.Fatalf("conflict holder = %s", ce.Holder)
+	}
+	// Sibling leaf: compatible via intention locks.
+	if err := m.Acquire("t2", []Request{{Path: "/vmRoot/h1/vm2", Mode: W}}); err != nil {
+		t.Fatalf("sibling acquire: %v", err)
+	}
+	// Subtree read conflicts with existing descendant write.
+	if err := m.Acquire("t3", []Request{{Path: "/vmRoot/h1", Mode: R}}); err == nil {
+		t.Fatal("R over written subtree granted")
+	}
+	m.ReleaseAll("t1")
+	m.ReleaseAll("t2")
+	if err := m.Acquire("t3", []Request{{Path: "/vmRoot/h1", Mode: R}}); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	m.ReleaseAll("t3")
+	if m.LockCount() != 0 || m.OwnerCount() != 0 {
+		t.Fatalf("locks leaked: %s", m.Dump())
+	}
+}
+
+func TestAllOrNothingAcquire(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("t1", []Request{{Path: "/a/x", Mode: W}}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.LockCount()
+	// t2 wants a free leaf AND a conflicting one: nothing may be granted.
+	err := m.Acquire("t2", []Request{
+		{Path: "/a/free", Mode: W},
+		{Path: "/a/x", Mode: R},
+	})
+	if err == nil {
+		t.Fatal("conflicting batch granted")
+	}
+	if m.LockCount() != before {
+		t.Fatalf("partial grant: %s", m.Dump())
+	}
+}
+
+func TestSelfCompatibility(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("t1", []Request{{Path: "/a/b", Mode: W}}); err != nil {
+		t.Fatal(err)
+	}
+	// Same owner re-requests overlapping and stronger locks: fine.
+	if err := m.Acquire("t1", []Request{{Path: "/a/b", Mode: R}, {Path: "/a", Mode: R}}); err != nil {
+		t.Fatalf("self re-acquire: %v", err)
+	}
+}
+
+func TestReadersShareWritersDont(t *testing.T) {
+	m := NewManager()
+	for i := 0; i < 5; i++ {
+		owner := fmt.Sprintf("r%d", i)
+		if err := m.Acquire(owner, []Request{{Path: "/a/b", Mode: R}}); err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+	if err := m.Acquire("w", []Request{{Path: "/a/b", Mode: W}}); err == nil {
+		t.Fatal("writer admitted among readers")
+	}
+	if err := m.Acquire("w", []Request{{Path: "/a/c", Mode: W}}); err != nil {
+		t.Fatalf("writer on free sibling: %v", err)
+	}
+}
+
+func TestConstraintAncestorReadLockBlocksDescendantWrites(t *testing.T) {
+	// The scheduler takes R on the highest constrained ancestor of a
+	// write (e.g. the vmHost for a VM spawn). Another transaction
+	// writing any descendant must then be deferred.
+	m := NewManager()
+	err := m.Acquire("t1", []Request{
+		{Path: "/vmRoot/h1", Mode: R},     // constraint ancestor
+		{Path: "/vmRoot/h1/vm1", Mode: W}, // the write itself
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("t2", []Request{{Path: "/vmRoot/h1/vm2", Mode: W}}); err == nil {
+		t.Fatal("descendant write admitted under constraint R lock")
+	}
+	// A pure reader of another VM is fine (R ‖ R, IR ‖ IW-free).
+	if err := m.Acquire("t3", []Request{{Path: "/vmRoot/h1/vm1", Mode: R}}); err == nil {
+		t.Fatal("read of W-locked vm admitted")
+	}
+	if err := m.Acquire("t4", []Request{{Path: "/vmRoot/h2/vmX", Mode: W}}); err != nil {
+		t.Fatalf("unrelated host write: %v", err)
+	}
+}
+
+func TestWouldConflictDoesNotAcquire(t *testing.T) {
+	m := NewManager()
+	m.Acquire("t1", []Request{{Path: "/a", Mode: W}})
+	if ce := m.WouldConflict("t2", []Request{{Path: "/a", Mode: R}}); ce == nil {
+		t.Fatal("WouldConflict missed conflict")
+	}
+	if ce := m.WouldConflict("t1", []Request{{Path: "/a", Mode: R}}); ce != nil {
+		t.Fatalf("self WouldConflict: %v", ce)
+	}
+	// WouldConflict must not change the lock table: only t1's W on /a.
+	if m.LockCount() != 1 {
+		t.Fatalf("WouldConflict acquired locks: %s", m.Dump())
+	}
+}
+
+// Property: after any sequence of acquires and releases, no two distinct
+// owners hold incompatible modes on the same path.
+func TestInvariantNoIncompatibleHolders(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewManager()
+		paths := []string{"/a", "/a/b", "/a/b/c", "/a/d", "/e", "/e/f"}
+		modes := []Mode{R, W, IR, IW}
+		owners := []string{"t1", "t2", "t3"}
+		for i := 0; i < 200; i++ {
+			owner := owners[rng.Intn(len(owners))]
+			if rng.Intn(5) == 0 {
+				m.ReleaseAll(owner)
+				continue
+			}
+			req := Request{Path: paths[rng.Intn(len(paths))], Mode: modes[rng.Intn(len(modes))]}
+			_ = m.Acquire(owner, []Request{req}) // conflicts allowed to fail
+		}
+		// Verify invariant over the final table.
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for _, byOwner := range m.nodes {
+			type hm struct {
+				owner string
+				mode  Mode
+			}
+			var all []hm
+			for o, h := range byOwner {
+				for mode, cnt := range h.modes {
+					if cnt > 0 {
+						all = append(all, hm{o, mode})
+					}
+				}
+			}
+			for i := 0; i < len(all); i++ {
+				for j := i + 1; j < len(all); j++ {
+					if all[i].owner != all[j].owner && !compatible(all[i].mode, all[j].mode) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("t%d", id)
+			path := fmt.Sprintf("/root/h%d/vm", id%4)
+			for i := 0; i < 100; i++ {
+				if err := m.Acquire(owner, []Request{{Path: path, Mode: W}}); err == nil {
+					m.ReleaseAll(owner)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// At most the final holders remain; release them all.
+	for w := 0; w < 8; w++ {
+		m.ReleaseAll(fmt.Sprintf("t%d", w))
+	}
+	if m.LockCount() != 0 {
+		t.Fatalf("locks leaked: %s", m.Dump())
+	}
+}

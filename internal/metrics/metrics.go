@@ -1,0 +1,231 @@
+// Package metrics provides the measurement primitives behind the
+// paper's evaluation (§6): latency histograms and CDFs (Figure 5),
+// per-second time series (Figures 3 and 4), busy-fraction gauges (the
+// controller CPU utilization proxy), and throughput counters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram collects float64 samples and answers distribution queries.
+// It retains raw samples, which is appropriate for the tens of
+// thousands of transactions per experiment run here.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Quantile returns the q'th quantile (0 ≤ q ≤ 1) using the
+// nearest-rank method; 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Min and Max return sample extremes (0 when empty).
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // sample value
+	P float64 // cumulative probability in [0, 1]
+}
+
+// CDF returns an empirical CDF evaluated at n logarithmically spaced
+// points between the min and max samples — the shape of the paper's
+// Figure 5 (log-scaled latency axis). Returns nil when empty.
+func (h *Histogram) CDF(n int) []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 || n <= 0 {
+		return nil
+	}
+	h.ensureSorted()
+	lo, hi := h.samples[0], h.samples[len(h.samples)-1]
+	if lo <= 0 {
+		lo = 1e-6
+	}
+	if hi <= lo {
+		hi = lo * 10
+	}
+	out := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		x := lo * math.Pow(hi/lo, float64(i)/float64(n-1))
+		// count samples <= x
+		idx := sort.SearchFloat64s(h.samples, math.Nextafter(x, math.Inf(1)))
+		out = append(out, CDFPoint{X: x, P: float64(idx) / float64(len(h.samples))})
+	}
+	return out
+}
+
+// Summary renders count/mean/median/p99/max, for experiment reports.
+func (h *Histogram) Summary(unit string) string {
+	return fmt.Sprintf("n=%d mean=%.4g%s median=%.4g%s p99=%.4g%s max=%.4g%s",
+		h.Count(), h.Mean(), unit, h.Quantile(0.5), unit, h.Quantile(0.99), unit, h.Max(), unit)
+}
+
+// TimeSeries accumulates values into fixed-width time buckets, for
+// per-second plots like Figures 3 and 4.
+type TimeSeries struct {
+	mu     sync.Mutex
+	start  time.Time
+	width  time.Duration
+	values []float64
+}
+
+// NewTimeSeries creates a series bucketed at the given width, starting
+// at start.
+func NewTimeSeries(start time.Time, width time.Duration) *TimeSeries {
+	return &TimeSeries{start: start, width: width}
+}
+
+// Add accumulates v into the bucket containing t. Times before start
+// fold into bucket 0.
+func (ts *TimeSeries) Add(t time.Time, v float64) {
+	idx := int(t.Sub(ts.start) / ts.width)
+	if idx < 0 {
+		idx = 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for len(ts.values) <= idx {
+		ts.values = append(ts.values, 0)
+	}
+	ts.values[idx] += v
+}
+
+// Values returns a copy of the bucket values.
+func (ts *TimeSeries) Values() []float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]float64(nil), ts.values...)
+}
+
+// Peak returns the maximum bucket value and its index (-1 when empty).
+func (ts *TimeSeries) Peak() (idx int, v float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	idx = -1
+	for i, x := range ts.values {
+		if idx == -1 || x > v {
+			idx, v = i, x
+		}
+	}
+	return idx, v
+}
+
+// BusyMeter converts accumulated busy time into a utilization fraction
+// over sampling intervals — the proxy for the paper's controller CPU
+// utilization (Figure 4): a single-threaded controller that spends
+// busyNanos of each interval executing logical-layer work uses that
+// fraction of one core.
+type BusyMeter struct {
+	mu        sync.Mutex
+	lastBusy  int64
+	lastStamp time.Time
+}
+
+// NewBusyMeter starts a meter at time now with the given initial busy
+// counter.
+func NewBusyMeter(now time.Time, busyNanos int64) *BusyMeter {
+	return &BusyMeter{lastBusy: busyNanos, lastStamp: now}
+}
+
+// Sample returns the busy fraction since the previous sample, given the
+// current cumulative busy counter, and advances the meter.
+func (b *BusyMeter) Sample(now time.Time, busyNanos int64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wall := now.Sub(b.lastStamp).Nanoseconds()
+	busy := busyNanos - b.lastBusy
+	b.lastBusy = busyNanos
+	b.lastStamp = now
+	if wall <= 0 {
+		return 0
+	}
+	f := float64(busy) / float64(wall)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// FormatSeries renders a float series as a compact single-line table
+// for experiment output.
+func FormatSeries(label string, values []float64, format string) string {
+	var b strings.Builder
+	b.WriteString(label)
+	for _, v := range values {
+		fmt.Fprintf(&b, " "+format, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				h.Observe(v)
+			}
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if h.Count() > 0 && cur < prev {
+				return false
+			}
+			if h.Count() > 0 {
+				prev = cur
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.ObserveDuration(time.Duration(i+1) * time.Millisecond)
+	}
+	cdf := h.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	prev := -1.0
+	for _, p := range cdf {
+		if p.P < prev || p.P < 0 || p.P > 1 {
+			t.Fatalf("CDF not monotone in [0,1]: %+v", cdf)
+		}
+		prev = p.P
+	}
+	if cdf[len(cdf)-1].P != 1 {
+		t.Fatalf("CDF does not reach 1: %v", cdf[len(cdf)-1])
+	}
+	if h.CDF(0) != nil || NewHistogram().CDF(10) != nil {
+		t.Fatal("degenerate CDFs should be nil")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	start := time.Unix(1000, 0)
+	ts := NewTimeSeries(start, time.Second)
+	ts.Add(start, 1)
+	ts.Add(start.Add(1500*time.Millisecond), 2)
+	ts.Add(start.Add(1700*time.Millisecond), 3)
+	ts.Add(start.Add(4*time.Second), 1)
+	ts.Add(start.Add(-5*time.Second), 7) // before start folds into bucket 0
+	v := ts.Values()
+	want := []float64{8, 5, 0, 0, 1}
+	if len(v) != len(want) {
+		t.Fatalf("values = %v", v)
+	}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("values = %v, want %v", v, want)
+		}
+	}
+	idx, peak := ts.Peak()
+	if idx != 0 || peak != 8 {
+		t.Fatalf("peak = %d@%d", int(peak), idx)
+	}
+}
+
+func TestBusyMeter(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	m := NewBusyMeter(t0, 0)
+	// 1s wall, 250ms busy → 0.25.
+	if got := m.Sample(t0.Add(time.Second), int64(250*time.Millisecond)); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("fraction = %v", got)
+	}
+	// Next interval: another 1s wall, 750ms more busy → 0.75.
+	if got := m.Sample(t0.Add(2*time.Second), int64(time.Second)); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("fraction = %v", got)
+	}
+	// Zero wall clamps to 0.
+	if got := m.Sample(t0.Add(2*time.Second), int64(time.Second)); got != 0 {
+		t.Fatalf("zero-wall fraction = %v", got)
+	}
+}
+
+func TestSummaryAndFormat(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1)
+	h.Observe(2)
+	s := h.Summary("s")
+	if s == "" || h.Count() != 2 {
+		t.Fatalf("summary = %q", s)
+	}
+	out := FormatSeries("x", []float64{1, 2.5}, "%.1f")
+	if out != "x 1.0 2.5" {
+		t.Fatalf("FormatSeries = %q", out)
+	}
+}

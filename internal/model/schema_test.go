@@ -1,0 +1,180 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	s.Entity("root.vm")
+	s.Entity("vm").
+		Action(&ActionDef{
+			Name: "startVM",
+			Simulate: func(tr *Tree, path string, args []string) error {
+				n, err := tr.Get(path)
+				if err != nil {
+					return err
+				}
+				n.Attrs["state"] = "running"
+				return nil
+			},
+			Undo: "stopVM",
+		}).
+		Action(&ActionDef{
+			Name: "stopVM",
+			Simulate: func(tr *Tree, path string, args []string) error {
+				n, err := tr.Get(path)
+				if err != nil {
+					return err
+				}
+				n.Attrs["state"] = "stopped"
+				return nil
+			},
+			Undo: "startVM",
+		})
+	s.Entity("vmHost").
+		Action(&ActionDef{
+			Name: "createVM",
+			Simulate: func(tr *Tree, path string, args []string) error {
+				_, err := tr.Create(Join(path, args[0]), "vm",
+					map[string]any{"state": "stopped", "memMB": int64(2048)})
+				return err
+			},
+			Undo:     "removeVM",
+			UndoArgs: func(tr *Tree, path string, args []string) []string { return args[:1] },
+		}).
+		Constrain(Constraint{
+			Name: "vm-memory",
+			Check: func(tr *Tree, path string, n *Node) error {
+				var sum int64
+				for _, c := range n.Children {
+					sum += c.GetInt("memMB")
+				}
+				if cap := n.GetInt("memMB"); sum > cap {
+					return fmt.Errorf("VM memory %d exceeds host capacity %d", sum, cap)
+				}
+				return nil
+			},
+		})
+	return s
+}
+
+func TestActionForResolution(t *testing.T) {
+	s := testSchema(t)
+	tr := buildSampleTree(t)
+	ent, def, err := s.ActionFor(tr, "/vmRoot/host1/vm1", "startVM")
+	if err != nil {
+		t.Fatalf("ActionFor: %v", err)
+	}
+	if ent.Name != "vm" || def.Undo != "stopVM" {
+		t.Fatalf("resolved %s/%s", ent.Name, def.Undo)
+	}
+	if _, _, err := s.ActionFor(tr, "/vmRoot/host1/vm1", "noSuch"); err == nil {
+		t.Fatal("unknown action resolved")
+	}
+	if _, _, err := s.ActionFor(tr, "/missing", "startVM"); err == nil {
+		t.Fatal("missing node resolved")
+	}
+	if _, _, err := s.ActionFor(tr, "/storageRoot/s1", "startVM"); err == nil {
+		t.Fatal("unregistered entity type resolved")
+	}
+}
+
+func TestConstraintCheck(t *testing.T) {
+	s := testSchema(t)
+	tr := buildSampleTree(t)
+	// host1 has 8192 cap, vm1 uses 1024 — fine.
+	if err := s.CheckConstraints(tr, "/vmRoot/host1/vm1"); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	// Blow the budget.
+	n, _ := tr.Get("/vmRoot/host1/vm1")
+	n.Attrs["memMB"] = int64(9000)
+	err := s.CheckConstraints(tr, "/vmRoot/host1/vm1")
+	if err == nil || !strings.Contains(err.Error(), "vm-memory") {
+		t.Fatalf("violation not reported: %v", err)
+	}
+}
+
+func TestCheckConstraintsAfterDelete(t *testing.T) {
+	s := testSchema(t)
+	tr := buildSampleTree(t)
+	tr.Delete("/vmRoot/host1/vm1")
+	// Checking the deleted path must still validate surviving ancestors.
+	if err := s.CheckConstraints(tr, "/vmRoot/host1/vm1"); err != nil {
+		t.Fatalf("check after delete: %v", err)
+	}
+}
+
+func TestHighestConstrainedAncestor(t *testing.T) {
+	s := testSchema(t)
+	tr := buildSampleTree(t)
+	if got := s.HighestConstrainedAncestor(tr, "/vmRoot/host1/vm1"); got != "/vmRoot/host1" {
+		t.Fatalf("HCA = %q, want /vmRoot/host1", got)
+	}
+	if got := s.HighestConstrainedAncestor(tr, "/storageRoot/s1/img1"); got != "" {
+		t.Fatalf("HCA = %q, want empty (no constraints on storage)", got)
+	}
+}
+
+func TestSimulateCreateAndConstraint(t *testing.T) {
+	s := testSchema(t)
+	tr := buildSampleTree(t)
+	_, def, err := s.ActionFor(tr, "/vmRoot/host1", "createVM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := def.Simulate(tr, "/vmRoot/host1", []string{"vm2", "img"}); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if !tr.Exists("/vmRoot/host1/vm2") {
+		t.Fatal("createVM did not create node")
+	}
+	if got := def.UndoArgs(tr, "/vmRoot/host1", []string{"vm2", "img"}); len(got) != 1 || got[0] != "vm2" {
+		t.Fatalf("undo args = %v", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	s := NewSchema()
+	e := s.Entity("x")
+	e.Action(&ActionDef{Name: "a", Simulate: func(*Tree, string, []string) error { return nil }})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate action registration did not panic")
+		}
+	}()
+	e.Action(&ActionDef{Name: "a", Simulate: func(*Tree, string, []string) error { return nil }})
+}
+
+func TestEntityNames(t *testing.T) {
+	s := testSchema(t)
+	names := s.EntityNames()
+	want := []string{"root.vm", "vm", "vmHost"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+var errSentinel = errors.New("sentinel")
+
+func TestWalkStopsOnError(t *testing.T) {
+	tr := buildSampleTree(t)
+	count := 0
+	err := tr.Walk(func(p string, n *Node) error {
+		count++
+		return errSentinel
+	})
+	if !errors.Is(err, errSentinel) || count != 1 {
+		t.Fatalf("walk err=%v count=%d", err, count)
+	}
+}

@@ -1,0 +1,115 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInputMsgRoundTrip(t *testing.T) {
+	cases := []InputMsg{
+		{Kind: KindSubmit, TxnPath: TxnsPath + "/t-0000000001"},
+		{Kind: KindResult, TxnPath: TxnsPath + "/t-0000000002", Outcome: "aborted",
+			Error: "device down", UndoneThrough: 3},
+		{Kind: KindSignal, TxnPath: TxnsPath + "/t-0000000003", Signal: "KILL"},
+		{Kind: KindRepair, Target: "/vmRoot/h1", Reply: RepliesPath + "/r-0000000001"},
+		{Kind: KindReload, Target: "/storageRoot/s1"},
+	}
+	for _, m := range cases {
+		back, err := DecodeInputMsg(m.Encode())
+		if err != nil {
+			t.Fatalf("decode %+v: %v", m, err)
+		}
+		if back != m {
+			t.Fatalf("round trip: %+v != %+v", back, m)
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodeInputMsg([]byte("nope")); err == nil {
+		t.Error("input msg garbage decoded")
+	}
+	if _, err := DecodePhyMsg([]byte("{")); err == nil {
+		t.Error("phy msg garbage decoded")
+	}
+	if _, err := DecodeCommitLogEntry([]byte("[]")); err == nil {
+		t.Error("commit entry garbage decoded")
+	}
+	if _, err := DecodeReply([]byte("x")); err == nil {
+		t.Error("reply garbage decoded")
+	}
+	if _, err := DecodeSnapshot([]byte("-")); err == nil {
+		t.Error("snapshot garbage decoded")
+	}
+}
+
+func TestPhyMsgAndCommitEntry(t *testing.T) {
+	pm, err := DecodePhyMsg(PhyMsg{TxnPath: "/tropic/txns/t-1"}.Encode())
+	if err != nil || pm.TxnPath != "/tropic/txns/t-1" {
+		t.Fatalf("phy: %+v %v", pm, err)
+	}
+	ce, err := DecodeCommitLogEntry(CommitLogEntry{TxnPath: "/tropic/txns/t-2"}.Encode())
+	if err != nil || ce.TxnPath != "/tropic/txns/t-2" {
+		t.Fatalf("entry: %+v %v", ce, err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	r, err := DecodeReply(Reply{OK: false, Error: "busy"}.Encode())
+	if err != nil || r.OK || r.Error != "busy" {
+		t.Fatalf("reply: %+v %v", r, err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := Snapshot{Tree: []byte(`{"name":"","type":"root"}`), LastCommitSeq: "c-0000000009"}
+	back, err := DecodeSnapshot(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LastCommitSeq != s.LastCommitSeq || string(back.Tree) != string(s.Tree) {
+		t.Fatalf("snapshot: %+v", back)
+	}
+}
+
+// Property: EncodePath/DecodePath invert each other for slash-separated
+// model paths, and encoded names never contain '/'.
+func TestPathEncodingProperty(t *testing.T) {
+	f := func(segs []string) bool {
+		path := ""
+		for _, s := range segs {
+			clean := ""
+			for _, r := range s {
+				if r != '/' && r != '|' && r > 31 && r < 127 {
+					clean += string(r)
+				}
+			}
+			if clean == "" {
+				clean = "x"
+			}
+			path += "/" + clean
+		}
+		if path == "" {
+			path = "/a"
+		}
+		enc := EncodePath(path)
+		for i := 0; i < len(enc); i++ {
+			if enc[i] == '/' {
+				return false
+			}
+		}
+		return DecodePath(enc) == path
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathEncodingKnown(t *testing.T) {
+	if got := EncodePath("/vmRoot/h1/vm2"); got != "|vmRoot|h1|vm2" {
+		t.Fatalf("encode = %q", got)
+	}
+	if got := DecodePath("|vmRoot|h1"); got != "/vmRoot/h1" {
+		t.Fatalf("decode = %q", got)
+	}
+}

@@ -1,0 +1,219 @@
+// Package queue implements distributed FIFO queues on top of the
+// coordination store, following the ZooKeeper queue recipe TROPIC uses
+// for inputQ and phyQ: each item is a persistent sequence node under the
+// queue path, consumers take the lowest-numbered child, and a successful
+// delete is what claims the item, so every item is consumed exactly once
+// even with many competing consumers.
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/store"
+)
+
+const itemPrefix = "item-"
+
+// Queue is a handle to one distributed FIFO queue. Multiple Queue values
+// (across clients) may point at the same path and safely compete.
+type Queue struct {
+	cli  *store.Client
+	path string
+}
+
+// New opens (creating if needed) the queue rooted at path.
+func New(cli *store.Client, path string) (*Queue, error) {
+	if err := cli.EnsurePath(path); err != nil {
+		return nil, fmt.Errorf("queue: ensure %s: %w", path, err)
+	}
+	return &Queue{cli: cli, path: path}, nil
+}
+
+// Path returns the queue's znode path.
+func (q *Queue) Path() string { return q.path }
+
+// Put appends an item and returns its absolute znode path.
+func (q *Queue) Put(data []byte) (string, error) {
+	p, err := q.cli.Create(q.path+"/"+itemPrefix, data, store.FlagSequence)
+	if err != nil {
+		return "", fmt.Errorf("queue: put on %s: %w", q.path, err)
+	}
+	return p, nil
+}
+
+// PutOp returns the store operation that appends an item, for inclusion
+// in an atomic Multi batch (e.g. enqueue to phyQ and update transaction
+// state in one commit).
+func (q *Queue) PutOp(data []byte) store.Op {
+	return store.CreateOp(q.path+"/"+itemPrefix, data, store.FlagSequence)
+}
+
+// TryTake removes and returns the head item, or ok=false when the queue
+// is empty.
+func (q *Queue) TryTake() (data []byte, ok bool, err error) {
+	for {
+		names, err := q.cli.Children(q.path)
+		if err != nil {
+			return nil, false, fmt.Errorf("queue: list %s: %w", q.path, err)
+		}
+		claimed, data, err := q.claimFirst(names)
+		if err != nil {
+			return nil, false, err
+		}
+		if claimed {
+			return data, true, nil
+		}
+		if len(names) == 0 {
+			return nil, false, nil
+		}
+		// Every listed item was claimed by a competitor; re-list.
+	}
+}
+
+// Take blocks until an item is available or ctx is done.
+func (q *Queue) Take(ctx context.Context) ([]byte, error) {
+	for {
+		names, watch, err := q.cli.ChildrenW(q.path)
+		if err != nil {
+			return nil, fmt.Errorf("queue: list %s: %w", q.path, err)
+		}
+		claimed, data, err := q.claimFirst(names)
+		if err != nil {
+			return nil, err
+		}
+		if claimed {
+			return data, nil
+		}
+		if len(names) > 0 {
+			// Lost every race; spin again without waiting.
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case ev := <-watch:
+			if ev.Type == store.EventSessionExpired {
+				return nil, store.ErrSessionExpired
+			}
+		}
+	}
+}
+
+// claimFirst walks the sorted item names and attempts to claim each in
+// turn; delete-wins arbitration makes this safe under contention.
+func (q *Queue) claimFirst(names []string) (bool, []byte, error) {
+	for _, name := range names {
+		if !strings.HasPrefix(name, itemPrefix) {
+			continue
+		}
+		itemPath := q.path + "/" + name
+		data, _, err := q.cli.Get(itemPath)
+		if errors.Is(err, store.ErrNoNode) {
+			continue // another consumer won
+		}
+		if err != nil {
+			return false, nil, fmt.Errorf("queue: get %s: %w", itemPath, err)
+		}
+		err = q.cli.Delete(itemPath, -1)
+		if errors.Is(err, store.ErrNoNode) {
+			continue // lost the race after reading
+		}
+		if err != nil {
+			return false, nil, fmt.Errorf("queue: claim %s: %w", itemPath, err)
+		}
+		return true, data, nil
+	}
+	return false, nil, nil
+}
+
+// TakeHead blocks until an item is available and returns it WITHOUT
+// removing it, along with its znode path. For single-consumer queues
+// (TROPIC's inputQ is consumed only by the lead controller): the
+// consumer deletes the item atomically with the effects of processing
+// it, so a crash between read and processing loses nothing.
+func (q *Queue) TakeHead(ctx context.Context) (data []byte, itemPath string, err error) {
+	for {
+		names, watch, err := q.cli.ChildrenW(q.path)
+		if err != nil {
+			return nil, "", fmt.Errorf("queue: list %s: %w", q.path, err)
+		}
+		for _, name := range names {
+			if !strings.HasPrefix(name, itemPrefix) {
+				continue
+			}
+			p := q.path + "/" + name
+			data, _, err := q.cli.Get(p)
+			if errors.Is(err, store.ErrNoNode) {
+				continue
+			}
+			if err != nil {
+				return nil, "", err
+			}
+			return data, p, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		case ev := <-watch:
+			if ev.Type == store.EventSessionExpired {
+				return nil, "", store.ErrSessionExpired
+			}
+		}
+	}
+}
+
+// Remove deletes a specific item (by the path TakeHead returned).
+func (q *Queue) Remove(itemPath string) error {
+	err := q.cli.Delete(itemPath, -1)
+	if errors.Is(err, store.ErrNoNode) {
+		return nil
+	}
+	return err
+}
+
+// RemoveOp returns the store op deleting a specific item, for atomic
+// consume-and-apply batches.
+func (q *Queue) RemoveOp(itemPath string) store.Op {
+	return store.DeleteOp(itemPath, -1)
+}
+
+// Peek returns the head item without removing it, or ok=false when
+// empty.
+func (q *Queue) Peek() (data []byte, ok bool, err error) {
+	names, err := q.cli.Children(q.path)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, itemPrefix) {
+			continue
+		}
+		data, _, err := q.cli.Get(q.path + "/" + name)
+		if errors.Is(err, store.ErrNoNode) {
+			continue
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return data, true, nil
+	}
+	return nil, false, nil
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() (int, error) {
+	names, err := q.cli.Children(q.path)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, name := range names {
+		if strings.HasPrefix(name, itemPrefix) {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,189 @@
+package queue
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func newEnsemble(t *testing.T) *store.Ensemble {
+	t.Helper()
+	e := store.NewEnsemble(store.Config{Replicas: 3, SessionTimeout: 200 * time.Millisecond})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestFIFOOrder(t *testing.T) {
+	e := newEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	q, err := New(c, "/tropic/inputQ")
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := q.Put([]byte(fmt.Sprint(i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if n, _ := q.Len(); n != 10 {
+		t.Fatalf("len = %d, want 10", n)
+	}
+	for i := 0; i < 10; i++ {
+		data, ok, err := q.TryTake()
+		if err != nil || !ok {
+			t.Fatalf("take %d: ok=%v err=%v", i, ok, err)
+		}
+		if string(data) != fmt.Sprint(i) {
+			t.Fatalf("take %d = %q, want %d (FIFO violated)", i, data, i)
+		}
+	}
+	if _, ok, _ := q.TryTake(); ok {
+		t.Fatal("take from empty queue returned an item")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	e := newEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	q, _ := New(c, "/q")
+	if _, ok, _ := q.Peek(); ok {
+		t.Fatal("peek on empty returned item")
+	}
+	q.Put([]byte("head"))
+	q.Put([]byte("tail"))
+	data, ok, err := q.Peek()
+	if err != nil || !ok || string(data) != "head" {
+		t.Fatalf("peek = %q ok=%v err=%v, want head", data, ok, err)
+	}
+	if n, _ := q.Len(); n != 2 {
+		t.Fatalf("peek consumed: len = %d", n)
+	}
+}
+
+func TestBlockingTake(t *testing.T) {
+	e := newEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	q, _ := New(c, "/q")
+
+	got := make(chan string, 1)
+	go func() {
+		data, err := q.Take(context.Background())
+		if err != nil {
+			t.Errorf("take: %v", err)
+			got <- ""
+			return
+		}
+		got <- string(data)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the taker block
+	if _, err := q.Put([]byte("wake")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	select {
+	case v := <-got:
+		if v != "wake" {
+			t.Fatalf("take = %q, want wake", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking take never woke")
+	}
+}
+
+func TestTakeContextCancel(t *testing.T) {
+	e := newEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	q, _ := New(c, "/q")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := q.Take(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("take err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestCompetingConsumersExactlyOnce(t *testing.T) {
+	e := newEnsemble(t)
+	producer := e.Connect()
+	defer producer.Close()
+	pq, _ := New(producer, "/q")
+
+	const items = 60
+	for i := 0; i < items; i++ {
+		if _, err := pq.Put([]byte(fmt.Sprint(i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+
+	const consumers = 6
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	var wg sync.WaitGroup
+	for w := 0; w < consumers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := e.Connect()
+			defer c.Close()
+			q, err := New(c, "/q")
+			if err != nil {
+				t.Errorf("new: %v", err)
+				return
+			}
+			for {
+				data, ok, err := q.TryTake()
+				if err != nil {
+					t.Errorf("take: %v", err)
+					return
+				}
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[string(data)]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != items {
+		t.Fatalf("consumed %d distinct items, want %d", len(seen), items)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %s consumed %d times", k, n)
+		}
+	}
+}
+
+func TestPutOpInMulti(t *testing.T) {
+	e := newEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	q, _ := New(c, "/q")
+	if err := c.EnsurePath("/state"); err != nil {
+		t.Fatal(err)
+	}
+	// Atomically enqueue and write a state marker, as the controller does
+	// when moving a transaction to phyQ.
+	err := c.Multi(
+		q.PutOp([]byte("job")),
+		store.CreateOp("/state/t1", []byte("started"), 0),
+	)
+	if err != nil {
+		t.Fatalf("multi: %v", err)
+	}
+	data, ok, _ := q.TryTake()
+	if !ok || string(data) != "job" {
+		t.Fatalf("take = %q ok=%v, want job", data, ok)
+	}
+	if ok, _, _ := c.Exists("/state/t1"); !ok {
+		t.Fatal("state marker missing")
+	}
+}

@@ -1,0 +1,147 @@
+package reconcile
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// buildPair returns logical and physical trees sharing a host with
+// configurable children.
+func buildPair() (*model.Tree, *model.Tree) {
+	l := model.NewTree()
+	l.Create("/hosts", "root", nil)
+	l.Create("/hosts/h1", "host", map[string]any{"imports": "a,b"})
+	l.Create("/hosts/h1/vm1", "vm", map[string]any{"state": "running"})
+
+	p := model.NewTree()
+	p.Create("/hosts", "root", nil)
+	p.Create("/hosts/h1", "host", map[string]any{"imports": "a,b"})
+	p.Create("/hosts/h1/vm1", "vm", map[string]any{"state": "running"})
+	return l, p
+}
+
+func testRules(log *[]string) Rules {
+	return Rules{
+		"host": func(path string, logical, physical *model.Node) []Action {
+			return []Action{
+				{Path: path, Name: "host-pre", Phase: PhasePre},
+				{Path: path, Name: "host-post", Phase: PhasePost},
+			}
+		},
+		"vm": func(path string, logical, physical *model.Node) []Action {
+			return []Action{{Path: path, Name: "vm-fix"}}
+		},
+	}
+}
+
+func names(actions []Action) []string {
+	var out []string
+	for _, a := range actions {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+func TestDiffNoDivergenceNoActions(t *testing.T) {
+	l, p := buildPair()
+	r := New(nil, nil, testRules(nil))
+	ln, _ := l.Get("/hosts/h1")
+	pn, _ := p.Get("/hosts/h1")
+	if acts := r.diff("/hosts/h1", ln, pn); len(acts) != 0 {
+		t.Fatalf("actions = %v", names(acts))
+	}
+}
+
+func TestDiffPhaseOrdering(t *testing.T) {
+	l, p := buildPair()
+	// Diverge the host attrs AND the child: pre actions must precede
+	// child fixes, post actions must follow them.
+	pn, _ := p.Get("/hosts/h1")
+	pn.Attrs["imports"] = "a"
+	pvm, _ := p.Get("/hosts/h1/vm1")
+	pvm.Attrs["state"] = "stopped"
+
+	r := New(nil, nil, testRules(nil))
+	ln, _ := l.Get("/hosts/h1")
+	acts := r.diff("/hosts/h1", ln, pn)
+	got := names(acts)
+	want := []string{"host-pre", "vm-fix", "host-post"}
+	if len(got) != len(want) {
+		t.Fatalf("actions = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("actions = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDiffOrphanAndMissingChildren(t *testing.T) {
+	l, p := buildPair()
+	// vm1 exists only logically (recreate); vm2 only physically
+	// (decommission).
+	p.Delete("/hosts/h1/vm1")
+	p.Create("/hosts/h1/vm2", "vm", map[string]any{"state": "running"})
+
+	var calls []struct {
+		path     string
+		logical  bool
+		physical bool
+	}
+	rules := Rules{
+		"vm": func(path string, logical, physical *model.Node) []Action {
+			calls = append(calls, struct {
+				path     string
+				logical  bool
+				physical bool
+			}{path, logical != nil, physical != nil})
+			return nil
+		},
+	}
+	r := New(nil, nil, rules)
+	ln, _ := l.Get("/hosts/h1")
+	pn, _ := p.Get("/hosts/h1")
+	r.diff("/hosts/h1", ln, pn)
+	if len(calls) != 2 {
+		t.Fatalf("calls = %+v", calls)
+	}
+	// Sorted child order: vm1 (logical-only), vm2 (physical-only).
+	if calls[0].path != "/hosts/h1/vm1" || !calls[0].logical || calls[0].physical {
+		t.Fatalf("call 0 = %+v", calls[0])
+	}
+	if calls[1].path != "/hosts/h1/vm2" || calls[1].logical || !calls[1].physical {
+		t.Fatalf("call 1 = %+v", calls[1])
+	}
+}
+
+func TestDiffUnregisteredTypeIgnored(t *testing.T) {
+	l, p := buildPair()
+	pn, _ := p.Get("/hosts/h1/vm1")
+	pn.Attrs["state"] = "stopped"
+	r := New(nil, nil, Rules{}) // no rules at all
+	ln, _ := l.Get("/hosts/h1")
+	phn, _ := p.Get("/hosts/h1")
+	if acts := r.diff("/hosts/h1", ln, phn); len(acts) != 0 {
+		t.Fatalf("actions = %v", names(acts))
+	}
+}
+
+func TestAttrsEqualSemantics(t *testing.T) {
+	a := model.NewNode("x", "t")
+	b := model.NewNode("x", "t")
+	a.Attrs["n"] = int64(5)
+	b.Attrs["n"] = float64(5) // JSON round-trip form
+	if !attrsEqual(a, b) {
+		t.Fatal("numeric forms should compare equal")
+	}
+	b.Attrs["n"] = int64(6)
+	if attrsEqual(a, b) {
+		t.Fatal("different values compared equal")
+	}
+	b.Attrs["n"] = int64(5)
+	b.Attrs["extra"] = true
+	if attrsEqual(a, b) {
+		t.Fatal("extra attr missed")
+	}
+}

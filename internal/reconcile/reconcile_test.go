@@ -1,0 +1,192 @@
+package reconcile_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/device"
+	"repro/internal/reconcile"
+	"repro/internal/store"
+	"repro/tcloud"
+)
+
+// leaderRig spins up one leading controller over a simulated cloud so
+// Reload/Repair can be called directly.
+type leaderRig struct {
+	ctrl  *controller.Controller
+	cloud *device.Cloud
+}
+
+func newLeaderRig(t *testing.T) *leaderRig {
+	t.Helper()
+	tp := tcloud.Topology{ComputeHosts: 2}
+	cloud, err := tp.BuildCloud()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens := store.NewEnsemble(store.Config{Replicas: 3, SessionTimeout: 300 * time.Millisecond})
+	c, err := controller.New(controller.Config{
+		Name:       "ctrl-0",
+		Ensemble:   ens,
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  cloud.Snapshot(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Run(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Leading() {
+		if time.Now().After(deadline) {
+			t.Fatal("no leader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+		c.Close()
+		ens.Close()
+	})
+	return &leaderRig{ctrl: c, cloud: cloud}
+}
+
+func TestReloadUnknownEverywhere(t *testing.T) {
+	rig := newLeaderRig(t)
+	r := reconcile.New(rig.cloud, rig.cloud, tcloud.RepairRules())
+	err := r.Reload(rig.ctrl, "/vmRoot/ghost")
+	if err == nil || !strings.Contains(err.Error(), "unknown on both layers") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRepairNoLogicalNode(t *testing.T) {
+	rig := newLeaderRig(t)
+	r := reconcile.New(rig.cloud, rig.cloud, tcloud.RepairRules())
+	if err := r.Repair(rig.ctrl, "/vmRoot/ghost"); err == nil {
+		t.Fatal("repair of unknown logical node succeeded")
+	}
+}
+
+func TestRepairNoPhysicalNode(t *testing.T) {
+	rig := newLeaderRig(t)
+	r := reconcile.New(rig.cloud, rig.cloud, tcloud.RepairRules())
+	// Plant a logical-only host: repair must refuse (reload territory).
+	if _, err := rig.ctrl.LogicalTree().Create("/vmRoot/phantom", tcloud.TypeVMHost,
+		map[string]any{"hypervisor": "xen", "memMB": int64(8192), "imports": ""}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Repair(rig.ctrl, "/vmRoot/phantom"); err == nil {
+		t.Fatal("repair without physical node succeeded")
+	}
+}
+
+func TestRepairFailureMarksUnusable(t *testing.T) {
+	rig := newLeaderRig(t)
+	r := reconcile.New(rig.cloud, rig.cloud, tcloud.RepairRules())
+	host := tcloud.ComputeHostPath(0)
+	hostName := tcloud.ComputeHostName(0)
+	// Diverge: logical says a VM exists, physical doesn't — and the
+	// repair's createVM will fail against a powered-off host.
+	if _, err := rig.ctrl.LogicalTree().Create(host+"/vmz", tcloud.TypeVM, map[string]any{
+		"image": "x-img", "memMB": int64(1024), "state": "stopped", "hypervisor": "xen",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.cloud.PowerOffHost(hostName); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Repair(rig.ctrl, host)
+	if err == nil || !errors.Is(deepUnwrap(err), device.ErrUnreachable) &&
+		!strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("err = %v", err)
+	}
+	n, _ := rig.ctrl.LogicalTree().Get(host)
+	if !n.Unusable {
+		t.Fatal("target not marked unusable after failed repair")
+	}
+	// ClearUnusable restores usability.
+	rig.ctrl.ClearUnusable(host)
+	n, _ = rig.ctrl.LogicalTree().Get(host)
+	if n.Unusable {
+		t.Fatal("unusable mark not cleared")
+	}
+}
+
+func deepUnwrap(err error) error {
+	for {
+		u := errors.Unwrap(err)
+		if u == nil {
+			return err
+		}
+		err = u
+	}
+}
+
+func TestRepairConvergenceCheckCatchesUnfixable(t *testing.T) {
+	rig := newLeaderRig(t)
+	r := reconcile.New(rig.cloud, rig.cloud, tcloud.RepairRules())
+	// Diverge the VLAN port count, which the rules cannot repair
+	// (port identities are not modeled): Repair must detect
+	// non-convergence and mark unusable rather than claim success.
+	sw := tcloud.SwitchPath(0)
+	if err := rig.cloud.Execute("/netRoot/"+tcloud.SwitchName(0), "createVLAN", []string{"5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.cloud.Execute("/netRoot/"+tcloud.SwitchName(0), "attachPort", []string{"5", "p1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Logical side: VLAN exists but with zero ports.
+	if _, err := rig.ctrl.LogicalTree().Create(sw+"/5", tcloud.TypeVLAN,
+		map[string]any{"ports": int64(0)}); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Repair(rig.ctrl, sw)
+	if err == nil || !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReloadRestoresOldStateOnViolation(t *testing.T) {
+	rig := newLeaderRig(t)
+	r := reconcile.New(rig.cloud, rig.cloud, tcloud.RepairRules())
+	host := tcloud.ComputeHostPath(0)
+	// Physical host carries an over-committed VM (hand-planted).
+	dev := rig.cloud.ComputeHost(tcloud.ComputeHostName(0))
+	dev.VMs["huge"] = &device.VM{Name: "huge", Image: "x", MemMB: 1 << 20, State: device.VMStopped}
+
+	err := r.Reload(rig.ctrl, host)
+	if err == nil || !strings.Contains(err.Error(), "vm-memory") {
+		t.Fatalf("err = %v", err)
+	}
+	// Old logical subtree intact.
+	if rig.ctrl.LogicalTree().Exists(host + "/huge") {
+		t.Fatal("violating subtree installed")
+	}
+	n, _ := rig.ctrl.LogicalTree().Get(host)
+	if n == nil || n.Type != tcloud.TypeVMHost {
+		t.Fatal("old host node lost")
+	}
+}
+
+func TestReloadFreshNodeInstalls(t *testing.T) {
+	rig := newLeaderRig(t)
+	r := reconcile.New(rig.cloud, rig.cloud, tcloud.RepairRules())
+	rig.cloud.AddComputeServer("newbie", "xen", 4096)
+	if err := r.Reload(rig.ctrl, "/vmRoot/newbie"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := rig.ctrl.LogicalTree().Get("/vmRoot/newbie")
+	if err != nil || n.GetInt("memMB") != 4096 {
+		t.Fatalf("installed node: %v %v", n, err)
+	}
+}

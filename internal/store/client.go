@@ -1,0 +1,333 @@
+package store
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a session-scoped handle to the ensemble. It corresponds to a
+// ZooKeeper client connection: ephemeral nodes created through it live
+// exactly as long as its session, and it heartbeats automatically until
+// closed or killed.
+type Client struct {
+	ens       *Ensemble
+	sessionID int64
+	stopBeat  chan struct{}
+	beatDone  chan struct{}
+	killed    atomic.Bool
+}
+
+// Connect opens a new session against the ensemble with the ensemble's
+// configured session timeout.
+func (e *Ensemble) Connect() *Client {
+	e.mu.Lock()
+	e.nextSess++
+	id := e.nextSess
+	s := &session{
+		id:        id,
+		timeout:   e.cfg.SessionTimeout,
+		lastBeat:  time.Now(),
+		expiredCh: make(chan struct{}),
+	}
+	e.sessions[id] = s
+	e.mu.Unlock()
+
+	c := &Client{
+		ens:       e,
+		sessionID: id,
+		stopBeat:  make(chan struct{}),
+		beatDone:  make(chan struct{}),
+	}
+	go c.heartbeatLoop(s)
+	return c
+}
+
+func (c *Client) heartbeatLoop(s *session) {
+	defer close(c.beatDone)
+	interval := s.timeout / 3
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopBeat:
+			return
+		case <-s.expiredCh:
+			return
+		case now := <-t.C:
+			c.ens.mu.Lock()
+			if !s.expired && !s.closed {
+				s.lastBeat = now
+			}
+			c.ens.mu.Unlock()
+		}
+	}
+}
+
+// SessionID returns the client's session id.
+func (c *Client) SessionID() int64 { return c.sessionID }
+
+// Expired reports whether the session has been expired by the ensemble.
+func (c *Client) Expired() bool {
+	c.ens.mu.Lock()
+	defer c.ens.mu.Unlock()
+	s, ok := c.ens.sessions[c.sessionID]
+	return !ok || s.expired
+}
+
+// ExpiredCh is closed when the ensemble expires this session.
+func (c *Client) ExpiredCh() <-chan struct{} {
+	c.ens.mu.Lock()
+	defer c.ens.mu.Unlock()
+	s, ok := c.ens.sessions[c.sessionID]
+	if !ok {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	return s.expiredCh
+}
+
+// Close ends the session gracefully: ephemeral nodes are reaped
+// immediately and the heartbeat loop stops.
+func (c *Client) Close() {
+	c.ens.ExpireSession(c.sessionID)
+	select {
+	case <-c.stopBeat:
+	default:
+		close(c.stopBeat)
+	}
+	<-c.beatDone
+}
+
+// Kill simulates a client crash: all further operations through this
+// client fail immediately (the process is dead), heartbeats stop, and
+// the session is left to expire on its own — so ephemeral nodes linger
+// for up to the session timeout, exactly the failure-detection delay
+// that dominates TROPIC's controller recovery time (§6.4).
+func (c *Client) Kill() {
+	c.killed.Store(true)
+	select {
+	case <-c.stopBeat:
+	default:
+		close(c.stopBeat)
+	}
+	<-c.beatDone
+}
+
+// checkSession returns ErrSessionExpired if the session is gone or the
+// client crashed. Caller holds e.mu.
+func (c *Client) checkSessionLocked() error {
+	if c.killed.Load() {
+		return ErrSessionExpired
+	}
+	s, ok := c.ens.sessions[c.sessionID]
+	if !ok || s.expired {
+		return ErrSessionExpired
+	}
+	return nil
+}
+
+// Create creates a znode and returns its final path (which differs from
+// the requested path for sequence nodes).
+func (c *Client) Create(path string, data []byte, flags int) (string, error) {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return "", err
+	}
+	op := Op{kind: opCreate, Path: path, Data: data, Flags: flags}
+	if flags&FlagEphemeral != 0 {
+		op.session = c.sessionID
+	}
+	if err := e.commitLocked(op); err != nil {
+		return "", err
+	}
+	final := childFullPath(path, e.log[len(e.log)-1].op.resolvedName)
+	return final, nil
+}
+
+// Set updates a znode's data. version -1 skips the compare-and-set check.
+func (c *Client) Set(path string, data []byte, version int32) error {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return err
+	}
+	return e.commitLocked(Op{kind: opSet, Path: path, Data: data, Version: version})
+}
+
+// Delete removes a znode. version -1 skips the compare-and-set check.
+func (c *Client) Delete(path string, version int32) error {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return err
+	}
+	return e.commitLocked(Op{kind: opDelete, Path: path, Version: version})
+}
+
+// Multi atomically applies a batch of write operations: either all apply
+// in order or none do.
+func (c *Client) Multi(ops ...Op) error {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return err
+	}
+	for i := range ops {
+		if ops[i].kind == opCreate && ops[i].Flags&FlagEphemeral != 0 {
+			ops[i].session = c.sessionID
+		}
+	}
+	return e.commitLocked(Op{kind: opMulti, ops: ops})
+}
+
+// Get returns a znode's data and stat.
+func (c *Client) Get(path string) ([]byte, Stat, error) {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return nil, Stat{}, err
+	}
+	t, err := e.leaderTree()
+	if err != nil {
+		return nil, Stat{}, err
+	}
+	n, err := t.lookup(path)
+	if err != nil {
+		return nil, Stat{}, err
+	}
+	return append([]byte(nil), n.data...), n.stat(), nil
+}
+
+// Exists reports whether a znode exists.
+func (c *Client) Exists(path string) (bool, Stat, error) {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return false, Stat{}, err
+	}
+	t, err := e.leaderTree()
+	if err != nil {
+		return false, Stat{}, err
+	}
+	n, err := t.lookup(path)
+	if err != nil {
+		return false, Stat{}, nil
+	}
+	return true, n.stat(), nil
+}
+
+// Children returns the sorted child names of a znode.
+func (c *Client) Children(path string) ([]string, error) {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return nil, err
+	}
+	t, err := e.leaderTree()
+	if err != nil {
+		return nil, err
+	}
+	n, err := t.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	return n.sortedChildren(), nil
+}
+
+// WatchNode registers a one-shot watch for create/delete/set on path.
+// The returned channel delivers exactly one event and is then closed.
+func (c *Client) WatchNode(path string) (<-chan Event, error) {
+	if _, err := splitPath(path); err != nil {
+		return nil, err
+	}
+	w := &watcher{ch: make(chan Event, 1), session: c.sessionID}
+	c.ens.watches.addNode(path, w)
+	return w.ch, nil
+}
+
+// WatchChildren registers a one-shot watch for membership changes of
+// path's children.
+func (c *Client) WatchChildren(path string) (<-chan Event, error) {
+	if _, err := splitPath(path); err != nil {
+		return nil, err
+	}
+	w := &watcher{ch: make(chan Event, 1), session: c.sessionID}
+	c.ens.watches.addChild(path, w)
+	return w.ch, nil
+}
+
+// ChildrenW returns the children of path and a one-shot watch armed
+// atomically with the read, so no membership change can slip between the
+// read and the watch registration.
+func (c *Client) ChildrenW(path string) ([]string, <-chan Event, error) {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return nil, nil, err
+	}
+	t, err := e.leaderTree()
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := t.lookup(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &watcher{ch: make(chan Event, 1), session: c.sessionID}
+	e.watches.addChild(path, w)
+	return n.sortedChildren(), w.ch, nil
+}
+
+// ExistsW reports whether path exists and arms a one-shot node watch
+// atomically with the read.
+func (c *Client) ExistsW(path string) (bool, <-chan Event, error) {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return false, nil, err
+	}
+	t, err := e.leaderTree()
+	if err != nil {
+		return false, nil, err
+	}
+	w := &watcher{ch: make(chan Event, 1), session: c.sessionID}
+	e.watches.addNode(path, w)
+	_, lookErr := t.lookup(path)
+	return lookErr == nil, w.ch, nil
+}
+
+// EnsurePath creates path and any missing ancestors as persistent nodes.
+// It is idempotent.
+func (c *Client) EnsurePath(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := ""
+	for _, p := range parts {
+		cur += "/" + p
+		if _, err := c.Create(cur, nil, 0); err != nil && !isNodeExists(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+func isNodeExists(err error) bool {
+	return errors.Is(err, ErrNodeExists)
+}

@@ -1,0 +1,502 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes an ensemble.
+type Config struct {
+	// Replicas is the ensemble size; writes require a strict majority of
+	// replicas alive. Defaults to 3, matching TROPIC's deployment.
+	Replicas int
+	// SessionTimeout is how long a session survives without heartbeats
+	// before the ensemble expires it and reaps its ephemeral nodes. This
+	// is TROPIC's failure-detection knob: controller failover time is
+	// dominated by it (paper §6.4). Defaults to 500ms.
+	SessionTimeout time.Duration
+	// CommitLatency simulates the I/O cost of one quorum round
+	// (proposal + majority acknowledgment). The paper observes that
+	// ZooKeeper API calls, not logical simulation, dominate transaction
+	// overhead; setting this non-zero reproduces that regime. Defaults
+	// to 0 (no artificial latency).
+	CommitLatency time.Duration
+	// TickInterval is how often the ensemble checks for expired
+	// sessions. Defaults to SessionTimeout/4.
+	TickInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.SessionTimeout <= 0 {
+		c.SessionTimeout = 500 * time.Millisecond
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = c.SessionTimeout / 4
+	}
+	return c
+}
+
+// opKind enumerates the write operations sequenced by the ensemble.
+type opKind int
+
+const (
+	opCreate opKind = iota
+	opSet
+	opDelete
+	opExpireSession
+	opMulti
+)
+
+// Op is a single write in a Multi batch.
+type Op struct {
+	kind    opKind
+	Path    string
+	Data    []byte
+	Flags   int
+	Version int32
+	ops     []Op
+	session int64
+	// resolvedName is filled in during validation for sequence nodes so
+	// that every replica applies the identical, fully determined op.
+	resolvedName string
+}
+
+// CreateOp builds a create operation for Multi.
+func CreateOp(path string, data []byte, flags int) Op {
+	return Op{kind: opCreate, Path: path, Data: data, Flags: flags}
+}
+
+// SetOp builds a conditional set for Multi. Version -1 disables the check.
+func SetOp(path string, data []byte, version int32) Op {
+	return Op{kind: opSet, Path: path, Data: data, Version: version}
+}
+
+// DeleteOp builds a conditional delete for Multi. Version -1 disables the
+// check.
+func DeleteOp(path string, version int32) Op {
+	return Op{kind: opDelete, Path: path, Version: version}
+}
+
+// logEntry is one committed operation with its position in the total
+// order.
+type logEntry struct {
+	op   Op
+	zxid int64
+}
+
+// replica is one member of the ensemble. All live replicas apply the same
+// committed sequence; a stopped replica stops applying and catches up from
+// a live peer on restart.
+type replica struct {
+	id       int
+	alive    bool
+	tree     *tree
+	applyIdx int64 // index into ensemble.log of the next op to apply
+}
+
+// session tracks one client connection.
+type session struct {
+	id        int64
+	timeout   time.Duration
+	lastBeat  time.Time
+	expired   bool
+	closed    bool
+	expiredCh chan struct{}
+}
+
+// Ensemble is the replicated coordination service.
+type Ensemble struct {
+	cfg Config
+
+	mu       sync.Mutex
+	replicas []*replica
+	log      []logEntry // committed totally ordered operation log
+	zxid     int64
+	sessions map[int64]*session
+	nextSess int64
+	watches  *watchTable
+	closed   bool
+
+	stopTick chan struct{}
+	tickDone chan struct{}
+
+	// stats
+	commits int64
+}
+
+// NewEnsemble creates and starts an ensemble with all replicas alive.
+func NewEnsemble(cfg Config) *Ensemble {
+	cfg = cfg.withDefaults()
+	e := &Ensemble{
+		cfg:      cfg,
+		sessions: make(map[int64]*session),
+		watches:  newWatchTable(),
+		stopTick: make(chan struct{}),
+		tickDone: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		e.replicas = append(e.replicas, &replica{id: i, alive: true, tree: newTree()})
+	}
+	go e.tickLoop()
+	return e
+}
+
+// Close shuts the ensemble down. All subsequent operations fail with
+// ErrClosed.
+func (e *Ensemble) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	for _, s := range e.sessions {
+		if !s.expired {
+			s.expired = true
+			close(s.expiredCh)
+		}
+	}
+	e.mu.Unlock()
+	close(e.stopTick)
+	<-e.tickDone
+}
+
+func (e *Ensemble) tickLoop() {
+	defer close(e.tickDone)
+	t := time.NewTicker(e.cfg.TickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stopTick:
+			return
+		case now := <-t.C:
+			e.expireSessions(now)
+		}
+	}
+}
+
+// expireSessions reaps sessions whose heartbeat lapsed. Reaping a session
+// is itself a committed operation so that every replica deletes the same
+// ephemeral nodes at the same point in the total order.
+func (e *Ensemble) expireSessions(now time.Time) {
+	e.mu.Lock()
+	var victims []int64
+	for id, s := range e.sessions {
+		if !s.expired && !s.closed && now.Sub(s.lastBeat) > s.timeout {
+			victims = append(victims, id)
+		}
+	}
+	e.mu.Unlock()
+	for _, id := range victims {
+		e.ExpireSession(id)
+	}
+}
+
+// ExpireSession forcibly expires a session, deleting its ephemeral nodes.
+// Exposed for fault-injection in tests and the failover benchmarks.
+func (e *Ensemble) ExpireSession(id int64) {
+	e.mu.Lock()
+	s, ok := e.sessions[id]
+	if !ok || s.expired {
+		e.mu.Unlock()
+		return
+	}
+	s.expired = true
+	op := Op{kind: opExpireSession, session: id}
+	if err := e.commitLocked(op); err != nil {
+		// Without quorum we cannot reap ephemerals; the session stays
+		// marked expired and its client errors out, matching ZooKeeper
+		// behavior during ensemble unavailability.
+		s.expired = true
+	}
+	close(s.expiredCh)
+	e.mu.Unlock()
+	e.watches.expireSession(id)
+}
+
+// aliveCount returns how many replicas are alive.
+func (e *Ensemble) aliveCount() int {
+	n := 0
+	for _, r := range e.replicas {
+		if r.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// leaderTree returns the tree of the lowest-index live replica, which is
+// always fully caught up because commits apply synchronously to all live
+// replicas.
+func (e *Ensemble) leaderTree() (*tree, error) {
+	for _, r := range e.replicas {
+		if r.alive {
+			return r.tree, nil
+		}
+	}
+	return nil, ErrNoQuorum
+}
+
+// StopReplica simulates a replica crash. Pending state is retained; the
+// replica no longer applies committed operations.
+func (e *Ensemble) StopReplica(i int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i >= 0 && i < len(e.replicas) {
+		e.replicas[i].alive = false
+	}
+}
+
+// StartReplica restarts a stopped replica and catches it up by replaying
+// the committed log suffix it missed.
+func (e *Ensemble) StartReplica(i int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.replicas) {
+		return
+	}
+	r := e.replicas[i]
+	if r.alive {
+		return
+	}
+	for r.applyIdx < int64(len(e.log)) {
+		entry := e.log[r.applyIdx]
+		applyOp(r.tree, entry.op, entry.zxid, nil)
+		r.applyIdx++
+	}
+	r.alive = true
+}
+
+// commitLocked validates op against the current (leader) tree, sequences
+// it, and applies it to every live replica. Caller holds e.mu.
+func (e *Ensemble) commitLocked(op Op) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.aliveCount()*2 <= len(e.replicas) {
+		return ErrNoQuorum
+	}
+	lt, err := e.leaderTree()
+	if err != nil {
+		return err
+	}
+	resolved, err := validateOp(lt, op)
+	if err != nil {
+		return err
+	}
+	if e.cfg.CommitLatency > 0 {
+		// One quorum round: proposal broadcast + majority ack. Simulated
+		// under the commit lock because ZooKeeper serializes writes
+		// through its leader pipeline; this is what makes store I/O the
+		// throughput bottleneck, as observed in the paper.
+		time.Sleep(e.cfg.CommitLatency)
+	}
+	e.zxid++
+	e.log = append(e.log, logEntry{op: resolved, zxid: e.zxid})
+	fired := &firedWatches{}
+	first := true
+	for _, r := range e.replicas {
+		if !r.alive {
+			continue
+		}
+		if first {
+			// Collect watch events only once; live replica trees are
+			// identical so the events would be identical too.
+			applyOp(r.tree, resolved, e.zxid, fired)
+			first = false
+		} else {
+			applyOp(r.tree, resolved, e.zxid, nil)
+		}
+		r.applyIdx = int64(len(e.log))
+	}
+	e.commits++
+	e.watches.fire(fired)
+	return nil
+}
+
+// validateOp checks an op against the authoritative tree and resolves
+// sequence-node names so the op applies deterministically on every
+// replica.
+func validateOp(t *tree, op Op) (Op, error) {
+	switch op.kind {
+	case opCreate:
+		parts, err := splitPath(op.Path)
+		if err != nil {
+			return op, err
+		}
+		if len(parts) == 0 {
+			return op, fmt.Errorf("%w: cannot create root", ErrBadPath)
+		}
+		parent, err := t.lookup(parentPath(op.Path))
+		if err != nil {
+			return op, err
+		}
+		if parent.ephemeralOwner != 0 {
+			return op, fmt.Errorf("%w: parent of %s", ErrEphemeralChildren, op.Path)
+		}
+		name := parts[len(parts)-1]
+		if op.Flags&FlagSequence != 0 {
+			name = fmt.Sprintf("%s%010d", name, parent.seqCounter)
+		}
+		if _, exists := parent.children[name]; exists {
+			return op, fmt.Errorf("%w: %s", ErrNodeExists, parentPath(op.Path)+"/"+name)
+		}
+		op.resolvedName = name
+		return op, nil
+	case opSet:
+		n, err := t.lookup(op.Path)
+		if err != nil {
+			return op, err
+		}
+		if op.Version >= 0 && n.version != op.Version {
+			return op, fmt.Errorf("%w: %s has version %d, want %d", ErrBadVersion, op.Path, n.version, op.Version)
+		}
+		return op, nil
+	case opDelete:
+		n, err := t.lookup(op.Path)
+		if err != nil {
+			return op, err
+		}
+		if op.Version >= 0 && n.version != op.Version {
+			return op, fmt.Errorf("%w: %s has version %d, want %d", ErrBadVersion, op.Path, n.version, op.Version)
+		}
+		if len(n.children) > 0 {
+			return op, fmt.Errorf("%w: %s", ErrNotEmpty, op.Path)
+		}
+		return op, nil
+	case opExpireSession:
+		return op, nil
+	case opMulti:
+		// Validate sub-ops so later ops see the effects of earlier ones
+		// (exactly as ZooKeeper's multi does) using a lightweight
+		// overlay — copying the tree would make every Multi O(tree),
+		// which at cloud scale is the difference between microseconds
+		// and seconds per transaction.
+		mv := newMultiValidator(t)
+		resolved := make([]Op, len(op.ops))
+		for i, sub := range op.ops {
+			r, err := mv.validate(sub)
+			if err != nil {
+				return op, fmt.Errorf("multi op %d: %w", i, err)
+			}
+			resolved[i] = r
+		}
+		op.ops = resolved
+		return op, nil
+	default:
+		return op, fmt.Errorf("store: unknown op kind %d", op.kind)
+	}
+}
+
+// applyOp applies a validated, resolved op to a tree. When fired is
+// non-nil, watch events triggered by the mutation are recorded in it.
+func applyOp(t *tree, op Op, zxid int64, fired *firedWatches) {
+	switch op.kind {
+	case opCreate:
+		parent, err := t.lookup(parentPath(op.Path))
+		if err != nil {
+			return // cannot happen for validated ops
+		}
+		if op.Flags&FlagSequence != 0 {
+			parent.seqCounter++
+		}
+		n := newZnode(op.resolvedName)
+		n.data = append([]byte(nil), op.Data...)
+		n.czxid, n.mzxid = zxid, zxid
+		n.ephemeralOwner = op.session
+		parent.children[op.resolvedName] = n
+		if fired != nil {
+			full := childFullPath(op.Path, op.resolvedName)
+			fired.add(full, EventCreated)
+			fired.addChild(parentPath(op.Path))
+		}
+	case opSet:
+		n, err := t.lookup(op.Path)
+		if err != nil {
+			return
+		}
+		n.data = append([]byte(nil), op.Data...)
+		n.version++
+		n.mzxid = zxid
+		if fired != nil {
+			fired.add(op.Path, EventDataChanged)
+		}
+	case opDelete:
+		parent, err := t.lookup(parentPath(op.Path))
+		if err != nil {
+			return
+		}
+		parts, _ := splitPath(op.Path)
+		name := parts[len(parts)-1]
+		delete(parent.children, name)
+		if fired != nil {
+			fired.add(op.Path, EventDeleted)
+			fired.addChild(parentPath(op.Path))
+		}
+	case opExpireSession:
+		var eph []string
+		collectEphemerals(t.root, "", op.session, &eph)
+		// Delete deepest-first so parents empty out before removal.
+		for i := len(eph) - 1; i >= 0; i-- {
+			applyOp(t, Op{kind: opDelete, Path: eph[i], Version: -1}, zxid, fired)
+		}
+	case opMulti:
+		for _, sub := range op.ops {
+			applyOp(t, sub, zxid, fired)
+		}
+	}
+}
+
+// childFullPath joins the parent-derived path of a create op with the
+// resolved (possibly sequence-suffixed) final name.
+func childFullPath(requested, resolvedName string) string {
+	pp := parentPath(requested)
+	if pp == "/" {
+		return "/" + resolvedName
+	}
+	return pp + "/" + resolvedName
+}
+
+// Commits reports how many write operations the ensemble has committed.
+func (e *Ensemble) Commits() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.commits
+}
+
+// DumpPaths returns all paths in the current tree, for debugging and
+// tests.
+func (e *Ensemble) DumpPaths() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lt, err := e.leaderTree()
+	if err != nil {
+		return nil
+	}
+	var out []string
+	var walk func(n *znode, prefix string)
+	walk = func(n *znode, prefix string) {
+		for _, name := range n.sortedChildren() {
+			p := prefix + "/" + name
+			out = append(out, p)
+			walk(n.children[name], p)
+		}
+	}
+	walk(lt.root, "")
+	return out
+}
+
+// String summarizes ensemble state for debugging.
+func (e *Ensemble) String() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "ensemble{replicas=%d alive=%d zxid=%d sessions=%d}",
+		len(e.replicas), e.aliveCount(), e.zxid, len(e.sessions))
+	return b.String()
+}

@@ -1,0 +1,42 @@
+// Package store implements a replicated, hierarchical coordination store
+// modeled on ZooKeeper. TROPIC uses it for its distributed queues (inputQ,
+// phyQ), leader election among controllers, and as the highly available
+// persistent storage for transaction states and logs.
+//
+// The store is an in-process ensemble of replica state machines. Every
+// write is sequenced by the ensemble into a single total order (a
+// simplified atomic broadcast), applied to all live replicas, and succeeds
+// only while a majority of replicas are alive. Sessions expire when a
+// client stops heartbeating, at which point the ensemble deletes the
+// session's ephemeral nodes — the failure-detection primitive TROPIC's
+// controller failover builds on.
+package store
+
+import "errors"
+
+// Errors returned by store operations. They mirror the ZooKeeper error
+// codes TROPIC's recipes (queues, election) depend on.
+var (
+	// ErrNoNode is returned when the target znode does not exist.
+	ErrNoNode = errors.New("store: node does not exist")
+	// ErrNodeExists is returned by Create when the znode already exists.
+	ErrNodeExists = errors.New("store: node already exists")
+	// ErrBadVersion is returned when a conditional Set/Delete specifies a
+	// version that does not match the znode's current version.
+	ErrBadVersion = errors.New("store: version conflict")
+	// ErrNotEmpty is returned by Delete when the znode still has children.
+	ErrNotEmpty = errors.New("store: node has children")
+	// ErrNoQuorum is returned when fewer than a majority of replicas are
+	// alive and the ensemble cannot commit writes.
+	ErrNoQuorum = errors.New("store: no quorum")
+	// ErrSessionExpired is returned on any operation through a client whose
+	// session the ensemble has expired.
+	ErrSessionExpired = errors.New("store: session expired")
+	// ErrEphemeralChildren is returned when creating a child under an
+	// ephemeral znode, which ZooKeeper forbids.
+	ErrEphemeralChildren = errors.New("store: ephemeral nodes may not have children")
+	// ErrBadPath is returned for malformed znode paths.
+	ErrBadPath = errors.New("store: invalid path")
+	// ErrClosed is returned when the ensemble has been shut down.
+	ErrClosed = errors.New("store: ensemble closed")
+)

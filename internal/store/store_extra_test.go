@@ -1,0 +1,304 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWatchCreateBeforeNodeExists(t *testing.T) {
+	// The election recipe watches a predecessor path that may be
+	// created later; the watch must fire on creation.
+	e := newTestEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	ch, err := c.WatchNode("/later")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, c, "/later", "v")
+	if ev := recvEvent(t, ch); ev.Type != EventCreated || ev.Path != "/later" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestExistsWArmsAtomically(t *testing.T) {
+	e := newTestEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	mustCreate(t, c, "/a", "")
+	ok, ch, err := c.ExistsW("/a")
+	if err != nil || !ok {
+		t.Fatalf("existsW: %v %v", ok, err)
+	}
+	if err := c.Delete("/a", -1); err != nil {
+		t.Fatal(err)
+	}
+	if ev := recvEvent(t, ch); ev.Type != EventDeleted {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Non-existent path: watch fires on later create.
+	ok, ch2, err := c.ExistsW("/b")
+	if err != nil || ok {
+		t.Fatalf("existsW missing: %v %v", ok, err)
+	}
+	mustCreate(t, c, "/b", "")
+	if ev := recvEvent(t, ch2); ev.Type != EventCreated {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestEphemeralSequenceCombination(t *testing.T) {
+	// Election candidates are ephemeral AND sequential.
+	e := newTestEnsemble(t)
+	c1, c2 := e.Connect(), e.Connect()
+	defer c2.Close()
+	mustCreate(t, c1, "/el", "")
+	p1, err := c1.Create("/el/n-", []byte("a"), FlagEphemeral|FlagSequence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c2.Create("/el/n-", []byte("b"), FlagEphemeral|FlagSequence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 >= p2 {
+		t.Fatalf("sequence order: %s >= %s", p1, p2)
+	}
+	c1.Close() // reaps only c1's node
+	names, err := c2.Children("/el")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || "/el/"+names[0] != p2 {
+		t.Fatalf("children = %v", names)
+	}
+}
+
+func TestMultiWithSequenceResolution(t *testing.T) {
+	// The controller's cleanup batches a sequence create (commit-log
+	// entry) with sets and deletes; every replica must resolve the same
+	// name.
+	e := newTestEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	mustCreate(t, c, "/log", "")
+	mustCreate(t, c, "/state", "0")
+	err := c.Multi(
+		CreateOp("/log/c-", []byte("entry"), FlagSequence),
+		SetOp("/state", []byte("1"), -1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _ := c.Children("/log")
+	if len(names) != 1 || names[0] != "c-0000000000" {
+		t.Fatalf("children = %v", names)
+	}
+	// All replicas agree (route reads to a different replica by
+	// stopping earlier ones).
+	e.StopReplica(0)
+	names2, _ := c.Children("/log")
+	if len(names2) != 1 || names2[0] != names[0] {
+		t.Fatalf("replica divergence: %v vs %v", names2, names)
+	}
+}
+
+func TestWatchFiresOnceAcrossMultipleChanges(t *testing.T) {
+	e := newTestEnsemble(t)
+	c := e.Connect()
+	defer c.Close()
+	mustCreate(t, c, "/q", "")
+	_, ch, err := c.ChildrenW("/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustCreate(t, c, fmt.Sprintf("/q/x%d", i), "")
+	}
+	// Exactly one event is delivered, then the channel closes.
+	ev := recvEvent(t, ch)
+	if ev.Type != EventChildrenChanged {
+		t.Fatalf("event = %+v", ev)
+	}
+	if _, open := <-ch; open {
+		t.Fatal("watch channel not closed after one-shot delivery")
+	}
+}
+
+func TestSessionWatchExpiry(t *testing.T) {
+	e := newTestEnsemble(t)
+	c := e.Connect()
+	mustCreate(t, c, "/a", "")
+	ch, err := c.WatchNode("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ExpireSession(c.SessionID())
+	select {
+	case ev := <-ch:
+		if ev.Type != EventSessionExpired {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no session-expired event")
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	e := newTestEnsemble(t)
+	setup := e.Connect()
+	mustCreate(t, setup, "/c", "")
+	setup.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := e.Connect()
+			defer c.Close()
+			for i := 0; i < 30; i++ {
+				path := fmt.Sprintf("/c/w%d-%d", id, i)
+				if _, err := c.Create(path, []byte("x"), 0); err != nil {
+					errCh <- err
+					return
+				}
+				if err := c.Set(path, []byte("y"), 0); err != nil {
+					errCh <- err
+					return
+				}
+				if _, _, err := c.Get(path); err != nil {
+					errCh <- err
+					return
+				}
+				if i%2 == 0 {
+					if err := c.Delete(path, -1); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	cli := e.Connect()
+	defer cli.Close()
+	names, err := cli.Children("/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 6*15 {
+		t.Fatalf("surviving children = %d, want 90", len(names))
+	}
+}
+
+// Property: any sequence of creates and deletes leaves the tree
+// consistent with a map-based oracle.
+func TestTreeOracleProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		e := NewEnsemble(Config{Replicas: 3})
+		defer e.Close()
+		c := e.Connect()
+		defer c.Close()
+		oracle := map[string]bool{}
+		paths := []string{"/a", "/b", "/a/x", "/b/y"}
+		for _, op := range ops {
+			p := paths[int(op)%len(paths)]
+			if op%2 == 0 {
+				_, err := c.Create(p, nil, 0)
+				parentOK := parentPath(p) == "/" || oracle[parentPath(p)]
+				wantOK := parentOK && !oracle[p]
+				if (err == nil) != wantOK {
+					return false
+				}
+				if err == nil {
+					oracle[p] = true
+				}
+			} else {
+				err := c.Delete(p, -1)
+				hasChild := false
+				for o := range oracle {
+					if o != p && len(o) > len(p) && o[:len(p)] == p && o[len(p)] == '/' {
+						hasChild = true
+					}
+				}
+				wantOK := oracle[p] && !hasChild
+				if (err == nil) != wantOK {
+					return false
+				}
+				if err == nil {
+					delete(oracle, p)
+				}
+			}
+		}
+		for p, want := range map[string]bool{
+			"/a": oracle["/a"], "/b": oracle["/b"], "/a/x": oracle["/a/x"], "/b/y": oracle["/b/y"],
+		} {
+			ok, _, err := c.Exists(p)
+			if err != nil || ok != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionCASLoop(t *testing.T) {
+	// The updateTxn CAS pattern: concurrent writers using version CAS
+	// never lose an increment.
+	e := newTestEnsemble(t)
+	setup := e.Connect()
+	mustCreate(t, setup, "/n", "0")
+	setup.Close()
+
+	const writers, per = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := e.Connect()
+			defer c.Close()
+			for i := 0; i < per; i++ {
+				for {
+					data, stat, err := c.Get("/n")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var v int
+					fmt.Sscanf(string(data), "%d", &v)
+					err = c.Set("/n", []byte(fmt.Sprint(v+1)), stat.Version)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrBadVersion) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c := e.Connect()
+	defer c.Close()
+	data, _, _ := c.Get("/n")
+	var v int
+	fmt.Sscanf(string(data), "%d", &v)
+	if v != writers*per {
+		t.Fatalf("n = %d, want %d", v, writers*per)
+	}
+}

@@ -1,0 +1,184 @@
+package store
+
+import "sync"
+
+// EventType identifies what happened to a watched znode.
+type EventType int
+
+const (
+	// EventCreated fires when the watched path is created.
+	EventCreated EventType = iota
+	// EventDeleted fires when the watched path is deleted.
+	EventDeleted
+	// EventDataChanged fires when the watched path's data is set.
+	EventDataChanged
+	// EventChildrenChanged fires when a child of the watched path is
+	// created or deleted.
+	EventChildrenChanged
+	// EventSessionExpired is delivered to all of a client's outstanding
+	// watches when its session expires.
+	EventSessionExpired
+)
+
+// String renders the event type for logs.
+func (t EventType) String() string {
+	switch t {
+	case EventCreated:
+		return "created"
+	case EventDeleted:
+		return "deleted"
+	case EventDataChanged:
+		return "data-changed"
+	case EventChildrenChanged:
+		return "children-changed"
+	case EventSessionExpired:
+		return "session-expired"
+	default:
+		return "unknown"
+	}
+}
+
+// Event notifies a watcher of a change.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// watcher is a one-shot watch registration. The channel has capacity 1
+// and is closed after delivery, matching ZooKeeper's one-shot watch
+// semantics.
+type watcher struct {
+	ch      chan Event
+	session int64
+}
+
+// watchTable indexes outstanding watches by path. Node watches observe
+// create/delete/set on the path itself; child watches observe membership
+// changes of the path's children.
+type watchTable struct {
+	mu    sync.Mutex
+	node  map[string][]*watcher
+	child map[string][]*watcher
+}
+
+func newWatchTable() *watchTable {
+	return &watchTable{
+		node:  make(map[string][]*watcher),
+		child: make(map[string][]*watcher),
+	}
+}
+
+func (wt *watchTable) addNode(path string, w *watcher) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	wt.node[path] = append(wt.node[path], w)
+}
+
+func (wt *watchTable) addChild(path string, w *watcher) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	wt.child[path] = append(wt.child[path], w)
+}
+
+// firedWatches accumulates the events produced while applying one
+// committed operation; fire delivers them after the tree mutation is
+// complete.
+type firedWatches struct {
+	node  []Event
+	child []string
+}
+
+func (f *firedWatches) add(path string, t EventType) {
+	if f != nil {
+		f.node = append(f.node, Event{Type: t, Path: path})
+	}
+}
+
+func (f *firedWatches) addChild(path string) {
+	if f != nil {
+		f.child = append(f.child, path)
+	}
+}
+
+// fire delivers accumulated events to matching watchers and removes them
+// (one-shot).
+func (wt *watchTable) fire(f *firedWatches) {
+	if f == nil {
+		return
+	}
+	wt.mu.Lock()
+	var deliveries []struct {
+		w  *watcher
+		ev Event
+	}
+	for _, ev := range f.node {
+		if ws := wt.node[ev.Path]; len(ws) > 0 {
+			for _, w := range ws {
+				deliveries = append(deliveries, struct {
+					w  *watcher
+					ev Event
+				}{w, ev})
+			}
+			delete(wt.node, ev.Path)
+		}
+	}
+	for _, path := range f.child {
+		if ws := wt.child[path]; len(ws) > 0 {
+			ev := Event{Type: EventChildrenChanged, Path: path}
+			for _, w := range ws {
+				deliveries = append(deliveries, struct {
+					w  *watcher
+					ev Event
+				}{w, ev})
+			}
+			delete(wt.child, path)
+		}
+	}
+	wt.mu.Unlock()
+	for _, d := range deliveries {
+		d.w.ch <- d.ev
+		close(d.w.ch)
+	}
+}
+
+// expireSession delivers EventSessionExpired to all watches registered by
+// the session and removes them.
+func (wt *watchTable) expireSession(session int64) {
+	wt.mu.Lock()
+	var victims []*watcher
+	for path, ws := range wt.node {
+		var keep []*watcher
+		for _, w := range ws {
+			if w.session == session {
+				victims = append(victims, w)
+			} else {
+				keep = append(keep, w)
+			}
+		}
+		if len(keep) == 0 {
+			delete(wt.node, path)
+		} else {
+			wt.node[path] = keep
+		}
+	}
+	for path, ws := range wt.child {
+		var keep []*watcher
+		for _, w := range ws {
+			if w.session == session {
+				victims = append(victims, w)
+			} else {
+				keep = append(keep, w)
+			}
+		}
+		if len(keep) == 0 {
+			delete(wt.child, path)
+		} else {
+			wt.child[path] = keep
+		}
+	}
+	wt.mu.Unlock()
+	for _, w := range victims {
+		w.ch <- Event{Type: EventSessionExpired}
+		close(w.ch)
+	}
+}

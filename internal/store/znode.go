@@ -1,0 +1,160 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stat carries metadata about a znode, in the style of ZooKeeper's Stat.
+type Stat struct {
+	// Version counts data changes; Create leaves it at 0.
+	Version int32
+	// Czxid and Mzxid are the total-order ids of the transactions that
+	// created and last modified the node.
+	Czxid int64
+	Mzxid int64
+	// EphemeralOwner is the session id that owns the node, or 0 for
+	// persistent nodes.
+	EphemeralOwner int64
+	// NumChildren is the number of direct children.
+	NumChildren int
+}
+
+// Create flags.
+const (
+	// FlagEphemeral nodes are deleted automatically when the owning
+	// session ends or expires.
+	FlagEphemeral = 1 << iota
+	// FlagSequence appends a monotonically increasing, zero-padded
+	// counter (scoped to the parent) to the node name.
+	FlagSequence
+)
+
+// znode is one node in a replica's tree. Replicas never share znodes;
+// each replica owns an independent tree mutated only by applying the
+// ensemble's committed operation sequence.
+type znode struct {
+	name           string
+	data           []byte
+	version        int32
+	czxid          int64
+	mzxid          int64
+	ephemeralOwner int64
+	seqCounter     uint64
+	children       map[string]*znode
+}
+
+func newZnode(name string) *znode {
+	return &znode{name: name, children: make(map[string]*znode)}
+}
+
+func (z *znode) stat() Stat {
+	return Stat{
+		Version:        z.version,
+		Czxid:          z.czxid,
+		Mzxid:          z.mzxid,
+		EphemeralOwner: z.ephemeralOwner,
+		NumChildren:    len(z.children),
+	}
+}
+
+// deepCopy clones the subtree rooted at z. Kept for snapshot-style
+// catch-up strategies and white-box tests; the hot paths (Multi
+// validation) deliberately avoid it — see multiValidator.
+func (z *znode) deepCopy() *znode {
+	c := &znode{
+		name:           z.name,
+		data:           append([]byte(nil), z.data...),
+		version:        z.version,
+		czxid:          z.czxid,
+		mzxid:          z.mzxid,
+		ephemeralOwner: z.ephemeralOwner,
+		seqCounter:     z.seqCounter,
+		children:       make(map[string]*znode, len(z.children)),
+	}
+	for name, child := range z.children {
+		c.children[name] = child.deepCopy()
+	}
+	return c
+}
+
+// splitPath validates a znode path and returns its components. The root
+// path "/" yields an empty slice.
+func splitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: %q must start with '/'", ErrBadPath, path)
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	if strings.HasSuffix(path, "/") {
+		return nil, fmt.Errorf("%w: %q must not end with '/'", ErrBadPath, path)
+	}
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, fmt.Errorf("%w: %q contains empty or relative component", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+// parentPath returns the path of the parent of a validated path.
+func parentPath(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// tree is a replica's znode hierarchy plus the bookkeeping needed to apply
+// committed operations deterministically.
+type tree struct {
+	root *znode
+}
+
+func newTree() *tree {
+	return &tree{root: newZnode("")}
+}
+
+// lookup walks to the znode at path, or returns ErrNoNode.
+func (t *tree) lookup(path string) (*znode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	n := t.root
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoNode, path)
+		}
+		n = child
+	}
+	return n, nil
+}
+
+// sortedChildren returns the child names of a znode in lexicographic
+// order, which for sequence nodes is also creation order.
+func (z *znode) sortedChildren() []string {
+	names := make([]string, 0, len(z.children))
+	for name := range z.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// collectEphemerals appends the paths of all ephemeral nodes owned by the
+// session under (and including) the subtree rooted at path prefix.
+func collectEphemerals(n *znode, prefix string, session int64, out *[]string) {
+	for name, child := range n.children {
+		childPath := prefix + "/" + name
+		if child.ephemeralOwner == session {
+			*out = append(*out, childPath)
+		}
+		collectEphemerals(child, childPath, session, out)
+	}
+}

@@ -1,0 +1,134 @@
+package txn
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleTxn() *Txn {
+	return &Txn{
+		ID:          "t-0000000001",
+		Proc:        "spawnVM",
+		Args:        []string{"vm1", "imageTemplate"},
+		State:       StateInitialized,
+		SubmittedAt: time.Now(),
+		Log: []LogRecord{
+			{Seq: 1, Path: "/storageRoot/storageHost", Action: "cloneImage",
+				Args: []string{"imageTemplate", "vmImage"}, Undo: "removeImage", UndoArgs: []string{"vmImage"}},
+			{Seq: 2, Path: "/storageRoot/storageHost", Action: "exportImage",
+				Args: []string{"vmImage"}, Undo: "unexportImage", UndoArgs: []string{"vmImage"}},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	orig := sampleTxn()
+	back, err := Decode(orig.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.ID != orig.ID || back.Proc != orig.Proc || back.State != orig.State {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	if len(back.Log) != 2 || back.Log[0].Action != "cloneImage" || back.Log[1].Undo != "unexportImage" {
+		t.Fatalf("log mismatch: %+v", back.Log)
+	}
+	if len(back.Args) != 2 || back.Args[1] != "imageTemplate" {
+		t.Fatalf("args mismatch: %v", back.Args)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestLegalLifecycles(t *testing.T) {
+	paths := [][]State{
+		{StateAccepted, StateStarted, StateCommitted},
+		{StateAccepted, StateAborted},
+		{StateAccepted, StateDeferred, StateStarted, StateAborted},
+		{StateAccepted, StateDeferred, StateDeferred, StateStarted, StateFailed},
+	}
+	for _, path := range paths {
+		tx := sampleTxn()
+		for _, next := range path {
+			if err := tx.Transition(next); err != nil {
+				t.Fatalf("path %v: %v", path, err)
+			}
+		}
+		if !tx.State.Terminal() {
+			t.Fatalf("path %v ended non-terminal", path)
+		}
+	}
+}
+
+func TestIllegalTransitions(t *testing.T) {
+	cases := []struct {
+		from, to State
+	}{
+		{StateInitialized, StateStarted},
+		{StateInitialized, StateCommitted},
+		{StateAccepted, StateCommitted},
+		{StateCommitted, StateAborted},
+		{StateAborted, StateStarted},
+		{StateFailed, StateCommitted},
+		{StateStarted, StateAccepted},
+	}
+	for _, c := range cases {
+		tx := sampleTxn()
+		tx.State = c.from
+		if err := tx.Transition(c.to); err == nil {
+			t.Errorf("%s -> %s allowed", c.from, c.to)
+		}
+	}
+}
+
+func TestTerminalSetsCompletedAt(t *testing.T) {
+	tx := sampleTxn()
+	tx.State = StateStarted
+	if tx.Latency() != 0 {
+		t.Fatal("latency nonzero before completion")
+	}
+	if err := tx.Transition(StateCommitted); err != nil {
+		t.Fatal(err)
+	}
+	if tx.CompletedAt.IsZero() || tx.Latency() <= 0 {
+		t.Fatalf("completedAt=%v latency=%v", tx.CompletedAt, tx.Latency())
+	}
+}
+
+func TestTerminalPredicate(t *testing.T) {
+	for s, want := range map[State]bool{
+		StateInitialized: false, StateAccepted: false, StateDeferred: false,
+		StateStarted: false, StateCommitted: true, StateAborted: true, StateFailed: true,
+	} {
+		if s.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v", s, !want)
+		}
+	}
+}
+
+func TestLogRecordString(t *testing.T) {
+	r := sampleTxn().Log[0]
+	s := r.String()
+	for _, want := range []string{"cloneImage", "removeImage", "/storageRoot/storageHost"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

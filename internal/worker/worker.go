@@ -1,0 +1,271 @@
+// Package worker implements TROPIC's physical layer (paper §3.2).
+// Workers dequeue started transactions from phyQ and replay their
+// execution logs against the devices. If every action succeeds the
+// transaction commits; if an action fails the worker executes the undo
+// actions of the already-applied prefix in reverse chronological order,
+// reporting aborted (full rollback) or failed (an undo itself failed,
+// leaving a cross-layer inconsistency for reconciliation).
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/queue"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// Executor is the device-API surface a worker drives. device.Cloud
+// implements it; NoopExecutor bypasses devices for logical-only mode
+// (§5).
+type Executor interface {
+	Execute(path, action string, args []string) error
+}
+
+// NoopExecutor is the logical-only mode executor: every physical action
+// succeeds after an optional simulated latency. TROPIC's large-scale
+// experiments (§6.1) run in this mode.
+type NoopExecutor struct {
+	// Latency is the simulated duration of each device call.
+	Latency time.Duration
+}
+
+// Execute implements Executor.
+func (n NoopExecutor) Execute(path, action string, args []string) error {
+	if n.Latency > 0 {
+		time.Sleep(n.Latency)
+	}
+	return nil
+}
+
+// Config parameterizes a worker.
+type Config struct {
+	// Name identifies the worker in logs.
+	Name string
+	// Ensemble is the coordination store.
+	Ensemble *store.Ensemble
+	// Executor performs physical actions.
+	Executor Executor
+	// Threads is the number of concurrent execution goroutines
+	// (TROPIC runs one worker with multiple threads, §6). Default 1.
+	Threads int
+	// Logf receives diagnostics; nil silences.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts worker activity.
+type Stats struct {
+	Committed int64
+	Aborted   int64
+	Failed    int64
+	Actions   int64
+	Undos     int64
+}
+
+// Worker executes transactions physically.
+type Worker struct {
+	cfg   Config
+	cli   *store.Client
+	phyQ  *queue.Queue
+	inQ   *queue.Queue
+	stats Stats
+}
+
+// New connects a worker to the ensemble.
+func New(cfg Config) (*Worker, error) {
+	if cfg.Ensemble == nil || cfg.Executor == nil {
+		return nil, errors.New("worker: Ensemble and Executor are required")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cli := cfg.Ensemble.Connect()
+	for _, p := range []string{proto.PhyQPath, proto.InputQPath, proto.CommitLogPath} {
+		if err := cli.EnsurePath(p); err != nil {
+			cli.Close()
+			return nil, fmt.Errorf("worker: layout: %w", err)
+		}
+	}
+	phyQ, err := queue.New(cli, proto.PhyQPath)
+	if err != nil {
+		cli.Close()
+		return nil, err
+	}
+	inQ, err := queue.New(cli, proto.InputQPath)
+	if err != nil {
+		cli.Close()
+		return nil, err
+	}
+	return &Worker{cfg: cfg, cli: cli, phyQ: phyQ, inQ: inQ}, nil
+}
+
+// Run serves phyQ with the configured number of threads until ctx is
+// done.
+func (w *Worker) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, w.cfg.Threads)
+	for i := 0; i < w.cfg.Threads; i++ {
+		wg.Add(1)
+		go func(thread int) {
+			defer wg.Done()
+			errCh <- w.serve(ctx, thread)
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// Close releases the worker's store session.
+func (w *Worker) Close() { w.cli.Close() }
+
+// Stats returns a copy of the counters.
+func (w *Worker) Stats() Stats {
+	return Stats{
+		Committed: atomic.LoadInt64(&w.stats.Committed),
+		Aborted:   atomic.LoadInt64(&w.stats.Aborted),
+		Failed:    atomic.LoadInt64(&w.stats.Failed),
+		Actions:   atomic.LoadInt64(&w.stats.Actions),
+		Undos:     atomic.LoadInt64(&w.stats.Undos),
+	}
+}
+
+func (w *Worker) serve(ctx context.Context, thread int) error {
+	for {
+		data, err := w.phyQ.Take(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		msg, err := proto.DecodePhyMsg(data)
+		if err != nil {
+			w.cfg.Logf("worker %s/%d: bad phyQ item: %v", w.cfg.Name, thread, err)
+			continue
+		}
+		if err := w.execute(msg.TxnPath); err != nil {
+			if errors.Is(err, store.ErrSessionExpired) || errors.Is(err, store.ErrNoQuorum) {
+				return err
+			}
+			w.cfg.Logf("worker %s/%d: execute %s: %v", w.cfg.Name, thread, msg.TxnPath, err)
+		}
+	}
+}
+
+// execute replays one transaction's log against the devices (Figure 2,
+// step 4) and reports the result to the controller via inputQ.
+func (w *Worker) execute(txnPath string) error {
+	rec, _, err := w.loadTxn(txnPath)
+	if err != nil {
+		return err
+	}
+	if rec.State != txn.StateStarted {
+		// Already finalized (e.g. KILLed by the controller); drop.
+		return nil
+	}
+
+	applied := 0
+	var actErr error
+	for i, r := range rec.Log {
+		// Honor operator TERM signals between actions (§4): stop and
+		// roll back gracefully.
+		if sig, err := w.currentSignal(txnPath); err == nil && sig == txn.SignalTerm {
+			actErr = fmt.Errorf("terminated by operator signal")
+			break
+		}
+		if err := w.cfg.Executor.Execute(r.Path, r.Action, r.Args); err != nil {
+			actErr = fmt.Errorf("action %d (%s at %s): %w", i+1, r.Action, r.Path, err)
+			break
+		}
+		atomic.AddInt64(&w.stats.Actions, 1)
+		applied++
+	}
+
+	if actErr == nil {
+		return w.report(txnPath, txn.StateCommitted, "", 0)
+	}
+
+	// Roll back the applied prefix in reverse chronological order. If
+	// an undo fails we stop immediately — undo actions may have
+	// temporal dependencies (§3.2 footnote) — and report failed.
+	undone := 0
+	var undoErr error
+	for i := applied - 1; i >= 0; i-- {
+		r := rec.Log[i]
+		if r.Undo == "" {
+			undoErr = fmt.Errorf("action %s at %s has no undo", r.Action, r.Path)
+			break
+		}
+		if err := w.cfg.Executor.Execute(r.UndoTarget(), r.Undo, r.UndoArgs); err != nil {
+			undoErr = fmt.Errorf("undo %s at %s: %w", r.Undo, r.UndoTarget(), err)
+			break
+		}
+		atomic.AddInt64(&w.stats.Undos, 1)
+		undone++
+	}
+
+	if undoErr == nil {
+		return w.report(txnPath, txn.StateAborted, actErr.Error(), undone)
+	}
+	return w.report(txnPath, txn.StateFailed,
+		fmt.Sprintf("%v; rollback stopped: %v", actErr, undoErr), undone)
+}
+
+// report notifies the controller of the physical outcome through
+// inputQ. Per Figure 2, the *controller* marks the record terminal
+// during cleanup — the worker only executes and reports.
+func (w *Worker) report(txnPath string, outcome txn.State, errStr string, undone int) error {
+	switch outcome {
+	case txn.StateCommitted:
+		atomic.AddInt64(&w.stats.Committed, 1)
+	case txn.StateAborted:
+		atomic.AddInt64(&w.stats.Aborted, 1)
+	case txn.StateFailed:
+		atomic.AddInt64(&w.stats.Failed, 1)
+	}
+	_, err := w.inQ.Put(proto.InputMsg{
+		Kind:          proto.KindResult,
+		TxnPath:       txnPath,
+		Outcome:       string(outcome),
+		Error:         errStr,
+		UndoneThrough: undone,
+	}.Encode())
+	return err
+}
+
+func (w *Worker) currentSignal(txnPath string) (txn.Signal, error) {
+	rec, _, err := w.loadTxn(txnPath)
+	if err != nil {
+		return txn.SignalNone, err
+	}
+	return rec.Signal, nil
+}
+
+func (w *Worker) loadTxn(path string) (*txn.Txn, store.Stat, error) {
+	data, stat, err := w.cli.Get(path)
+	if err != nil {
+		return nil, stat, err
+	}
+	rec, err := txn.Decode(data)
+	if err != nil {
+		return nil, stat, err
+	}
+	rec.ID = path[strings.LastIndexByte(path, '/')+1:]
+	return rec, stat, nil
+}

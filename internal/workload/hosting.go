@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/tcloud"
+)
+
+// HostingMix weights the operation types of the hosting workload. The
+// defaults skew toward spawns with a meaningful share of lifecycle and
+// migration operations, mimicking the hosting provider trace's richer
+// orchestration mix (§6.2).
+type HostingMix struct {
+	Spawn   int
+	Start   int
+	Stop    int
+	Migrate int
+	Destroy int
+}
+
+// DefaultHostingMix mirrors a steady-state hosting data center.
+func DefaultHostingMix() HostingMix {
+	return HostingMix{Spawn: 40, Start: 15, Stop: 15, Migrate: 20, Destroy: 10}
+}
+
+func (m HostingMix) total() int {
+	return m.Spawn + m.Start + m.Stop + m.Migrate + m.Destroy
+}
+
+// vmInfo tracks one live VM's placement for generating valid ops.
+type vmInfo struct {
+	name    string
+	host    int
+	storage int
+	running bool
+}
+
+// HostingGen generates a stream of valid TCloud operations against a
+// topology, tracking VM placement so every generated operation is
+// well-formed (starts target stopped VMs, migrations pick hosts with
+// capacity, and so on).
+type HostingGen struct {
+	tp    tcloud.Topology
+	mix   HostingMix
+	rng   *rand.Rand
+	vms   []*vmInfo
+	byVM  map[string]*vmInfo
+	used  []int // VM slots used per compute host
+	slots int   // VM slots per host
+	next  int   // VM name counter
+}
+
+// NewHostingGen builds a generator over the topology with the given mix
+// and seed. Memory per VM is fixed at 1024MB, matching the paper's
+// 8-VMs-per-8192MB-host density.
+func NewHostingGen(tp tcloud.Topology, mix HostingMix, seed int64) *HostingGen {
+	if mix.total() == 0 {
+		mix = DefaultHostingMix()
+	}
+	hostMem := tp.HostMemMB
+	if hostMem <= 0 {
+		hostMem = 8192
+	}
+	hosts := tp.ComputeHosts
+	if hosts <= 0 {
+		hosts = 4
+	}
+	return &HostingGen{
+		tp:    tp,
+		mix:   mix,
+		rng:   rand.New(rand.NewSource(seed)),
+		byVM:  make(map[string]*vmInfo),
+		used:  make([]int, hosts),
+		slots: int(hostMem / 1024),
+	}
+}
+
+// Live returns the number of VMs currently tracked as existing.
+func (g *HostingGen) Live() int { return len(g.vms) }
+
+// Reserve marks n VM slots on a compute host as occupied by VMs outside
+// the generator's control (e.g. spawned by another workload phase), so
+// generated placements respect the real capacity.
+func (g *HostingGen) Reserve(host, n int) {
+	if host >= 0 && host < len(g.used) {
+		g.used[host] += n
+	}
+}
+
+// Next generates the next operation. It always succeeds: when the
+// drawn kind is infeasible (e.g. migrate with no running VM), it falls
+// back to a feasible kind, ultimately a spawn (or a destroy when the
+// data center is full).
+func (g *HostingGen) Next() Op {
+	for attempts := 0; attempts < 8; attempts++ {
+		r := g.rng.Intn(g.mix.total())
+		switch {
+		case r < g.mix.Spawn:
+			if op, ok := g.genSpawn(); ok {
+				return op
+			}
+		case r < g.mix.Spawn+g.mix.Start:
+			if op, ok := g.genStart(); ok {
+				return op
+			}
+		case r < g.mix.Spawn+g.mix.Start+g.mix.Stop:
+			if op, ok := g.genStop(); ok {
+				return op
+			}
+		case r < g.mix.Spawn+g.mix.Start+g.mix.Stop+g.mix.Migrate:
+			if op, ok := g.genMigrate(); ok {
+				return op
+			}
+		default:
+			if op, ok := g.genDestroy(); ok {
+				return op
+			}
+		}
+	}
+	if op, ok := g.genSpawn(); ok {
+		return op
+	}
+	if op, ok := g.genDestroy(); ok {
+		return op
+	}
+	panic("workload: cannot generate any operation (empty topology?)")
+}
+
+func (g *HostingGen) genSpawn() (Op, bool) {
+	// Find a host with a free slot, randomized start.
+	n := len(g.used)
+	off := g.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		h := (off + i) % n
+		if g.used[h] < g.slots {
+			name := fmt.Sprintf("vm%06d", g.next)
+			g.next++
+			st := g.tp.StorageFor(h)
+			info := &vmInfo{name: name, host: h, storage: st, running: true}
+			g.vms = append(g.vms, info)
+			g.byVM[name] = info
+			g.used[h]++
+			return Op{Proc: tcloud.ProcSpawnVM, Args: []string{
+				tcloud.StorageHostPath(st), tcloud.ComputeHostPath(h), name, "1024",
+			}}, true
+		}
+	}
+	return Op{}, false
+}
+
+func (g *HostingGen) pick(pred func(*vmInfo) bool) (*vmInfo, bool) {
+	if len(g.vms) == 0 {
+		return nil, false
+	}
+	off := g.rng.Intn(len(g.vms))
+	for i := 0; i < len(g.vms); i++ {
+		v := g.vms[(off+i)%len(g.vms)]
+		if pred(v) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (g *HostingGen) genStart() (Op, bool) {
+	v, ok := g.pick(func(v *vmInfo) bool { return !v.running })
+	if !ok {
+		return Op{}, false
+	}
+	v.running = true
+	return Op{Proc: tcloud.ProcStartVM, Args: []string{tcloud.ComputeHostPath(v.host), v.name}}, true
+}
+
+func (g *HostingGen) genStop() (Op, bool) {
+	v, ok := g.pick(func(v *vmInfo) bool { return v.running })
+	if !ok {
+		return Op{}, false
+	}
+	v.running = false
+	return Op{Proc: tcloud.ProcStopVM, Args: []string{tcloud.ComputeHostPath(v.host), v.name}}, true
+}
+
+func (g *HostingGen) genMigrate() (Op, bool) {
+	if len(g.used) < 2 {
+		return Op{}, false
+	}
+	v, ok := g.pick(func(*vmInfo) bool { return true })
+	if !ok {
+		return Op{}, false
+	}
+	// Destination: any other host with a free slot (same hypervisor in
+	// uniform topologies; mixed topologies intentionally produce some
+	// constraint-violating migrations for the §6.2 experiment).
+	n := len(g.used)
+	off := g.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		h := (off + i) % n
+		if h != v.host && g.used[h] < g.slots {
+			src := v.host
+			g.used[src]--
+			g.used[h]++
+			v.host = h
+			return Op{Proc: tcloud.ProcMigrateVM, Args: []string{
+				tcloud.ComputeHostPath(src), v.name, tcloud.ComputeHostPath(h),
+			}}, true
+		}
+	}
+	return Op{}, false
+}
+
+func (g *HostingGen) genDestroy() (Op, bool) {
+	v, ok := g.pick(func(*vmInfo) bool { return true })
+	if !ok {
+		return Op{}, false
+	}
+	// Remove from tracking.
+	for i, x := range g.vms {
+		if x == v {
+			g.vms[i] = g.vms[len(g.vms)-1]
+			g.vms = g.vms[:len(g.vms)-1]
+			break
+		}
+	}
+	delete(g.byVM, v.name)
+	g.used[v.host]--
+	return Op{Proc: tcloud.ProcDestroyVM, Args: []string{
+		tcloud.ComputeHostPath(v.host), v.name, tcloud.StorageHostPath(v.storage),
+	}}, true
+}
+
+// Generate returns n consecutive operations.
+func (g *HostingGen) Generate(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = g.Next()
+	}
+	return ops
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/tcloud"
+)
+
+func TestEC2TraceMatchesPublishedStats(t *testing.T) {
+	tr := GenerateEC2Trace(1)
+	if got := tr.Total(); got != EC2TotalSpawns {
+		t.Errorf("total = %d, want %d", got, EC2TotalSpawns)
+	}
+	sec, rate := tr.Peak()
+	if rate != EC2PeakPerSecond {
+		t.Errorf("peak rate = %d, want %d", rate, EC2PeakPerSecond)
+	}
+	if sec != EC2PeakSecond {
+		t.Errorf("peak second = %d, want %d (0.8h)", sec, EC2PeakSecond)
+	}
+	if m := tr.Mean(); m < 2.3 || m > 2.4 {
+		t.Errorf("mean = %.3f, want ~2.34", m)
+	}
+	if len(tr.PerSecond) != EC2TraceSeconds {
+		t.Errorf("len = %d, want %d", len(tr.PerSecond), EC2TraceSeconds)
+	}
+	for s, v := range tr.PerSecond {
+		if v < 0 {
+			t.Fatalf("negative count at %d", s)
+		}
+	}
+}
+
+func TestEC2TraceDeterministic(t *testing.T) {
+	a, b := GenerateEC2Trace(7), GenerateEC2Trace(7)
+	for i := range a.PerSecond {
+		if a.PerSecond[i] != b.PerSecond[i] {
+			t.Fatalf("same seed diverges at second %d", i)
+		}
+	}
+	c := GenerateEC2Trace(8)
+	same := true
+	for i := range a.PerSecond {
+		if a.PerSecond[i] != c.PerSecond[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if c.Total() != EC2TotalSpawns {
+		t.Fatalf("seed 8 total = %d", c.Total())
+	}
+}
+
+func TestEC2TraceScale(t *testing.T) {
+	tr := GenerateEC2Trace(1)
+	for _, k := range []int{2, 5} {
+		s := tr.Scale(k)
+		if s.Total() != k*EC2TotalSpawns {
+			t.Errorf("scale %d total = %d", k, s.Total())
+		}
+		_, rate := s.Peak()
+		if rate != k*EC2PeakPerSecond {
+			t.Errorf("scale %d peak = %d", k, rate)
+		}
+	}
+}
+
+func TestEC2TraceWindow(t *testing.T) {
+	tr := GenerateEC2Trace(1)
+	w := tr.Window(100, 200)
+	if len(w.PerSecond) != 100 {
+		t.Fatalf("window len = %d", len(w.PerSecond))
+	}
+	if w.PerSecond[0] != tr.PerSecond[100] {
+		t.Fatal("window misaligned")
+	}
+	if len(tr.Window(200, 100).PerSecond) != 0 {
+		t.Fatal("inverted window not empty")
+	}
+	if got := len(tr.Window(3500, 9999).PerSecond); got != 100 {
+		t.Fatalf("clamped window len = %d", got)
+	}
+}
+
+func TestHostingGenValidSequences(t *testing.T) {
+	tp := tcloud.Topology{ComputeHosts: 8, HostMemMB: 8192}
+	g := NewHostingGen(tp, DefaultHostingMix(), 42)
+
+	// Replay the ops against a simple state machine and verify each is
+	// valid at its point in the sequence.
+	type vm struct {
+		host    string
+		running bool
+	}
+	vms := make(map[string]*vm)
+	hostLoad := make(map[string]int)
+	ops := g.Generate(2000)
+	counts := make(map[string]int)
+	for i, op := range ops {
+		counts[op.Proc]++
+		switch op.Proc {
+		case tcloud.ProcSpawnVM:
+			name, host := op.Args[2], op.Args[1]
+			if vms[name] != nil {
+				t.Fatalf("op %d: duplicate spawn %s", i, name)
+			}
+			if hostLoad[host] >= 8 {
+				t.Fatalf("op %d: spawn on full host %s", i, host)
+			}
+			vms[name] = &vm{host: host, running: true}
+			hostLoad[host]++
+		case tcloud.ProcStartVM:
+			v := vms[op.Args[1]]
+			if v == nil || v.running || v.host != op.Args[0] {
+				t.Fatalf("op %d: invalid start %v (vm=%+v)", i, op, v)
+			}
+			v.running = true
+		case tcloud.ProcStopVM:
+			v := vms[op.Args[1]]
+			if v == nil || !v.running || v.host != op.Args[0] {
+				t.Fatalf("op %d: invalid stop %v (vm=%+v)", i, op, v)
+			}
+			v.running = false
+		case tcloud.ProcMigrateVM:
+			v := vms[op.Args[1]]
+			if v == nil || v.host != op.Args[0] {
+				t.Fatalf("op %d: invalid migrate %v (vm=%+v)", i, op, v)
+			}
+			if hostLoad[op.Args[2]] >= 8 {
+				t.Fatalf("op %d: migrate to full host", i)
+			}
+			hostLoad[v.host]--
+			hostLoad[op.Args[2]]++
+			v.host = op.Args[2]
+		case tcloud.ProcDestroyVM:
+			v := vms[op.Args[1]]
+			if v == nil || v.host != op.Args[0] {
+				t.Fatalf("op %d: invalid destroy %v (vm=%+v)", i, op, v)
+			}
+			hostLoad[v.host]--
+			delete(vms, op.Args[1])
+		default:
+			t.Fatalf("op %d: unknown proc %s", i, op.Proc)
+		}
+	}
+	// All op kinds should appear in 2000 draws.
+	for _, proc := range []string{tcloud.ProcSpawnVM, tcloud.ProcStartVM,
+		tcloud.ProcStopVM, tcloud.ProcMigrateVM, tcloud.ProcDestroyVM} {
+		if counts[proc] == 0 {
+			t.Errorf("mix never produced %s (counts=%v)", proc, counts)
+		}
+	}
+	if g.Live() != len(vms) {
+		t.Errorf("generator tracks %d VMs, replay has %d", g.Live(), len(vms))
+	}
+}
+
+func TestHostingGenDeterministic(t *testing.T) {
+	tp := tcloud.Topology{ComputeHosts: 4}
+	a := NewHostingGen(tp, DefaultHostingMix(), 9).Generate(100)
+	b := NewHostingGen(tp, DefaultHostingMix(), 9).Generate(100)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("op %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHostingGenSingleHostNoMigrate(t *testing.T) {
+	tp := tcloud.Topology{ComputeHosts: 1}
+	g := NewHostingGen(tp, HostingMix{Migrate: 100}, 3)
+	// With only migrations requested but a single host, the generator
+	// must fall back rather than emit invalid ops or spin forever.
+	for i := 0; i < 50; i++ {
+		op := g.Next()
+		if op.Proc == tcloud.ProcMigrateVM {
+			t.Fatalf("migrate generated with one host: %v", op)
+		}
+	}
+}
+
+func TestHostingGenFullDataCenter(t *testing.T) {
+	tp := tcloud.Topology{ComputeHosts: 1, HostMemMB: 2048} // 2 slots
+	g := NewHostingGen(tp, HostingMix{Spawn: 100}, 5)
+	spawns := 0
+	for i := 0; i < 20; i++ {
+		op := g.Next()
+		if op.Proc == tcloud.ProcSpawnVM {
+			spawns++
+		}
+	}
+	if spawns > 2+18 { // after 2 spawns it must fall back to destroys interleaved
+		t.Fatalf("spawns = %d", spawns)
+	}
+	if g.Live() > 2 {
+		t.Fatalf("live VMs %d exceed capacity 2", g.Live())
+	}
+}

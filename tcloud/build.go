@@ -1,0 +1,148 @@
+package tcloud
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/tropic"
+)
+
+// Topology sizes a TCloud data center. The paper's scale experiment
+// (§6.1) uses 12,500 compute servers with 8 VM slots each (100,000 VMs)
+// and 3,125 storage servers — 4 compute servers per storage server.
+type Topology struct {
+	// ComputeHosts is the number of compute servers.
+	ComputeHosts int
+	// ComputePerStorage is how many compute servers share one storage
+	// server (default 4, per §6.1).
+	ComputePerStorage int
+	// HostMemMB is each compute server's guest memory (default 8192:
+	// eight 1024MB VMs, the paper's 8 VMs per server).
+	HostMemMB int64
+	// Hypervisor labels every host (default "xen"); use MixedHypervisors
+	// for the vm-type constraint experiments.
+	Hypervisor string
+	// MixedHypervisors, when set, makes every other compute host "kvm".
+	MixedHypervisors bool
+	// StorageCapGB is each storage server's capacity (default generous
+	// enough for its hosts' VM images).
+	StorageCapGB int64
+	// Switches is the number of network switches (default 1).
+	Switches int
+	// TemplateSizeGB is the golden image size (default 10).
+	TemplateSizeGB int64
+}
+
+func (tp Topology) withDefaults() Topology {
+	if tp.ComputeHosts <= 0 {
+		tp.ComputeHosts = 4
+	}
+	if tp.ComputePerStorage <= 0 {
+		tp.ComputePerStorage = 4
+	}
+	if tp.HostMemMB <= 0 {
+		tp.HostMemMB = 8192
+	}
+	if tp.Hypervisor == "" {
+		tp.Hypervisor = "xen"
+	}
+	if tp.TemplateSizeGB <= 0 {
+		tp.TemplateSizeGB = 10
+	}
+	if tp.StorageCapGB <= 0 {
+		// Template plus an image per VM slot on the hosts it serves.
+		slots := int64(tp.ComputePerStorage) * (tp.HostMemMB / 1024)
+		tp.StorageCapGB = tp.TemplateSizeGB * (slots + 1)
+	}
+	if tp.Switches <= 0 {
+		tp.Switches = 1
+	}
+	return tp
+}
+
+// StorageHosts returns the number of storage servers in the topology.
+func (tp Topology) StorageHosts() int {
+	tp = tp.withDefaults()
+	n := tp.ComputeHosts / tp.ComputePerStorage
+	if tp.ComputeHosts%tp.ComputePerStorage != 0 || n == 0 {
+		n++
+	}
+	return n
+}
+
+// Naming helpers shared by the model, the device cloud, and workload
+// generators.
+func ComputeHostName(i int) string { return fmt.Sprintf("vmHost%05d", i) }
+func StorageHostName(i int) string { return fmt.Sprintf("storageHost%04d", i) }
+func SwitchName(i int) string      { return fmt.Sprintf("switch%02d", i) }
+func ComputeHostPath(i int) string { return VMRoot + "/" + ComputeHostName(i) }
+func StorageHostPath(i int) string { return StorageRoot + "/" + StorageHostName(i) }
+func SwitchPath(i int) string      { return NetRoot + "/" + SwitchName(i) }
+func (tp Topology) hypervisor(i int) string {
+	tp = tp.withDefaults()
+	if tp.MixedHypervisors && i%2 == 1 {
+		return "kvm"
+	}
+	return tp.Hypervisor
+}
+
+// StorageFor maps a compute host index to its storage server index.
+func (tp Topology) StorageFor(computeIdx int) int {
+	tp = tp.withDefaults()
+	return computeIdx / tp.ComputePerStorage
+}
+
+// BuildModel constructs the logical data model for the topology: the
+// tree a freshly-reloaded platform would hold. Used directly as the
+// Bootstrap in logical-only mode (§5).
+func (tp Topology) BuildModel() *tropic.Tree {
+	tp = tp.withDefaults()
+	t := tropic.NewTree()
+	mustCreate(t, StorageRoot, TypeStorageRoot, nil)
+	mustCreate(t, VMRoot, TypeVMRoot, nil)
+	mustCreate(t, NetRoot, TypeNetRoot, nil)
+	for i := 0; i < tp.StorageHosts(); i++ {
+		p := StorageHostPath(i)
+		mustCreate(t, p, TypeStorageHost, map[string]any{"capGB": tp.StorageCapGB})
+		mustCreate(t, p+"/"+TemplateImage, TypeImage, map[string]any{
+			"sizeGB": tp.TemplateSizeGB, "template": true, "exported": false,
+		})
+	}
+	for i := 0; i < tp.ComputeHosts; i++ {
+		mustCreate(t, ComputeHostPath(i), TypeVMHost, map[string]any{
+			"hypervisor": tp.hypervisor(i),
+			"memMB":      tp.HostMemMB,
+			"imports":    "",
+		})
+	}
+	for i := 0; i < tp.Switches; i++ {
+		mustCreate(t, SwitchPath(i), TypeSwitch, map[string]any{"maxVLANs": int64(4094)})
+	}
+	return t
+}
+
+// BuildCloud constructs the matching simulated device substrate for
+// physical-mode deployments.
+func (tp Topology) BuildCloud() (*device.Cloud, error) {
+	tp = tp.withDefaults()
+	c := device.NewCloud()
+	for i := 0; i < tp.StorageHosts(); i++ {
+		c.AddStorageServer(StorageHostName(i), tp.StorageCapGB)
+		if err := c.AddImageTemplate(StorageHostName(i), TemplateImage, tp.TemplateSizeGB); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < tp.ComputeHosts; i++ {
+		c.AddComputeServer(ComputeHostName(i), tp.hypervisor(i), tp.HostMemMB)
+	}
+	for i := 0; i < tp.Switches; i++ {
+		c.AddSwitch(SwitchName(i), 4094)
+	}
+	return c, nil
+}
+
+func mustCreate(t *tropic.Tree, path, typ string, attrs map[string]any) {
+	if _, err := t.Create(path, typ, attrs); err != nil {
+		panic(fmt.Sprintf("tcloud: build model: %v", err))
+	}
+}

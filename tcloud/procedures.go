@@ -1,0 +1,224 @@
+package tcloud
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/tropic"
+)
+
+// Procedure names registered by Procedures().
+const (
+	ProcSpawnVM    = "spawnVM"
+	ProcSpawnVMNet = "spawnVMNet"
+	ProcStartVM    = "startVM"
+	ProcStopVM     = "stopVM"
+	ProcDestroyVM  = "destroyVM"
+	ProcMigrateVM  = "migrateVM"
+	ProcResizeVM   = "resizeVM"
+)
+
+// Procedures returns TCloud's stored-procedure registry. Arguments are
+// explicit model paths so transactions lock only what they touch:
+//
+//	spawnVM    storageHostPath vmHostPath vmName [memMB]
+//	spawnVMNet storageHostPath vmHostPath vmName switchPath vlanID [memMB]
+//	startVM    vmHostPath vmName
+//	stopVM     vmHostPath vmName
+//	destroyVM  vmHostPath vmName storageHostPath
+//	migrateVM  srcHostPath vmName dstHostPath
+func Procedures() map[string]tropic.Procedure {
+	return map[string]tropic.Procedure{
+		ProcSpawnVM:    SpawnVM,
+		ProcSpawnVMNet: SpawnVMNet,
+		ProcStartVM:    StartVM,
+		ProcStopVM:     StopVM,
+		ProcDestroyVM:  DestroyVM,
+		ProcMigrateVM:  MigrateVM,
+		ProcResizeVM:   ResizeVM,
+	}
+}
+
+// ImageName returns the canonical per-VM clone name.
+func ImageName(vmName string) string { return vmName + "-img" }
+
+// SpawnVM is the paper's flagship example: the exact five-action
+// execution log of Table 1 — clone the template image on a storage
+// server, export it, import it on the compute server, create the VM
+// configuration, and start the VM.
+func SpawnVM(c *tropic.Ctx) error {
+	storageHost, vmHost, vmName := c.Arg(0), c.Arg(1), c.Arg(2)
+	if storageHost == "" || vmHost == "" || vmName == "" {
+		return fmt.Errorf("%w: spawnVM needs [storageHost, vmHost, vmName, memMB?]", tropic.ErrAbort)
+	}
+	memMB := c.Arg(3)
+	if memMB == "" {
+		memMB = "1024"
+	}
+	if _, err := strconv.ParseInt(memMB, 10, 64); err != nil {
+		return fmt.Errorf("%w: bad memMB %q", tropic.ErrAbort, memMB)
+	}
+	img := ImageName(vmName)
+	if err := c.Do(storageHost, "cloneImage", TemplateImage, img); err != nil {
+		return err
+	}
+	if err := c.Do(storageHost, "exportImage", img); err != nil {
+		return err
+	}
+	if err := c.Do(vmHost, "importImage", img); err != nil {
+		return err
+	}
+	if err := c.Do(vmHost, "createVM", vmName, img, memMB); err != nil {
+		return err
+	}
+	return c.Do(vmHost, "startVM", vmName)
+}
+
+// SpawnVMNet is the full §2.1 flow: spawn plus VLAN plumbing for
+// inter-VM communication (create the VLAN if absent, attach the VM's
+// port).
+func SpawnVMNet(c *tropic.Ctx) error {
+	storageHost, vmHost, vmName := c.Arg(0), c.Arg(1), c.Arg(2)
+	switchPath, vlanID := c.Arg(3), c.Arg(4)
+	if switchPath == "" || vlanID == "" {
+		return fmt.Errorf("%w: spawnVMNet needs [storageHost, vmHost, vmName, switch, vlan, memMB?]", tropic.ErrAbort)
+	}
+	memMB := c.Arg(5)
+	if memMB == "" {
+		memMB = "1024"
+	}
+	img := ImageName(vmName)
+	if err := c.Do(storageHost, "cloneImage", TemplateImage, img); err != nil {
+		return err
+	}
+	if err := c.Do(storageHost, "exportImage", img); err != nil {
+		return err
+	}
+	if err := c.Do(vmHost, "importImage", img); err != nil {
+		return err
+	}
+	if err := c.Do(vmHost, "createVM", vmName, img, memMB); err != nil {
+		return err
+	}
+	if !c.Exists(switchPath + "/" + vlanID) {
+		if err := c.Do(switchPath, "createVLAN", vlanID); err != nil {
+			return err
+		}
+	}
+	if err := c.Do(switchPath, "attachPort", vlanID, vmName+".eth0"); err != nil {
+		return err
+	}
+	return c.Do(vmHost, "startVM", vmName)
+}
+
+// StartVM boots a stopped VM.
+func StartVM(c *tropic.Ctx) error {
+	vmHost, vmName := c.Arg(0), c.Arg(1)
+	if vmHost == "" || vmName == "" {
+		return fmt.Errorf("%w: startVM needs [vmHost, vmName]", tropic.ErrAbort)
+	}
+	vm, err := c.Read(vmHost + "/" + vmName)
+	if err != nil {
+		return fmt.Errorf("%w: %v", tropic.ErrAbort, err)
+	}
+	if vm.GetString("state") == VMRunning {
+		return fmt.Errorf("%w: VM %s already running", tropic.ErrAbort, vmName)
+	}
+	return c.Do(vmHost, "startVM", vmName)
+}
+
+// StopVM shuts a running VM down.
+func StopVM(c *tropic.Ctx) error {
+	vmHost, vmName := c.Arg(0), c.Arg(1)
+	if vmHost == "" || vmName == "" {
+		return fmt.Errorf("%w: stopVM needs [vmHost, vmName]", tropic.ErrAbort)
+	}
+	vm, err := c.Read(vmHost + "/" + vmName)
+	if err != nil {
+		return fmt.Errorf("%w: %v", tropic.ErrAbort, err)
+	}
+	if vm.GetString("state") == VMStopped {
+		return fmt.Errorf("%w: VM %s already stopped", tropic.ErrAbort, vmName)
+	}
+	return c.Do(vmHost, "stopVM", vmName)
+}
+
+// DestroyVM decommissions a VM and its storage: the reverse of SpawnVM.
+func DestroyVM(c *tropic.Ctx) error {
+	vmHost, vmName, storageHost := c.Arg(0), c.Arg(1), c.Arg(2)
+	if vmHost == "" || vmName == "" || storageHost == "" {
+		return fmt.Errorf("%w: destroyVM needs [vmHost, vmName, storageHost]", tropic.ErrAbort)
+	}
+	vm, err := c.Read(vmHost + "/" + vmName)
+	if err != nil {
+		return fmt.Errorf("%w: %v", tropic.ErrAbort, err)
+	}
+	img := vm.GetString("image")
+	if vm.GetString("state") == VMRunning {
+		if err := c.Do(vmHost, "stopVM", vmName); err != nil {
+			return err
+		}
+	}
+	if err := c.Do(vmHost, "removeVM", vmName); err != nil {
+		return err
+	}
+	if err := c.Do(vmHost, "unimportImage", img); err != nil {
+		return err
+	}
+	if err := c.Do(storageHost, "unexportImage", img); err != nil {
+		return err
+	}
+	return c.Do(storageHost, "removeImage", img)
+}
+
+// ResizeVM changes a VM's memory reservation: stop (if running), set
+// the new size, restart (if it was running). The vm-memory constraint
+// rejects resizes that would over-commit the host before any device is
+// touched; a physical failure mid-way restores the original size and
+// run state via the recorded undos.
+//
+//	resizeVM vmHostPath vmName newMemMB
+func ResizeVM(c *tropic.Ctx) error {
+	vmHost, vmName, memMB := c.Arg(0), c.Arg(1), c.Arg(2)
+	if vmHost == "" || vmName == "" || memMB == "" {
+		return fmt.Errorf("%w: resizeVM needs [vmHost, vmName, memMB]", tropic.ErrAbort)
+	}
+	if _, err := strconv.ParseInt(memMB, 10, 64); err != nil {
+		return fmt.Errorf("%w: bad memMB %q", tropic.ErrAbort, memMB)
+	}
+	vm, err := c.Read(vmHost + "/" + vmName)
+	if err != nil {
+		return fmt.Errorf("%w: %v", tropic.ErrAbort, err)
+	}
+	wasRunning := vm.GetString("state") == VMRunning
+	if wasRunning {
+		if err := c.Do(vmHost, "stopVM", vmName); err != nil {
+			return err
+		}
+	}
+	if err := c.Do(vmHost, "setVMMem", vmName, memMB); err != nil {
+		return err
+	}
+	if wasRunning {
+		return c.Do(vmHost, "startVM", vmName)
+	}
+	return nil
+}
+
+// MigrateVM live-migrates a VM between compute hosts. The logical layer
+// enforces the paper's two §6.2 constraints before any device is
+// touched: the destination hypervisor must match (vm-type) and its
+// memory must suffice (vm-memory).
+func MigrateVM(c *tropic.Ctx) error {
+	srcHost, vmName, dstHost := c.Arg(0), c.Arg(1), c.Arg(2)
+	if srcHost == "" || vmName == "" || dstHost == "" {
+		return fmt.Errorf("%w: migrateVM needs [srcHost, vmName, dstHost]", tropic.ErrAbort)
+	}
+	if _, err := c.Read(srcHost + "/" + vmName); err != nil {
+		return fmt.Errorf("%w: %v", tropic.ErrAbort, err)
+	}
+	if _, err := c.Read(dstHost); err != nil {
+		return fmt.Errorf("%w: %v", tropic.ErrAbort, err)
+	}
+	return c.Do(srcHost, "migrateVM", vmName, dstHost)
+}

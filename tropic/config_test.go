@@ -1,0 +1,102 @@
+package tropic_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+func TestNewRequiresSchemaAndBootstrap(t *testing.T) {
+	if _, err := tropic.New(tropic.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := tropic.New(tropic.Config{Schema: tcloud.NewSchema()}); err == nil {
+		t.Fatal("config without bootstrap accepted")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	p, err := tropic.New(tropic.Config{
+		Schema:    tcloud.NewSchema(),
+		Bootstrap: tcloud.Topology{ComputeHosts: 1}.BuildModel(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if err := p.Start(ctx); err == nil {
+		t.Fatal("double start accepted")
+	}
+}
+
+func TestClientGetMissingTxn(t *testing.T) {
+	p, _ := newTCloud(t, tcloud.Topology{ComputeHosts: 1})
+	c := p.Client()
+	defer c.Close()
+	if _, err := c.Get("t-9999999999"); !errors.Is(err, store.ErrNoNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReconcileWithoutReconciler(t *testing.T) {
+	p, err := tropic.New(tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  tcloud.Topology{ComputeHosts: 1}.BuildModel(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	c := p.Client()
+	defer c.Close()
+	err = c.Repair(ctx, "/vmRoot")
+	if err == nil {
+		t.Fatal("repair without reconciler succeeded")
+	}
+}
+
+func TestQuorumLossBlocksTransactions(t *testing.T) {
+	p, _ := newTCloud(t, tcloud.Topology{ComputeHosts: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c := p.Client()
+	defer c.Close()
+
+	// Healthy first.
+	rec, err := c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+		tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vm1", "1024")
+	if err != nil || rec.State != tropic.StateCommitted {
+		t.Fatalf("spawn: %v %v", rec, err)
+	}
+	// Kill two of three store replicas: submissions must fail fast with
+	// ErrNoQuorum rather than hang.
+	p.Ensemble().StopReplica(1)
+	p.Ensemble().StopReplica(2)
+	if _, err := c.Submit(tcloud.ProcSpawnVM,
+		tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vm2", "1024"); !errors.Is(err, store.ErrNoQuorum) {
+		t.Fatalf("submit without quorum: %v", err)
+	}
+	// Quorum restored: service resumes.
+	p.Ensemble().StartReplica(1)
+	rec, err = c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+		tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vm3", "1024")
+	if err != nil || rec.State != tropic.StateCommitted {
+		t.Fatalf("spawn after quorum restore: %v %v", rec, err)
+	}
+}

@@ -1,0 +1,83 @@
+package tropic_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/tropic"
+)
+
+// Example defines a two-slot resource pool as a TROPIC service and runs
+// three allocations: the first two commit, the third violates the
+// capacity constraint during logical simulation and aborts without any
+// effect — the platform's ACID contract in miniature.
+func Example() {
+	schema := tropic.NewSchema()
+	schema.Entity("pool").
+		Action(&tropic.ActionDef{
+			Name: "alloc",
+			Simulate: func(t *tropic.Tree, path string, args []string) error {
+				_, err := t.Create(path+"/"+args[0], "slot", nil)
+				return err
+			},
+			Undo: "free",
+		}).
+		Action(&tropic.ActionDef{
+			Name: "free",
+			Simulate: func(t *tropic.Tree, path string, args []string) error {
+				return t.Delete(path + "/" + args[0])
+			},
+			Undo: "alloc",
+		}).
+		Constrain(tropic.Constraint{
+			Name: "capacity",
+			Check: func(t *tropic.Tree, path string, n *tropic.Node) error {
+				if len(n.Children) > 2 {
+					return fmt.Errorf("%d allocations exceed 2 slots", len(n.Children))
+				}
+				return nil
+			},
+		})
+	schema.Entity("slot")
+
+	boot := tropic.NewTree()
+	if _, err := boot.Create("/pool", "pool", nil); err != nil {
+		log.Fatal(err)
+	}
+
+	p, err := tropic.New(tropic.Config{
+		Schema: schema,
+		Procedures: map[string]tropic.Procedure{
+			"allocate": func(c *tropic.Ctx) error {
+				return c.Do("/pool", "alloc", c.Arg(0))
+			},
+		},
+		Bootstrap: boot,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer p.Stop()
+
+	cli := p.Client()
+	defer cli.Close()
+	for _, tenant := range []string{"alice", "bob", "carol"} {
+		rec, err := cli.SubmitAndWait(ctx, "allocate", tenant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %s\n", tenant, rec.State)
+	}
+
+	// Output:
+	// alice: committed
+	// bob: committed
+	// carol: aborted
+}

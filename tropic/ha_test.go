@@ -1,0 +1,269 @@
+package tropic_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/reconcile"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// newHATCloud builds a platform with a short failure-detection interval
+// for failover experiments.
+func newHATCloud(t *testing.T, tp tcloud.Topology, checkpointEvery int) (*tropic.Platform, *device.Cloud) {
+	t.Helper()
+	cloud, err := tp.BuildCloud()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tropic.New(tropic.Config{
+		Schema:          tcloud.NewSchema(),
+		Procedures:      tcloud.Procedures(),
+		Bootstrap:       cloud.Snapshot(),
+		Executor:        cloud,
+		Reconciler:      reconcile.New(cloud, cloud, tcloud.RepairRules()),
+		SessionTimeout:  150 * time.Millisecond,
+		CheckpointEvery: checkpointEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	return p, cloud
+}
+
+// TestFailoverNoTransactionLost is the §6.4 experiment: kill the lead
+// controller mid-workload; a follower takes over and every transaction
+// submitted before and during recovery reaches a terminal state —
+// "No transaction submitted during the recovery time is lost."
+func TestFailoverNoTransactionLost(t *testing.T) {
+	const hosts = 8
+	p, cloud := newHATCloud(t, tcloud.Topology{ComputeHosts: hosts}, 0)
+	// Slow the devices slightly so transactions are in flight when the
+	// leader dies.
+	cloud.SetActionLatency(5 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	c := p.Client()
+	defer c.Close()
+	var ids []string
+	for i := 0; i < hosts; i++ {
+		id, err := c.Submit(tcloud.ProcSpawnVM,
+			tcloud.StorageHostPath(i/4), tcloud.ComputeHostPath(i), fmt.Sprintf("vm%d", i), "1024")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Let some transactions get in flight, then crash the leader.
+	time.Sleep(20 * time.Millisecond)
+	killed := p.KillLeader()
+	if killed == "" {
+		t.Fatal("no leader to kill")
+	}
+	// Submissions during recovery must not be lost either.
+	for i := 0; i < 3; i++ {
+		id, err := c.Submit(tcloud.ProcSpawnVM,
+			tcloud.StorageHostPath(0), tcloud.ComputeHostPath(i), fmt.Sprintf("vmR%d", i), "1024")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	start := time.Now()
+	if err := p.WaitLeader(ctx); err != nil {
+		t.Fatalf("no new leader: %v", err)
+	}
+	if got := p.Leader().Name(); got == killed {
+		t.Fatalf("killed leader %s still leads", got)
+	}
+	t.Logf("failover to %s in %v (session timeout 150ms)", p.Leader().Name(), time.Since(start))
+
+	committed := 0
+	for _, id := range ids {
+		rec, err := c.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if !rec.State.Terminal() {
+			t.Fatalf("txn %s non-terminal after recovery: %s", id, rec.State)
+		}
+		if rec.State == tropic.StateCommitted {
+			committed++
+		} else {
+			t.Logf("txn %s: %s (%s)", id, rec.State, rec.Error)
+		}
+	}
+	if committed != len(ids) {
+		t.Fatalf("committed %d/%d transactions across failover", committed, len(ids))
+	}
+	// The new leader's logical layer matches the physical layer.
+	if err := c.Repair(ctx, tcloud.VMRoot); err != nil {
+		t.Fatalf("post-failover repair (should be a no-op): %v", err)
+	}
+	if n := p.Leader().LockManager().LockCount(); n != 0 {
+		t.Fatalf("%d locks leaked after recovery", n)
+	}
+}
+
+// TestFailoverRecoveryTimeDominatedByDetection verifies the §6.4
+// finding that recovery time is dominated by the store's
+// failure-detection (session timeout) interval.
+func TestFailoverRecoveryTimeDominatedByDetection(t *testing.T) {
+	p, _ := newHATCloud(t, tcloud.Topology{ComputeHosts: 2}, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	killedAt := time.Now()
+	if p.KillLeader() == "" {
+		t.Fatal("no leader")
+	}
+	if err := p.WaitLeader(ctx); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(killedAt)
+	// Failure detection needs at least ~ the 150ms session timeout, and
+	// full recovery should complete well within a few multiples of it.
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("failover in %v — faster than failure detection allows", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("failover took %v — recovery should be dominated by the 150ms detection interval", elapsed)
+	}
+}
+
+// TestDoubleFailover kills two leaders in sequence; the third replica
+// must still serve.
+func TestDoubleFailover(t *testing.T) {
+	p, _ := newHATCloud(t, tcloud.Topology{ComputeHosts: 4}, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := p.Client()
+	defer c.Close()
+
+	for round := 0; round < 2; round++ {
+		rec, err := c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+			tcloud.StorageHostPath(0), tcloud.ComputeHostPath(round), fmt.Sprintf("vm%d", round), "1024")
+		if err != nil || rec.State != tropic.StateCommitted {
+			t.Fatalf("round %d spawn: %v %v", round, rec, err)
+		}
+		if p.KillLeader() == "" {
+			t.Fatalf("round %d: no leader", round)
+		}
+		if err := p.WaitLeader(ctx); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	// Third leader serves normally and sees all prior state.
+	rec, err := c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+		tcloud.StorageHostPath(0), tcloud.ComputeHostPath(2), "vmLast", "1024")
+	if err != nil || rec.State != tropic.StateCommitted {
+		t.Fatalf("final spawn: %v %v", rec, err)
+	}
+	lt := p.Leader().LogicalTree()
+	for _, path := range []string{
+		tcloud.ComputeHostPath(0) + "/vm0",
+		tcloud.ComputeHostPath(1) + "/vm1",
+		tcloud.ComputeHostPath(2) + "/vmLast",
+	} {
+		if !lt.Exists(path) {
+			t.Fatalf("recovered model missing %s", path)
+		}
+	}
+}
+
+// TestFailoverWithCheckpointing exercises recovery from snapshot +
+// commit-log suffix rather than full replay.
+func TestFailoverWithCheckpointing(t *testing.T) {
+	p, _ := newHATCloud(t, tcloud.Topology{ComputeHosts: 8}, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := p.Client()
+	defer c.Close()
+
+	for i := 0; i < 8; i++ {
+		rec, err := c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+			tcloud.StorageHostPath(i/4), tcloud.ComputeHostPath(i), fmt.Sprintf("vm%d", i), "1024")
+		if err != nil || rec.State != tropic.StateCommitted {
+			t.Fatalf("spawn %d: %v %v", i, rec, err)
+		}
+	}
+	if p.KillLeader() == "" {
+		t.Fatal("no leader")
+	}
+	if err := p.WaitLeader(ctx); err != nil {
+		t.Fatal(err)
+	}
+	lt := p.Leader().LogicalTree()
+	for i := 0; i < 8; i++ {
+		if !lt.Exists(tcloud.ComputeHostPath(i) + fmt.Sprintf("/vm%d", i)) {
+			t.Fatalf("recovered model missing vm%d", i)
+		}
+	}
+	// Still serving.
+	rec, err := c.SubmitAndWait(ctx, tcloud.ProcDestroyVM,
+		tcloud.ComputeHostPath(0), "vm0", tcloud.StorageHostPath(0))
+	if err != nil || rec.State != tropic.StateCommitted {
+		t.Fatalf("destroy after checkpointed recovery: %v %v", rec, err)
+	}
+}
+
+// TestFailedStateSurvivesFailover: inconsistency marks persist across
+// leader changes, so a new leader keeps denying transactions on
+// divergent subtrees.
+func TestInconsistencyMarksSurviveFailover(t *testing.T) {
+	p, cloud := newHATCloud(t, tcloud.Topology{ComputeHosts: 8}, 0)
+	inj := device.NewInjector(5)
+	inj.Add(device.FaultRule{Action: "createVM", Err: "xen error"})
+	inj.Add(device.FaultRule{Action: "unimportImage", Err: "stuck"})
+	cloud.SetFaultInjector(inj)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := p.Client()
+	defer c.Close()
+
+	rec, err := c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+		tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vm1", "1024")
+	if err != nil || rec.State != tropic.StateFailed {
+		t.Fatalf("want failed: %v %v", rec, err)
+	}
+	inj.Clear()
+	if p.KillLeader() == "" {
+		t.Fatal("no leader")
+	}
+	if err := p.WaitLeader(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// New leader still denies the marked subtree.
+	rec, err = c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+		tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vm2", "1024")
+	if err != nil || rec.State != tropic.StateAborted {
+		t.Fatalf("txn on marked subtree after failover: %v %v", rec, err)
+	}
+	// Repair under the new leader clears it (compute side and storage
+	// side), after which transactions flow again.
+	if err := c.Repair(ctx, tcloud.ComputeHostPath(0)); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if err := c.Repair(ctx, tcloud.StorageHostPath(0)); err != nil {
+		t.Fatalf("repair storage: %v", err)
+	}
+	rec, err = c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+		tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vm2", "1024")
+	if err != nil || rec.State != tropic.StateCommitted {
+		t.Fatalf("spawn after failover repair: %v %v", rec, err)
+	}
+}

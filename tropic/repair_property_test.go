@@ -1,0 +1,137 @@
+package tropic_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// TestRepairConvergenceProperty: whatever combination of out-of-band
+// corruptions hits the devices, repair must drive the physical layer
+// back to the logical state (the §4 eventual-consistency guarantee).
+// Randomized but seeded, so failures reproduce.
+func TestRepairConvergenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			p, cloud := newTCloud(t, tcloud.Topology{ComputeHosts: 4})
+			c := p.Client()
+			defer c.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+
+			// Build a small fleet.
+			rng := rand.New(rand.NewSource(seed))
+			var vms []struct {
+				host int
+				name string
+			}
+			for i := 0; i < 6; i++ {
+				host := rng.Intn(4)
+				name := fmt.Sprintf("pvm%d", i)
+				rec, err := c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+					tcloud.StorageHostPath(host/4), tcloud.ComputeHostPath(host), name, "1024")
+				if err != nil || rec.State != tropic.StateCommitted {
+					t.Fatalf("spawn %s: %v %v", name, rec, err)
+				}
+				vms = append(vms, struct {
+					host int
+					name string
+				}{host, name})
+			}
+
+			// Random out-of-band corruption.
+			for _, vm := range vms {
+				switch rng.Intn(3) {
+				case 0:
+					if err := cloud.OutOfBandStopVM(tcloud.ComputeHostName(vm.host), vm.name); err != nil {
+						t.Fatal(err)
+					}
+				case 1:
+					// Reboot the whole host (stops every VM on it).
+					cloud.PowerOffHost(tcloud.ComputeHostName(vm.host))
+					cloud.PowerOnHost(tcloud.ComputeHostName(vm.host))
+				case 2:
+					// leave alone
+				}
+			}
+
+			// Repair every compute host, then verify convergence.
+			for h := 0; h < 4; h++ {
+				if err := c.Repair(ctx, tcloud.ComputeHostPath(h)); err != nil {
+					t.Fatalf("repair host %d: %v", h, err)
+				}
+			}
+			for _, vm := range vms {
+				dev := cloud.ComputeHost(tcloud.ComputeHostName(vm.host)).VMs[vm.name]
+				if dev == nil || dev.State != "running" {
+					t.Fatalf("vm %s not restored: %+v", vm.name, dev)
+				}
+			}
+			// Full-subtree repair is now a no-op.
+			if err := c.Repair(ctx, tcloud.VMRoot); err != nil {
+				t.Fatalf("final repair: %v", err)
+			}
+		})
+	}
+}
+
+// TestSerializabilityProperty: concurrent random workloads never
+// over-commit host memory or lose VMs — the isolation invariant under
+// pressure. Final physical state must equal final logical state.
+func TestSerializabilityProperty(t *testing.T) {
+	p, cloud := newTCloud(t, tcloud.Topology{ComputeHosts: 2, HostMemMB: 4096})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// 12 clients race 2048MB spawns at 2 hosts with 2 slots each; at
+	// most 4 can ever be placed.
+	results := make(chan tropic.State, 12)
+	for i := 0; i < 12; i++ {
+		go func(i int) {
+			c := p.Client()
+			defer c.Close()
+			rec, err := c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+				tcloud.StorageHostPath(0), tcloud.ComputeHostPath(i%2),
+				fmt.Sprintf("svm%02d", i), "2048")
+			if err != nil {
+				t.Errorf("spawn %d: %v", i, err)
+				results <- tropic.StateFailed
+				return
+			}
+			results <- rec.State
+		}(i)
+	}
+	committed := 0
+	for i := 0; i < 12; i++ {
+		if <-results == tropic.StateCommitted {
+			committed++
+		}
+	}
+	if committed != 4 {
+		t.Errorf("committed = %d, want exactly 4 (capacity)", committed)
+	}
+	for h := 0; h < 2; h++ {
+		var mem int64
+		for _, vm := range cloud.ComputeHost(tcloud.ComputeHostName(h)).VMs {
+			mem += vm.MemMB
+		}
+		if mem > 4096 {
+			t.Errorf("host %d over-committed: %dMB", h, mem)
+		}
+	}
+	// Logical and physical agree.
+	c := p.Client()
+	defer c.Close()
+	if err := c.Repair(ctx, tcloud.VMRoot); err != nil {
+		t.Fatalf("repair (should be no-op): %v", err)
+	}
+	if n := p.Leader().LockManager().LockCount(); n != 0 {
+		t.Fatalf("%d locks leaked", n)
+	}
+}

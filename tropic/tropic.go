@@ -1,0 +1,488 @@
+// Package tropic is the public API of this TROPIC reproduction: a
+// transactional resource orchestration platform for IaaS clouds (Liu,
+// Mao, Chen, Fernández, Loo, Van der Merwe — USENIX ATC 2012).
+//
+// A Platform bundles a replicated coordination store, a set of
+// controller replicas (logical layer), and physical workers. Cloud
+// services are defined as a Schema (entities with actions and
+// constraints) plus stored Procedures, and exercised through a Client
+// that submits transactions and waits for their ACID outcome:
+//
+//	schema := tropic.NewSchema()
+//	... register entities, actions, constraints ...
+//	p, err := tropic.New(tropic.Config{
+//	    Schema:     schema,
+//	    Procedures: procs,
+//	    Bootstrap:  initialModel,
+//	})
+//	p.Start(ctx)
+//	defer p.Stop()
+//	rec, err := p.Client().SubmitAndWait(ctx, "spawnVM", args...)
+//
+// Orchestrations either commit in full — on the devices and in the
+// logical model — or leave no effect, with constraint violations and
+// race conditions caught in the logical layer before any device is
+// touched.
+package tropic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/model"
+	"repro/internal/proto"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/worker"
+)
+
+// Re-exported model and transaction vocabulary, so services are written
+// against the tropic package alone.
+type (
+	// Schema registers the data model's entities.
+	Schema = model.Schema
+	// Tree is a hierarchical data model instance.
+	Tree = model.Tree
+	// Node is one object in the data model.
+	Node = model.Node
+	// Entity describes a node type.
+	Entity = model.Entity
+	// ActionDef defines an entity action with its undo.
+	ActionDef = model.ActionDef
+	// Constraint is a service/engineering rule checked at runtime.
+	Constraint = model.Constraint
+	// Ctx is the stored-procedure execution context.
+	Ctx = controller.Ctx
+	// Procedure is orchestration logic run as a transaction.
+	Procedure = controller.Procedure
+	// Txn is a transaction record.
+	Txn = txn.Txn
+	// LogRecord is one execution-log entry (paper Table 1).
+	LogRecord = txn.LogRecord
+	// State is a transaction state (paper Figure 2).
+	State = txn.State
+	// Executor is the physical device API used by workers.
+	Executor = worker.Executor
+	// NoopExecutor is the logical-only mode executor (§5).
+	NoopExecutor = worker.NoopExecutor
+)
+
+// Transaction states.
+const (
+	StateInitialized = txn.StateInitialized
+	StateAccepted    = txn.StateAccepted
+	StateStarted     = txn.StateStarted
+	StateCommitted   = txn.StateCommitted
+	StateAborted     = txn.StateAborted
+	StateFailed      = txn.StateFailed
+)
+
+// Operator signals (§4).
+const (
+	SignalTerm = txn.SignalTerm
+	SignalKill = txn.SignalKill
+)
+
+// Scheduling policies (§3.1.1).
+const (
+	ScheduleFIFO       = controller.ScheduleFIFO
+	ScheduleAggressive = controller.ScheduleAggressive
+)
+
+// ErrAbort aborts a transaction from inside a stored procedure.
+var ErrAbort = controller.ErrAbort
+
+// NewSchema creates an empty schema.
+func NewSchema() *Schema { return model.NewSchema() }
+
+// NewTree creates an empty data model tree.
+func NewTree() *Tree { return model.NewTree() }
+
+// Config assembles a platform.
+type Config struct {
+	// Schema defines the data model entities (required).
+	Schema *Schema
+	// Procedures is the stored-procedure registry (required).
+	Procedures map[string]Procedure
+	// Bootstrap is the initial logical data model (required): the
+	// device snapshot for a physical deployment, or a synthetic tree in
+	// logical-only mode.
+	Bootstrap *Tree
+	// Executor performs physical actions; nil selects logical-only mode
+	// (NoopExecutor), as used by the paper's scale experiments.
+	Executor Executor
+	// Controllers is the number of controller replicas (default 3,
+	// matching the paper's deployment).
+	Controllers int
+	// WorkerThreads is the number of physical executor threads
+	// (default 4; the paper runs one worker with multiple threads).
+	WorkerThreads int
+	// StoreReplicas is the coordination-store ensemble size (default 3).
+	StoreReplicas int
+	// SessionTimeout is the store's failure-detection interval, which
+	// dominates controller failover time (§6.4). Default 500ms.
+	SessionTimeout time.Duration
+	// CommitLatency simulates the I/O cost of a store quorum round.
+	CommitLatency time.Duration
+	// CheckpointEvery folds the commit log into a snapshot after this
+	// many commits (0 disables checkpointing).
+	CheckpointEvery int
+	// Reconciler handles reload/repair requests (§4). Typically
+	// reconcile.New(cloud, cloud, tcloud.RepairRules()); nil rejects
+	// reconciliation requests.
+	Reconciler controller.Reconciler
+	// Policy selects the todoQ scheduling strategy: ScheduleFIFO (the
+	// paper's default) or ScheduleAggressive (§3.1.1's future-work
+	// alternative that schedules past conflicted transactions).
+	Policy controller.SchedulingPolicy
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Platform is a running TROPIC deployment.
+type Platform struct {
+	cfg  Config
+	ens  *store.Ensemble
+	ctrl []*controller.Controller
+	wrk  *worker.Worker
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	started bool
+}
+
+// New builds a platform. Call Start to elect a leader and begin serving.
+func New(cfg Config) (*Platform, error) {
+	if cfg.Schema == nil {
+		return nil, errors.New("tropic: Config.Schema is required")
+	}
+	if cfg.Bootstrap == nil {
+		return nil, errors.New("tropic: Config.Bootstrap is required")
+	}
+	if cfg.Controllers <= 0 {
+		cfg.Controllers = 3
+	}
+	if cfg.WorkerThreads <= 0 {
+		cfg.WorkerThreads = 4
+	}
+	if cfg.StoreReplicas <= 0 {
+		cfg.StoreReplicas = 3
+	}
+	if cfg.Executor == nil {
+		cfg.Executor = NoopExecutor{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ens := store.NewEnsemble(store.Config{
+		Replicas:       cfg.StoreReplicas,
+		SessionTimeout: cfg.SessionTimeout,
+		CommitLatency:  cfg.CommitLatency,
+	})
+	p := &Platform{cfg: cfg, ens: ens}
+	for i := 0; i < cfg.Controllers; i++ {
+		c, err := controller.New(controller.Config{
+			Name:            fmt.Sprintf("ctrl-%d", i),
+			Ensemble:        ens,
+			Schema:          cfg.Schema,
+			Procedures:      cfg.Procedures,
+			Bootstrap:       cfg.Bootstrap,
+			CheckpointEvery: cfg.CheckpointEvery,
+			Reconciler:      cfg.Reconciler,
+			Policy:          cfg.Policy,
+			Logf:            cfg.Logf,
+		})
+		if err != nil {
+			ens.Close()
+			return nil, err
+		}
+		p.ctrl = append(p.ctrl, c)
+	}
+	w, err := worker.New(worker.Config{
+		Name:     "worker-0",
+		Ensemble: ens,
+		Executor: cfg.Executor,
+		Threads:  cfg.WorkerThreads,
+		Logf:     cfg.Logf,
+	})
+	if err != nil {
+		ens.Close()
+		return nil, err
+	}
+	p.wrk = w
+	return p, nil
+}
+
+// Start launches controllers and workers and returns once a leader is
+// serving.
+func (p *Platform) Start(ctx context.Context) error {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return errors.New("tropic: already started")
+	}
+	p.started = true
+	p.mu.Unlock()
+
+	runCtx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	for _, c := range p.ctrl {
+		c := c
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			if err := c.Run(runCtx); err != nil && !errors.Is(err, context.Canceled) {
+				p.cfg.Logf("tropic: controller exited: %v", err)
+			}
+		}()
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		if err := p.wrk.Run(runCtx); err != nil && !errors.Is(err, context.Canceled) {
+			p.cfg.Logf("tropic: worker exited: %v", err)
+		}
+	}()
+	return p.WaitLeader(ctx)
+}
+
+// WaitLeader blocks until some controller is leading.
+func (p *Platform) WaitLeader(ctx context.Context) error {
+	for {
+		if p.Leader() != nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Leader returns the currently leading controller, or nil.
+func (p *Platform) Leader() *controller.Controller {
+	for _, c := range p.ctrl {
+		if c.Leading() {
+			return c
+		}
+	}
+	return nil
+}
+
+// KillLeader crashes the current leader (no graceful cleanup — its
+// election node lingers until the store's session timeout, as for a
+// real machine failure). Returns the killed controller's name, or ""
+// when no leader is up.
+func (p *Platform) KillLeader() string {
+	c := p.Leader()
+	if c == nil {
+		return ""
+	}
+	name := c.Name()
+	c.Kill()
+	return name
+}
+
+// Stop shuts the platform down: controllers, workers, then the store.
+func (p *Platform) Stop() {
+	if p.cancel != nil {
+		p.cancel()
+	}
+	p.wg.Wait()
+	for _, c := range p.ctrl {
+		c.Close()
+	}
+	p.wrk.Close()
+	p.ens.Close()
+}
+
+// Ensemble exposes the coordination store for fault-injection in tests
+// and benchmarks.
+func (p *Platform) Ensemble() *store.Ensemble { return p.ens }
+
+// Controllers exposes the controller replicas (for HA experiments).
+func (p *Platform) Controllers() []*controller.Controller { return p.ctrl }
+
+// Worker exposes the physical worker (for stats).
+func (p *Platform) Worker() *worker.Worker { return p.wrk }
+
+// ControllerStats sums stats across all controller replicas.
+func (p *Platform) ControllerStats() controller.Stats {
+	var total controller.Stats
+	for _, c := range p.ctrl {
+		s := c.Stats()
+		total.Accepted += s.Accepted
+		total.Committed += s.Committed
+		total.Aborted += s.Aborted
+		total.Failed += s.Failed
+		total.Deferrals += s.Deferrals
+		total.Violations += s.Violations
+		total.BusyNanos += s.BusyNanos
+		total.ConstraintNanos += s.ConstraintNanos
+		total.RollbackNanos += s.RollbackNanos
+		total.Rollbacks += s.Rollbacks
+	}
+	return total
+}
+
+// Client opens a new client session against the platform.
+func (p *Platform) Client() *Client {
+	return &Client{cli: p.ens.Connect()}
+}
+
+// Client submits transactional orchestrations and tracks their outcome,
+// playing the role of the API service gateway in Figure 1.
+type Client struct {
+	cli *store.Client
+}
+
+// Close releases the client's store session.
+func (c *Client) Close() { c.cli.Close() }
+
+// Submit initiates a transaction (Figure 2, ①) and returns its id.
+func (c *Client) Submit(proc string, args ...string) (string, error) {
+	rec := &txn.Txn{
+		Proc:        proc,
+		Args:        args,
+		State:       txn.StateInitialized,
+		SubmittedAt: time.Now(),
+	}
+	path, err := c.cli.Create(proto.TxnPrefix, rec.Encode(), store.FlagSequence)
+	if err != nil {
+		return "", fmt.Errorf("tropic: submit: %w", err)
+	}
+	_, err = c.cli.Create(proto.InputQPath+"/item-",
+		proto.InputMsg{Kind: proto.KindSubmit, TxnPath: path}.Encode(), store.FlagSequence)
+	if err != nil {
+		return "", fmt.Errorf("tropic: submit enqueue: %w", err)
+	}
+	return idFromPath(path), nil
+}
+
+// Get fetches the current record of a transaction.
+func (c *Client) Get(id string) (*Txn, error) {
+	data, _, err := c.cli.Get(proto.TxnsPath + "/" + id)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := txn.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	rec.ID = id
+	return rec, nil
+}
+
+// Wait blocks until the transaction reaches a terminal state and
+// returns its final record.
+func (c *Client) Wait(ctx context.Context, id string) (*Txn, error) {
+	path := proto.TxnsPath + "/" + id
+	for {
+		watch, err := c.cli.WatchNode(path)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := c.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if rec.State.Terminal() {
+			return rec, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case ev := <-watch:
+			if ev.Type == store.EventSessionExpired {
+				return nil, store.ErrSessionExpired
+			}
+		}
+	}
+}
+
+// SubmitAndWait submits and waits for the outcome.
+func (c *Client) SubmitAndWait(ctx context.Context, proc string, args ...string) (*Txn, error) {
+	id, err := c.Submit(proc, args...)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, id)
+}
+
+// Reload asks the lead controller to synchronize the logical layer from
+// the physical state of the target subtree and waits for the outcome
+// (§4). Intended for device additions and decommissionings.
+func (c *Client) Reload(ctx context.Context, target string) error {
+	return c.reconcileRequest(ctx, proto.KindReload, target)
+}
+
+// Repair asks the lead controller to drive the physical state of the
+// target subtree back to the logical state and waits for the outcome
+// (§4). TROPIC invokes this periodically at an operator-chosen
+// frequency.
+func (c *Client) Repair(ctx context.Context, target string) error {
+	return c.reconcileRequest(ctx, proto.KindRepair, target)
+}
+
+func (c *Client) reconcileRequest(ctx context.Context, kind proto.MsgKind, target string) error {
+	if err := c.cli.EnsurePath(proto.RepliesPath); err != nil {
+		return err
+	}
+	replyPath, err := c.cli.Create(proto.RepliesPath+"/r-", nil, store.FlagSequence)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.cli.Delete(replyPath, -1) }()
+	watch, err := c.cli.WatchNode(replyPath)
+	if err != nil {
+		return err
+	}
+	_, err = c.cli.Create(proto.InputQPath+"/item-",
+		proto.InputMsg{Kind: kind, Target: target, Reply: replyPath}.Encode(), store.FlagSequence)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case ev := <-watch:
+		if ev.Type == store.EventSessionExpired {
+			return store.ErrSessionExpired
+		}
+	}
+	data, _, err := c.cli.Get(replyPath)
+	if err != nil {
+		return err
+	}
+	reply, err := proto.DecodeReply(data)
+	if err != nil {
+		return err
+	}
+	if !reply.OK {
+		return fmt.Errorf("tropic: %s %s: %s", kind, target, reply.Error)
+	}
+	return nil
+}
+
+// Signal sends a TERM or KILL to a transaction (§4).
+func (c *Client) Signal(id string, sig txn.Signal) error {
+	_, err := c.cli.Create(proto.InputQPath+"/item-",
+		proto.InputMsg{
+			Kind:    proto.KindSignal,
+			TxnPath: proto.TxnsPath + "/" + id,
+			Signal:  string(sig),
+		}.Encode(), store.FlagSequence)
+	return err
+}
+
+func idFromPath(path string) string {
+	return path[strings.LastIndexByte(path, '/')+1:]
+}
