@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/store"
 	"repro/internal/workload"
 	"repro/tcloud"
 	"repro/tropic"
@@ -270,6 +271,105 @@ func BenchmarkSchedulingPolicyAblation(b *testing.B) {
 	b.ReportMetric(aggrLat/n, "aggr-indep-ms")
 	b.ReportMetric(fifoDef/n, "fifo-deferrals")
 	b.ReportMetric(aggrDef/n, "aggr-deferrals")
+}
+
+// BenchmarkWALAppend measures the durability tax on the store's commit
+// path: committed writes per second with the write-ahead log enabled,
+// under each fsync policy. With DataDir unset (every other benchmark in
+// this file) the commit path does no disk I/O at all, so those numbers
+// are the zero-tax baseline.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, policy := range []store.SyncPolicy{store.SyncNone, store.SyncAlways} {
+		b.Run("sync="+policy.String(), func(b *testing.B) {
+			e, err := store.OpenEnsemble(store.Config{
+				DataDir:       b.TempDir(),
+				SyncPolicy:    policy,
+				SnapshotEvery: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			cli := e.Connect()
+			defer cli.Close()
+			if _, err := cli.Create("/bench", nil, 0); err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 128) // a small transaction record
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cli.Set("/bench", payload, -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "appends/s")
+		})
+	}
+}
+
+// BenchmarkWALRecovery measures restart time from a 10,000-op log —
+// the §6.4 recovery measurement extended to full-process crashes. The
+// wal-only case replays every op; the snapshot case recovers from the
+// latest snapshot plus a bounded WAL tail, which is what SnapshotEvery
+// buys.
+func BenchmarkWALRecovery(b *testing.B) {
+	const logOps = 10_000
+	for _, tc := range []struct {
+		name      string
+		snapEvery int
+	}{
+		{"wal-only", -1},
+		{"snapshot-every-1000", 1000},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var recovery time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				e, err := store.OpenEnsemble(store.Config{
+					DataDir:       dir,
+					SyncPolicy:    store.SyncNone,
+					SnapshotEvery: tc.snapEvery,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cli := e.Connect()
+				if _, err := cli.Create("/load", nil, 0); err != nil {
+					b.Fatal(err)
+				}
+				payload := make([]byte, 128)
+				for j := 0; j < logOps; j++ {
+					if j%10 == 0 {
+						if _, err := cli.Create(fmt.Sprintf("/load/n%05d", j), payload, 0); err != nil {
+							b.Fatal(err)
+						}
+					} else if err := cli.Set("/load", payload, -1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cli.Kill() // crash, not graceful close
+				e.Close()
+				b.StartTimer()
+				e2, err := store.OpenEnsemble(store.Config{
+					DataDir:       dir,
+					SyncPolicy:    store.SyncNone,
+					SnapshotEvery: tc.snapEvery,
+				})
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				recovery += e2.LastRecovery()
+				e2.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(recovery.Microseconds())/float64(b.N)/1000, "recovery-ms")
+			b.ReportMetric(logOps, "log-ops")
+		})
+	}
 }
 
 // BenchmarkModelSnapshot measures checkpoint serialization, the

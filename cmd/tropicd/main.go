@@ -4,6 +4,11 @@
 // service gateway.
 //
 //	tropicd -listen :7077 -hosts 16
+//	tropicd -listen :7077 -hosts 16 -data-dir /var/lib/tropic -sync always
+//
+// With -data-dir the coordination store is durable: transactions,
+// queues, and counters survive a daemon restart (crash or SIGTERM) and
+// the platform resumes from its committed state.
 //
 // Endpoints (JSON):
 //
@@ -44,16 +49,26 @@ func main() {
 		commitLat   = flag.Duration("commit-latency", 0, "simulated store quorum latency")
 		actionLat   = flag.Duration("action-latency", 5*time.Millisecond, "simulated device call latency")
 		sessionTO   = flag.Duration("session-timeout", 2*time.Second, "failure-detection interval")
+		dataDir     = flag.String("data-dir", "", "coordination-store data directory (empty: in-memory only)")
+		syncFlag    = flag.String("sync", "always", "WAL fsync policy with -data-dir: always|none")
+		snapEvery   = flag.Int("snapshot-every", 4096, "store writes between snapshots with -data-dir")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "tropicd ", log.LstdFlags|log.Lmicroseconds)
+	syncPolicy, err := tropic.ParseSyncPolicy(*syncFlag)
+	if err != nil {
+		logger.Fatalf("-sync: %v", err)
+	}
 	cfg := tropic.Config{
 		Schema:         tcloud.NewSchema(),
 		Procedures:     tcloud.Procedures(),
 		Controllers:    *controllers,
 		CommitLatency:  *commitLat,
 		SessionTimeout: *sessionTO,
+		DataDir:        *dataDir,
+		SyncPolicy:     syncPolicy,
+		SnapshotEvery:  *snapEvery,
 		Logf:           logger.Printf,
 	}
 	tp := tcloud.Topology{ComputeHosts: *hosts}
@@ -81,9 +96,16 @@ func main() {
 		logger.Fatalf("start: %v", err)
 	}
 	cancel()
-	defer p.Stop()
 	logger.Printf("platform up: %d compute hosts (%d VM slots), %d storage hosts, leader %s",
 		*hosts, *hosts*8, tp.StorageHosts(), p.Leader().Name())
+	if *dataDir != "" {
+		if ps := p.Ensemble().PersistStats(); ps.Recoveries > 0 {
+			logger.Printf("durable store: dir=%s sync=%s recovered in %s",
+				*dataDir, syncPolicy, p.Ensemble().LastRecovery())
+		} else {
+			logger.Printf("durable store: dir=%s sync=%s (fresh)", *dataDir, syncPolicy)
+		}
+	}
 
 	srv := &http.Server{Addr: *listen, Handler: newAPI(p, logger)}
 	go func() {
@@ -100,6 +122,16 @@ func main() {
 	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	_ = srv.Shutdown(shutdownCtx)
+	// Stop flushes the coordination store's WAL (with -data-dir), so a
+	// SIGTERM'd deployment restarts from exactly its committed state.
+	err = p.Stop()
+	switch {
+	case *dataDir == "":
+	case err != nil:
+		logger.Printf("WARNING: final WAL flush failed, the log tail may not be durable: %v", err)
+	default:
+		logger.Printf("state flushed to %s", *dataDir)
+	}
 }
 
 // api serves the orchestration HTTP endpoints.
@@ -249,6 +281,7 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 		"leader":     leaderName,
 		"controller": a.p.ControllerStats(),
 		"worker":     a.p.Worker().Stats(),
+		"persist":    a.p.Ensemble().PersistStats(),
 	})
 }
 

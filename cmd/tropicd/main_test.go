@@ -40,7 +40,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *device.Cloud) {
 	if err := p.Start(ctx); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(p.Stop)
+	t.Cleanup(func() { p.Stop() })
 	srv := httptest.NewServer(newAPI(p, log.New(io.Discard, "", 0)))
 	t.Cleanup(srv.Close)
 	return srv, cloud

@@ -257,6 +257,12 @@ func (c *Controller) Stats() Stats {
 // atomically with the persistent effects of processing it, so a leader
 // crash at any point neither loses nor double-applies a message.
 func (c *Controller) lead(ctx context.Context) error {
+	// Retry backoff for a persistently failing head item: exponential
+	// from retryBackoffMin to retryBackoffMax, reset on any success.
+	// Store latency makes each failed attempt cheap for the leader but
+	// expensive for the ensemble, so the pause grows with consecutive
+	// failures instead of hot-looping at a flat 1ms.
+	backoff := time.Duration(0)
 	for {
 		data, itemPath, err := c.inputQ.TakeHead(ctx)
 		if err != nil {
@@ -277,14 +283,36 @@ func (c *Controller) lead(ctx context.Context) error {
 				return err
 			}
 			c.cfg.Logf("controller %s: handle %s: %v", c.cfg.Name, msg.Kind, err)
-			// The item stays queued and is retried; pause briefly so a
-			// persistently failing head item cannot hot-loop.
-			time.Sleep(time.Millisecond)
+			if backoff == 0 {
+				backoff = retryBackoffMin
+			} else if backoff *= 2; backoff > retryBackoffMax {
+				backoff = retryBackoffMax
+			}
+			// The wait is idle time, not work: close the busy window
+			// before sleeping and reopen it after, or the Figure 4 CPU
+			// proxy would count up to retryBackoffMax per retry as load.
+			atomic.AddInt64(&c.stats.BusyNanos, time.Since(start).Nanoseconds())
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			start = time.Now()
+		} else {
+			backoff = 0
 		}
 		c.schedule()
 		atomic.AddInt64(&c.stats.BusyNanos, time.Since(start).Nanoseconds())
 	}
 }
+
+// Retry backoff bounds for the leader loop: the floor matches the old
+// flat pause; the cap keeps a stuck head item from freezing signal and
+// reconciliation handling for long stretches.
+const (
+	retryBackoffMin = time.Millisecond
+	retryBackoffMax = 100 * time.Millisecond
+)
 
 func (c *Controller) handle(msg proto.InputMsg, itemPath string) error {
 	switch msg.Kind {

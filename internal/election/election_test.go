@@ -15,7 +15,7 @@ func newEnsemble(t *testing.T) *store.Ensemble {
 		SessionTimeout: 100 * time.Millisecond,
 		TickInterval:   10 * time.Millisecond,
 	})
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 

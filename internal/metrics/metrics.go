@@ -10,8 +10,36 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing atomic counter, for throughput
+// and event totals (WAL appends, fsyncs, snapshots, commits).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add accumulates n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current total.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a last-value metric (e.g. the duration of the most recent
+// recovery), settable from any goroutine.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the most recently set value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // Histogram collects float64 samples and answers distribution queries.
 // It retains raw samples, which is appropriate for the tens of

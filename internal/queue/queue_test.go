@@ -13,7 +13,7 @@ import (
 func newEnsemble(t *testing.T) *store.Ensemble {
 	t.Helper()
 	e := store.NewEnsemble(store.Config{Replicas: 3, SessionTimeout: 200 * time.Millisecond})
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 

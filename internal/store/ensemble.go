@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/store/persist"
 )
 
 // Config parameterizes an ensemble.
@@ -26,6 +28,21 @@ type Config struct {
 	// TickInterval is how often the ensemble checks for expired
 	// sessions. Defaults to SessionTimeout/4.
 	TickInterval time.Duration
+	// DataDir, when non-empty, makes the ensemble durable: every
+	// committed write is appended to a write-ahead log in this directory
+	// before it is applied, and on startup the ensemble recovers from
+	// the latest snapshot plus the WAL tail (pre-crash sessions are
+	// expired so ephemeral cleanup and re-election fire exactly as on
+	// failover). Empty (the default) keeps the ensemble purely
+	// in-memory with no disk I/O.
+	DataDir string
+	// SyncPolicy selects when the WAL is fsynced (SyncAlways, the
+	// default, or SyncNone). Ignored without DataDir.
+	SyncPolicy SyncPolicy
+	// SnapshotEvery writes a full-tree snapshot and truncates the WAL
+	// after this many logged writes. Defaults to 4096 when DataDir is
+	// set; negative disables snapshotting. Ignored without DataDir.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -37,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TickInterval <= 0 {
 		c.TickInterval = c.SessionTimeout / 4
+	}
+	if c.DataDir != "" && c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 4096
 	}
 	return c
 }
@@ -125,12 +145,32 @@ type Ensemble struct {
 	stopTick chan struct{}
 	tickDone chan struct{}
 
+	// Durability (nil without Config.DataDir).
+	pstore    *persist.Store
+	sinceSnap int // WAL appends since the last snapshot
+
 	// stats
 	commits int64
 }
 
 // NewEnsemble creates and starts an ensemble with all replicas alive.
+// It is the in-memory constructor: cfg.DataDir must be empty (durable
+// ensembles recover from disk and can fail — use OpenEnsemble).
 func NewEnsemble(cfg Config) *Ensemble {
+	e, err := OpenEnsemble(cfg)
+	if err != nil {
+		// Only reachable with a DataDir, whose callers must use
+		// OpenEnsemble and handle the error.
+		panic("store: NewEnsemble with DataDir: " + err.Error())
+	}
+	return e
+}
+
+// OpenEnsemble creates and starts an ensemble. With cfg.DataDir set it
+// first recovers all persistent state from the directory (snapshot +
+// WAL tail) and expires every pre-crash session, then serves with every
+// committed write logged before it is applied.
+func OpenEnsemble(cfg Config) (*Ensemble, error) {
 	cfg = cfg.withDefaults()
 	e := &Ensemble{
 		cfg:      cfg,
@@ -142,17 +182,30 @@ func NewEnsemble(cfg Config) *Ensemble {
 	for i := 0; i < cfg.Replicas; i++ {
 		e.replicas = append(e.replicas, &replica{id: i, alive: true, tree: newTree()})
 	}
+	if cfg.DataDir != "" {
+		ps, err := persist.Open(cfg.DataDir, cfg.SyncPolicy)
+		if err != nil {
+			return nil, err
+		}
+		e.pstore = ps
+		if err := e.recoverFromDisk(); err != nil {
+			ps.Close()
+			return nil, fmt.Errorf("store: recover %s: %w", cfg.DataDir, err)
+		}
+	}
 	go e.tickLoop()
-	return e
+	return e, nil
 }
 
 // Close shuts the ensemble down. All subsequent operations fail with
-// ErrClosed.
-func (e *Ensemble) Close() {
+// ErrClosed. The returned error reports a failed final WAL flush — the
+// shutdown itself always completes, but a caller that persists state
+// must not tell its operator the tail is durable when it is not.
+func (e *Ensemble) Close() error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return
+		return nil
 	}
 	e.closed = true
 	for _, s := range e.sessions {
@@ -164,6 +217,12 @@ func (e *Ensemble) Close() {
 	e.mu.Unlock()
 	close(e.stopTick)
 	<-e.tickDone
+	if e.pstore != nil {
+		// No further commits are possible (closed is set); flush the WAL
+		// tail so everything committed survives the shutdown.
+		return e.pstore.Close()
+	}
+	return nil
 }
 
 func (e *Ensemble) tickLoop() {
@@ -297,6 +356,18 @@ func (e *Ensemble) commitLocked(op Op) error {
 		time.Sleep(e.cfg.CommitLatency)
 	}
 	e.zxid++
+	if e.pstore != nil {
+		// Log-before-apply: the record must be on the log (and, under
+		// SyncAlways, on stable storage) before any replica observes the
+		// mutation. On failure the write is rejected — no replica applied
+		// it — and the persist layer goes fail-stop, so every later write
+		// fails too. The zxid is NOT reused: the failed record's frame
+		// may be fully on disk (e.g. write ok, fsync failed) and will
+		// then reappear on recovery, so its id must stay unique.
+		if err := e.pstore.Append(e.zxid, encodeOp(resolved)); err != nil {
+			return err
+		}
+	}
 	e.log = append(e.log, logEntry{op: resolved, zxid: e.zxid})
 	fired := &firedWatches{}
 	first := true
@@ -315,6 +386,9 @@ func (e *Ensemble) commitLocked(op Op) error {
 		r.applyIdx = int64(len(e.log))
 	}
 	e.commits++
+	if e.pstore != nil {
+		e.maybeSnapshotLocked()
+	}
 	e.watches.fire(fired)
 	return nil
 }

@@ -11,7 +11,7 @@ import (
 func newTestEnsemble(t *testing.T) *Ensemble {
 	t.Helper()
 	e := NewEnsemble(Config{Replicas: 3, SessionTimeout: 200 * time.Millisecond})
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 

@@ -37,7 +37,7 @@ func newHATCloud(t *testing.T, tp tcloud.Topology, checkpointEvery int) (*tropic
 	if err := p.Start(ctx); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(p.Stop)
+	t.Cleanup(func() { p.Stop() })
 	return p, cloud
 }
 

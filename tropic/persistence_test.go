@@ -1,0 +1,213 @@
+package tropic_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// The §6.4 failover experiment extended to full-process crashes: with a
+// DataDir, stopping the entire platform and restarting it from the same
+// directory must preserve every committed transaction record and the
+// logical tree, reap every pre-crash ephemeral, and resume (or cleanly
+// reconcile) in-flight work.
+
+// newDurablePlatform builds a logical-only platform persisting to dir.
+func newDurablePlatform(t *testing.T, dir string, hosts int) *tropic.Platform {
+	t.Helper()
+	p, err := tropic.New(tropic.Config{
+		Schema:         tcloud.NewSchema(),
+		Procedures:     tcloud.Procedures(),
+		Bootstrap:      tcloud.Topology{ComputeHosts: hosts}.BuildModel(),
+		Executor:       tropic.NoopExecutor{},
+		SessionTimeout: 150 * time.Millisecond,
+		DataDir:        dir,
+		SyncPolicy:     tropic.SyncNone, // process-crash durability is what's under test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformRestartPreservesCommittedTransactions(t *testing.T) {
+	const hosts = 4
+	dir := t.TempDir()
+	p := newDurablePlatform(t, dir, hosts)
+	c := p.Client()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Commit a batch of transactions, including a deliberate failure
+	// (unknown procedure → aborted) so both terminal states are covered.
+	type outcome struct {
+		state tropic.State
+		vm    string
+	}
+	want := make(map[string]outcome)
+	for i := 0; i < hosts; i++ {
+		vm := fmt.Sprintf("vm%d", i)
+		rec, err := c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+			tcloud.StorageHostPath(i/4), tcloud.ComputeHostPath(i), vm, "1024")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.State != tropic.StateCommitted {
+			t.Fatalf("spawn %s: %s (%s)", vm, rec.State, rec.Error)
+		}
+		want[rec.ID] = outcome{tropic.StateCommitted, vm}
+	}
+	rec, err := c.SubmitAndWait(ctx, "noSuchProcedure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != tropic.StateAborted {
+		t.Fatalf("bogus procedure: %s", rec.State)
+	}
+	want[rec.ID] = outcome{tropic.StateAborted, ""}
+
+	preCrashZxid := p.Ensemble().PersistStats().WALAppends
+	c.Close()
+	p.Stop() // whole-platform stop: controllers, workers, store — all gone
+
+	// Restart from the same directory: a brand-new process image.
+	p2 := newDurablePlatform(t, dir, hosts)
+	defer p2.Stop()
+	c2 := p2.Client()
+	defer c2.Close()
+
+	// Every transaction record survived with identical ID and state.
+	for id, o := range want {
+		got, err := c2.Get(id)
+		if err != nil {
+			t.Fatalf("txn %s lost in restart: %v", id, err)
+		}
+		if got.State != o.state {
+			t.Fatalf("txn %s: state %s, want %s", id, got.State, o.state)
+		}
+	}
+
+	// The recovered leader rebuilt the logical tree from the durable
+	// snapshot + commit log: every spawned VM is present and running.
+	leader := p2.Leader()
+	if leader == nil {
+		t.Fatal("no leader after restart")
+	}
+	for _, o := range want {
+		if o.vm == "" {
+			continue
+		}
+		found := false
+		for i := 0; i < hosts && !found; i++ {
+			n, err := leader.LogicalTree().Get(tcloud.ComputeHostPath(i) + "/" + o.vm)
+			if err == nil && n.Attrs["state"] == "running" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("VM %s missing from recovered logical tree", o.vm)
+		}
+	}
+
+	// The platform is live, with sequence counters resumed: new
+	// transactions get fresh IDs and commit.
+	rec2, err := c2.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+		tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vmPost", "1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.State != tropic.StateCommitted {
+		t.Fatalf("post-restart spawn: %s (%s)", rec2.State, rec2.Error)
+	}
+	if _, dup := want[rec2.ID]; dup {
+		t.Fatalf("post-restart transaction reused ID %s", rec2.ID)
+	}
+	if preCrashZxid == 0 {
+		t.Fatal("first incarnation logged nothing")
+	}
+}
+
+func TestPlatformRestartRecoversInFlightTransactions(t *testing.T) {
+	const hosts = 4
+	dir := t.TempDir()
+	p := newDurablePlatform(t, dir, hosts)
+	c := p.Client()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Submit without waiting, then stop the platform immediately: some
+	// transactions die mid-flight (initialized, accepted, or started).
+	var ids []string
+	for i := 0; i < hosts*2; i++ {
+		id, err := c.Submit(tcloud.ProcSpawnVM,
+			tcloud.StorageHostPath((i%hosts)/4), tcloud.ComputeHostPath(i%hosts),
+			fmt.Sprintf("vmF%d", i), "1024")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	c.Close()
+	p.Stop()
+
+	// After restart the recovered leader re-reads the queues and records:
+	// every pre-crash submission must reach a terminal state.
+	p2 := newDurablePlatform(t, dir, hosts)
+	defer p2.Stop()
+	c2 := p2.Client()
+	defer c2.Close()
+	for _, id := range ids {
+		rec, err := c2.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("txn %s: %v", id, err)
+		}
+		if !rec.State.Terminal() {
+			t.Fatalf("txn %s stuck in %s after restart", id, rec.State)
+		}
+	}
+}
+
+func TestPlatformRestartReapsPreCrashEphemerals(t *testing.T) {
+	dir := t.TempDir()
+	p := newDurablePlatform(t, dir, 2)
+	ens := p.Ensemble()
+	cli := ens.Connect()
+	if _, err := cli.Create("/stale-owner", nil, store.FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	cli.Kill() // crashed client: session never expires gracefully
+	p.Stop()
+
+	p2 := newDurablePlatform(t, dir, 2)
+	defer p2.Stop()
+	c2 := p2.Ensemble().Connect()
+	defer c2.Close()
+	if ok, _, _ := c2.Exists("/stale-owner"); ok {
+		t.Fatal("pre-crash ephemeral resurrected across platform restart")
+	}
+	// Election nodes are ephemerals too: the fact that p2 elected a
+	// leader (Start returned) already proves the old incarnation's
+	// election nodes were reaped; make it explicit.
+	if p2.Leader() == nil {
+		t.Fatal("no leader after restart")
+	}
+}
+
+func TestPlatformDataDirUnsetIsPureInMemory(t *testing.T) {
+	p, _ := newTCloud(t, tcloud.Topology{ComputeHosts: 2})
+	if got := p.Ensemble().PersistStats(); got != (tropic.PersistStats{}) {
+		t.Fatalf("in-memory platform reported persistence activity: %+v", got)
+	}
+}

@@ -70,7 +70,22 @@ type (
 	Executor = worker.Executor
 	// NoopExecutor is the logical-only mode executor (§5).
 	NoopExecutor = worker.NoopExecutor
+	// SyncPolicy selects the coordination store's WAL fsync policy.
+	SyncPolicy = store.SyncPolicy
+	// PersistStats are the store's durability counters.
+	PersistStats = store.PersistStats
 )
+
+// WAL fsync policies (used with Config.DataDir).
+const (
+	// SyncAlways fsyncs every logged write (default; machine-crash safe).
+	SyncAlways = store.SyncAlways
+	// SyncNone leaves flushing to the OS (process-crash safe only).
+	SyncNone = store.SyncNone
+)
+
+// ParseSyncPolicy parses a sync-policy flag value ("always" | "none").
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return store.ParseSyncPolicy(s) }
 
 // Transaction states.
 const (
@@ -129,6 +144,21 @@ type Config struct {
 	SessionTimeout time.Duration
 	// CommitLatency simulates the I/O cost of a store quorum round.
 	CommitLatency time.Duration
+	// DataDir, when non-empty, makes the coordination store durable:
+	// every committed write is logged to this directory before it is
+	// applied, and a restarted platform recovers all transaction
+	// records, queues, and counters from it — the paper's §2.3 claim
+	// that a new lead controller resumes in-flight work after ANY
+	// failure, extended to full-process crashes. Empty (the default)
+	// keeps the platform purely in-memory.
+	DataDir string
+	// SyncPolicy selects the WAL fsync policy with DataDir (SyncAlways,
+	// the default, or SyncNone).
+	SyncPolicy SyncPolicy
+	// SnapshotEvery writes a store snapshot and truncates the WAL after
+	// this many logged writes (default 4096 with DataDir; negative
+	// disables snapshots).
+	SnapshotEvery int
 	// CheckpointEvery folds the commit log into a snapshot after this
 	// many commits (0 disables checkpointing).
 	CheckpointEvery int
@@ -181,11 +211,17 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	ens := store.NewEnsemble(store.Config{
+	ens, err := store.OpenEnsemble(store.Config{
 		Replicas:       cfg.StoreReplicas,
 		SessionTimeout: cfg.SessionTimeout,
 		CommitLatency:  cfg.CommitLatency,
+		DataDir:        cfg.DataDir,
+		SyncPolicy:     cfg.SyncPolicy,
+		SnapshotEvery:  cfg.SnapshotEvery,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("tropic: store: %w", err)
+	}
 	p := &Platform{cfg: cfg, ens: ens}
 	for i := 0; i < cfg.Controllers; i++ {
 		c, err := controller.New(controller.Config{
@@ -292,7 +328,9 @@ func (p *Platform) KillLeader() string {
 }
 
 // Stop shuts the platform down: controllers, workers, then the store.
-func (p *Platform) Stop() {
+// The returned error reports a failed final WAL flush (only possible
+// with Config.DataDir); the shutdown itself always completes.
+func (p *Platform) Stop() error {
 	if p.cancel != nil {
 		p.cancel()
 	}
@@ -301,7 +339,7 @@ func (p *Platform) Stop() {
 		c.Close()
 	}
 	p.wrk.Close()
-	p.ens.Close()
+	return p.ens.Close()
 }
 
 // Ensemble exposes the coordination store for fault-injection in tests

@@ -34,7 +34,7 @@ func newTCloud(t *testing.T, tp tcloud.Topology) (*tropic.Platform, *device.Clou
 	if err := p.Start(ctx); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(p.Stop)
+	t.Cleanup(func() { p.Stop() })
 	return p, cloud
 }
 
