@@ -10,24 +10,16 @@
 // queues, and counters survive a daemon restart (crash or SIGTERM) and
 // the platform resumes from its committed state.
 //
-// Endpoints (JSON):
-//
-//	POST /v1/submit   {"proc":"spawnVM","args":[...]}      → {"id":"t-..."}
-//	GET  /v1/txn?id=t-...                                  → transaction record
-//	GET  /v1/wait?id=t-...                                 → record, blocks until terminal
-//	POST /v1/signal   {"id":"t-...","signal":"TERM"}       → {}
-//	POST /v1/repair   {"target":"/vmRoot/vmHost00000"}     → {}
-//	POST /v1/reload   {"target":"/vmRoot/vmHost00000"}     → {}
-//	GET  /v1/stats                                         → controller+worker counters
-//	GET  /healthz                                          → "ok"
+// The HTTP surface is implemented by internal/api (see its package
+// documentation for the endpoint reference); failures are structured
+// JSON errors carrying repro/tropic/trerr taxonomy codes, and
+// repro/tropic/httpclient is the matching Go SDK.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -35,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/reconcile"
 	"repro/tcloud"
 	"repro/tropic"
@@ -107,7 +100,9 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: newAPI(p, logger)}
+	gw := api.New(api.Config{Platform: p, Logf: logger.Printf})
+	defer gw.Close()
+	srv := &http.Server{Addr: *listen, Handler: gw}
 	go func() {
 		logger.Printf("listening on %s", *listen)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -132,169 +127,4 @@ func main() {
 	default:
 		logger.Printf("state flushed to %s", *dataDir)
 	}
-}
-
-// api serves the orchestration HTTP endpoints.
-type api struct {
-	p      *tropic.Platform
-	cli    *tropic.Client
-	logger *log.Logger
-	mux    *http.ServeMux
-}
-
-func newAPI(p *tropic.Platform, logger *log.Logger) http.Handler {
-	a := &api{p: p, cli: p.Client(), logger: logger, mux: http.NewServeMux()}
-	a.mux.HandleFunc("/v1/submit", a.handleSubmit)
-	a.mux.HandleFunc("/v1/txn", a.handleGet)
-	a.mux.HandleFunc("/v1/wait", a.handleWait)
-	a.mux.HandleFunc("/v1/signal", a.handleSignal)
-	a.mux.HandleFunc("/v1/repair", a.handleReconcile(tropicRepair))
-	a.mux.HandleFunc("/v1/reload", a.handleReconcile(tropicReload))
-	a.mux.HandleFunc("/v1/stats", a.handleStats)
-	a.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	return a.mux
-}
-
-type submitReq struct {
-	Proc string   `json:"proc"`
-	Args []string `json:"args"`
-}
-
-type signalReq struct {
-	ID     string `json:"id"`
-	Signal string `json:"signal"`
-}
-
-type targetReq struct {
-	Target string `json:"target"`
-}
-
-func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req submitReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	id, err := a.cli.Submit(req.Proc, req.Args...)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, map[string]string{"id": id})
-}
-
-func (a *api) handleGet(w http.ResponseWriter, r *http.Request) {
-	rec, err := a.cli.Get(r.URL.Query().Get("id"))
-	if err != nil {
-		httpError(w, http.StatusNotFound, err.Error())
-		return
-	}
-	writeJSON(w, rec)
-}
-
-func (a *api) handleWait(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Minute)
-	defer cancel()
-	rec, err := a.cli.Wait(ctx, r.URL.Query().Get("id"))
-	if err != nil {
-		httpError(w, http.StatusGatewayTimeout, err.Error())
-		return
-	}
-	writeJSON(w, rec)
-}
-
-func (a *api) handleSignal(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req signalReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	switch req.Signal {
-	case "TERM", "KILL":
-	default:
-		httpError(w, http.StatusBadRequest, "signal must be TERM or KILL")
-		return
-	}
-	var err error
-	if req.Signal == "TERM" {
-		err = a.cli.Signal(req.ID, tropic.SignalTerm)
-	} else {
-		err = a.cli.Signal(req.ID, tropic.SignalKill)
-	}
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, map[string]string{})
-}
-
-type reconcileKind int
-
-const (
-	tropicRepair reconcileKind = iota
-	tropicReload
-)
-
-func (a *api) handleReconcile(kind reconcileKind) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST required")
-			return
-		}
-		var req targetReq
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), time.Minute)
-		defer cancel()
-		var err error
-		if kind == tropicRepair {
-			err = a.cli.Repair(ctx, req.Target)
-		} else {
-			err = a.cli.Reload(ctx, req.Target)
-		}
-		if err != nil {
-			httpError(w, http.StatusConflict, err.Error())
-			return
-		}
-		writeJSON(w, map[string]string{})
-	}
-}
-
-func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
-	leaderName := ""
-	if l := a.p.Leader(); l != nil {
-		leaderName = l.Name()
-	}
-	writeJSON(w, map[string]any{
-		"leader":     leaderName,
-		"controller": a.p.ControllerStats(),
-		"worker":     a.p.Worker().Stats(),
-		"persist":    a.p.Ensemble().PersistStats(),
-	})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Header already sent; nothing else to do.
-		_ = err
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

@@ -1,0 +1,141 @@
+// Httpclient walkthrough: run a TROPIC deployment behind the HTTP API
+// gateway, then drive it purely through the remote SDK
+// (repro/tropic/httpclient) — the same tropic.Session surface the
+// in-process client implements. Shows typed error decoding
+// (errors.Is against trerr sentinels), idempotent resubmission, SSE
+// watch streaming, and cursor-paginated listing.
+//
+//	go run ./examples/httpclient
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/api"
+	"repro/tcloud"
+	"repro/tropic"
+	"repro/tropic/httpclient"
+	"repro/tropic/trerr"
+)
+
+func main() {
+	// 1. A deployment: 4 simulated compute hosts behind the gateway.
+	// (A real deployment runs `tropicd` and dials its listen address;
+	// here we serve the same gateway from an in-process listener.)
+	tp := tcloud.Topology{ComputeHosts: 4}
+	cloud, err := tp.BuildCloud()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := tropic.New(tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  cloud.Snapshot(),
+		Executor:   cloud,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer p.Stop()
+	gw := api.New(api.Config{Platform: p})
+	defer gw.Close()
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	// 2. The remote SDK — a tropic.Session, interchangeable with
+	// p.Client().
+	var s tropic.Session = httpclient.New(srv.URL)
+	defer s.Close()
+
+	// 3. Readiness probe.
+	remote := s.(*httpclient.Client)
+	h, err := remote.Healthz(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway ready: leader=%s store=%d/%d replicas\n",
+		h.Leader, h.Store.Alive, h.Store.Replicas)
+
+	// 4. Typed errors survive the wire: an unknown procedure is
+	// rejected synchronously with txn.unknown_procedure (HTTP 400)...
+	if _, err := s.Submit("noSuchProc"); errors.Is(err, trerr.TxnUnknownProcedure) {
+		fmt.Printf("unknown procedure rejected: %v\n", err)
+	}
+	// ...and an unknown id decodes as txn.not_found (HTTP 404).
+	if _, err := s.Get("t-9999999999"); errors.Is(err, trerr.TxnNotFound) {
+		fmt.Printf("bogus id rejected:          %v\n", err)
+	}
+
+	// 5. Idempotent submission: resubmitting the same key cannot
+	// double-spawn.
+	args := []string{tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "web-1", "1024"}
+	id, deduped, err := s.SubmitIdempotent(ctx, "spawn-web-1", tcloud.ProcSpawnVM, args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (deduped=%v)\n", id, deduped)
+	again, deduped, err := s.SubmitIdempotent(ctx, "spawn-web-1", tcloud.ProcSpawnVM, args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resubmitted → %s (deduped=%v)\n", again, deduped)
+
+	// 6. Stream the transaction's state machine over SSE.
+	watch, err := s.WatchTxn(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rec := range watch {
+		fmt.Printf("  watch: %s → %s\n", rec.ID, rec.State)
+	}
+
+	// 7. Spawn a few more and page through the committed records.
+	var specs []tropic.SubmitSpec
+	for i := 1; i < 4; i++ {
+		specs = append(specs, tropic.SubmitSpec{
+			Proc: tcloud.ProcSpawnVM,
+			Args: []string{tcloud.StorageHostPath(0), tcloud.ComputeHostPath(i),
+				fmt.Sprintf("web-%d", i+1), "1024"},
+		})
+	}
+	outcomes, err := s.SubmitBatch(ctx, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if _, err := s.Wait(ctx, o.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cursor := ""
+	pageNo := 0
+	for {
+		page, err := s.List(tropic.ListOptions{
+			State: tropic.StateCommitted, Proc: tcloud.ProcSpawnVM, Cursor: cursor, Limit: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pageNo++
+		for _, rec := range page.Txns {
+			fmt.Printf("  page %d: %s %s %s (%.1fms)\n",
+				pageNo, rec.ID, rec.Proc, rec.State,
+				float64(rec.Latency().Microseconds())/1000)
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	fmt.Println("done")
+}

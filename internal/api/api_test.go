@@ -1,0 +1,714 @@
+package api_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/device"
+	"repro/internal/reconcile"
+	"repro/tcloud"
+	"repro/tropic"
+	"repro/tropic/trerr"
+)
+
+// newTestServer runs a small physical deployment behind the gateway.
+func newTestServer(t *testing.T) (*httptest.Server, *device.Cloud) {
+	t.Helper()
+	tp := tcloud.Topology{ComputeHosts: 2}
+	cloud, err := tp.BuildCloud()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tropic.New(tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  cloud.Snapshot(),
+		Executor:   cloud,
+		Reconciler: reconcile.New(cloud, cloud, tcloud.RepairRules()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	gw := api.New(api.Config{Platform: p})
+	t.Cleanup(gw.Close)
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+	return srv, cloud
+}
+
+// newLogicalServer runs a logical-only deployment (no device latency),
+// for workload-volume tests like pagination.
+func newLogicalServer(t *testing.T, hosts int) *httptest.Server {
+	t.Helper()
+	tp := tcloud.Topology{ComputeHosts: hosts}
+	p, err := tropic.New(tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  tp.BuildModel(),
+		Executor:   tropic.NoopExecutor{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	gw := api.New(api.Config{Platform: p})
+	t.Cleanup(gw.Close)
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, payload any) (int, []byte) {
+	t.Helper()
+	b, _ := json.Marshal(payload)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func getJSON(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+// errCode extracts the error.code of a structured error body.
+func errCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var eb struct {
+		Error struct {
+			Code    string            `json:"code"`
+			Message string            `json:"message"`
+			Details map[string]string `json:"details"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error body is not structured: %s", body)
+	}
+	if eb.Error.Code == "" {
+		t.Fatalf("error body missing code: %s", body)
+	}
+	if eb.Error.Message == "" {
+		t.Fatalf("error body missing message: %s", body)
+	}
+	return eb.Error.Code
+}
+
+func spawnArgs(i int, vm string) []string {
+	return []string{tcloud.StorageHostPath(0), tcloud.ComputeHostPath(i), vm, "1024"}
+}
+
+func TestAPISubmitWaitLifecycle(t *testing.T) {
+	srv, cloud := newTestServer(t)
+	code, body := postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM,
+		Args: spawnArgs(0, "vm1"),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sr api.SubmitResult
+	if err := json.Unmarshal(body, &sr); err != nil || sr.ID == "" {
+		t.Fatalf("submit body: %s", body)
+	}
+	code, body = getJSON(t, srv.URL+"/v1/wait?id="+sr.ID)
+	if code != http.StatusOK {
+		t.Fatalf("wait: %d %s", code, body)
+	}
+	var rec tropic.Txn
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != tropic.StateCommitted || len(rec.Log) != 5 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	// Per-state-transition timestamps rode along.
+	var states []tropic.State
+	for _, s := range rec.History {
+		if s.At.IsZero() {
+			t.Fatalf("history stamp without time: %+v", rec.History)
+		}
+		states = append(states, s.State)
+	}
+	want := []tropic.State{tropic.StateInitialized, tropic.StateAccepted,
+		tropic.StateStarted, tropic.StateCommitted}
+	if fmt.Sprint(states) != fmt.Sprint(want) {
+		t.Fatalf("history states = %v, want %v", states, want)
+	}
+	if cloud.ComputeHost(tcloud.ComputeHostName(0)).VMs["vm1"] == nil {
+		t.Fatal("device state missing vm1")
+	}
+	if code, _ := getJSON(t, srv.URL+"/v1/txn?id="+sr.ID); code != http.StatusOK {
+		t.Fatalf("txn: %d", code)
+	}
+}
+
+func TestAPIRepair(t *testing.T) {
+	srv, cloud := newTestServer(t)
+	code, _ := postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM,
+		Args: spawnArgs(0, "vm1"),
+	})
+	if code != http.StatusOK {
+		t.Fatal("submit failed")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := cloud.VMInfo(tcloud.ComputeHostName(0), "vm1"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("vm1 never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cloud.OutOfBandStopVM(tcloud.ComputeHostName(0), "vm1")
+	code, body := postJSON(t, srv.URL+"/v1/repair", api.TargetRequest{Target: tcloud.ComputeHostPath(0)})
+	if code != http.StatusOK {
+		t.Fatalf("repair: %d %s", code, body)
+	}
+	if cloud.ComputeHost(tcloud.ComputeHostName(0)).VMs["vm1"].State != device.VMRunning {
+		t.Fatal("repair did not restart vm1")
+	}
+}
+
+// TestAPIErrorCodes checks every documented error-code→status mapping
+// the gateway can hit from the outside.
+func TestAPIErrorCodes(t *testing.T) {
+	srv, _ := newTestServer(t)
+	checks := []struct {
+		name       string
+		run        func() (int, []byte)
+		wantStatus int
+		wantCode   trerr.Code
+	}{
+		{"unknown procedure", func() (int, []byte) {
+			return postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{Proc: "noSuchProc"})
+		}, http.StatusBadRequest, trerr.TxnUnknownProcedure},
+		{"empty procedure", func() (int, []byte) {
+			return postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{})
+		}, http.StatusBadRequest, trerr.SubmitInvalidArgs},
+		{"bad JSON body", func() (int, []byte) {
+			resp, err := http.Post(srv.URL+"/v1/submit", "application/json", strings.NewReader("{"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			return resp.StatusCode, b
+		}, http.StatusBadRequest, trerr.APIBadRequest},
+		{"GET on POST endpoint", func() (int, []byte) {
+			return getJSON(t, srv.URL+"/v1/submit")
+		}, http.StatusMethodNotAllowed, trerr.APIMethodNotAllowed},
+		{"unknown endpoint", func() (int, []byte) {
+			return getJSON(t, srv.URL+"/v1/nope")
+		}, http.StatusNotFound, trerr.APINotFound},
+		{"get missing id", func() (int, []byte) {
+			return getJSON(t, srv.URL+"/v1/txn")
+		}, http.StatusBadRequest, trerr.APIBadRequest},
+		{"get unknown id", func() (int, []byte) {
+			return getJSON(t, srv.URL+"/v1/txn?id=t-9999999999")
+		}, http.StatusNotFound, trerr.TxnNotFound},
+		{"wait missing id", func() (int, []byte) {
+			return getJSON(t, srv.URL+"/v1/wait")
+		}, http.StatusBadRequest, trerr.APIBadRequest},
+		{"wait unknown id", func() (int, []byte) {
+			return getJSON(t, srv.URL+"/v1/wait?id=t-9999999999")
+		}, http.StatusNotFound, trerr.TxnNotFound},
+		{"watch unknown id", func() (int, []byte) {
+			return getJSON(t, srv.URL+"/v1/watch?id=t-9999999999")
+		}, http.StatusNotFound, trerr.TxnNotFound},
+		{"list bad state", func() (int, []byte) {
+			return getJSON(t, srv.URL+"/v1/txns?state=bogus")
+		}, http.StatusBadRequest, trerr.APIBadRequest},
+		{"list bad limit", func() (int, []byte) {
+			return getJSON(t, srv.URL+"/v1/txns?limit=-3")
+		}, http.StatusBadRequest, trerr.APIBadRequest},
+		{"invalid signal", func() (int, []byte) {
+			return postJSON(t, srv.URL+"/v1/signal", api.SignalRequest{ID: "t-1", Signal: "NUKE"})
+		}, http.StatusBadRequest, trerr.TxnInvalidSignal},
+		{"signal unknown id", func() (int, []byte) {
+			return postJSON(t, srv.URL+"/v1/signal", api.SignalRequest{ID: "t-9999999999", Signal: "TERM"})
+		}, http.StatusNotFound, trerr.TxnNotFound},
+		{"repair missing target", func() (int, []byte) {
+			return postJSON(t, srv.URL+"/v1/repair", api.TargetRequest{})
+		}, http.StatusBadRequest, trerr.APIBadRequest},
+		{"repair unknown target", func() (int, []byte) {
+			return postJSON(t, srv.URL+"/v1/repair", api.TargetRequest{Target: "/vmRoot/noSuchHost"})
+		}, http.StatusConflict, trerr.ReconcileConflict},
+		{"bad idempotency key", func() (int, []byte) {
+			return postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+				Proc: tcloud.ProcSpawnVM, Args: spawnArgs(0, "vmX"), IdempotencyKey: "no spaces!"})
+		}, http.StatusBadRequest, trerr.SubmitInvalidArgs},
+	}
+	for _, c := range checks {
+		status, body := c.run()
+		if status != c.wantStatus {
+			t.Errorf("%s: status = %d, want %d (%s)", c.name, status, c.wantStatus, body)
+			continue
+		}
+		if got := errCode(t, body); got != string(c.wantCode) {
+			t.Errorf("%s: code = %s, want %s", c.name, got, c.wantCode)
+		}
+	}
+}
+
+// TestAPIAbortCarriesCode checks that a constraint violation's taxonomy
+// code survives from the logical layer into the record served over HTTP.
+func TestAPIAbortCarriesCode(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// A VM larger than the host's memory violates the capacity
+	// constraint during simulation.
+	code, body := postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM,
+		Args: []string{tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "vmBig", "999999"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sr api.SubmitResult
+	json.Unmarshal(body, &sr)
+	code, body = getJSON(t, srv.URL+"/v1/wait?id="+sr.ID)
+	if code != http.StatusOK {
+		t.Fatalf("wait: %d %s", code, body)
+	}
+	var rec tropic.Txn
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != tropic.StateAborted {
+		t.Fatalf("state = %s, want aborted", rec.State)
+	}
+	if rec.Code != string(trerr.TxnConstraintViolation) {
+		t.Fatalf("record code = %q, want %s (error: %s)", rec.Code, trerr.TxnConstraintViolation, rec.Error)
+	}
+}
+
+func TestAPISignalTERM(t *testing.T) {
+	srv, cloud := newTestServer(t)
+	inj := device.NewInjector(1)
+	inj.Add(device.FaultRule{Action: "importImage", Delay: 400 * time.Millisecond})
+	cloud.SetFaultInjector(inj)
+
+	code, body := postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM,
+		Args: spawnArgs(0, "vmT"),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("submit: %s", body)
+	}
+	var sr api.SubmitResult
+	json.Unmarshal(body, &sr)
+	time.Sleep(80 * time.Millisecond)
+	if code, b := postJSON(t, srv.URL+"/v1/signal", api.SignalRequest{ID: sr.ID, Signal: "TERM"}); code != http.StatusOK {
+		t.Fatalf("signal: %d %s", code, b)
+	}
+	_, body = getJSON(t, srv.URL+"/v1/wait?id="+sr.ID)
+	var rec tropic.Txn
+	json.Unmarshal(body, &rec)
+	if rec.State != tropic.StateAborted {
+		t.Fatalf("state = %s, want aborted", rec.State)
+	}
+	if rec.Code != string(trerr.TxnTerminated) {
+		t.Fatalf("record code = %q, want %s", rec.Code, trerr.TxnTerminated)
+	}
+	if len(cloud.ComputeHost(tcloud.ComputeHostName(0)).VMs) != 0 {
+		t.Fatal("TERM left device state behind")
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+func readSSE(t *testing.T, body io.Reader, max int, deadline time.Duration) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(body)
+		var cur sseEvent
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				cur.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				if cur.event != "" {
+					out = append(out, cur)
+					if len(out) >= max || cur.event == "done" {
+						return
+					}
+					cur = sseEvent{}
+				}
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(deadline):
+		t.Fatal("SSE stream did not complete in time")
+	}
+	return out
+}
+
+// TestAPIWatchSSE streams a slowed-down transaction and checks the
+// state transitions arrive in order, ending with the terminal record
+// and a done event.
+func TestAPIWatchSSE(t *testing.T) {
+	srv, cloud := newTestServer(t)
+	inj := device.NewInjector(1)
+	inj.Add(device.FaultRule{Action: "importImage", Delay: 300 * time.Millisecond})
+	cloud.SetFaultInjector(inj)
+
+	code, body := postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM,
+		Args: spawnArgs(0, "vmW"),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("submit: %s", body)
+	}
+	var sr api.SubmitResult
+	json.Unmarshal(body, &sr)
+
+	resp, err := http.Get(srv.URL + "/v1/watch?id=" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	events := readSSE(t, resp.Body, 16, 15*time.Second)
+	if len(events) < 2 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[len(events)-1].event != "done" {
+		t.Fatalf("missing done event: %+v", events)
+	}
+	var states []tropic.State
+	for _, ev := range events[:len(events)-1] {
+		if ev.event != "state" {
+			t.Fatalf("unexpected event %q", ev.event)
+		}
+		var rec tropic.Txn
+		if err := json.Unmarshal([]byte(ev.data), &rec); err != nil {
+			t.Fatalf("bad state payload %q: %v", ev.data, err)
+		}
+		states = append(states, rec.State)
+	}
+	// The stream must observe the started phase (the 300ms device delay
+	// pins the transaction there) and end committed, in order.
+	if states[len(states)-1] != tropic.StateCommitted {
+		t.Fatalf("final state = %v", states)
+	}
+	sawStarted := false
+	for i, s := range states {
+		if s == tropic.StateStarted {
+			sawStarted = true
+		}
+		if i > 0 && s == states[i-1] {
+			t.Fatalf("duplicate consecutive state %s: %v", s, states)
+		}
+	}
+	if !sawStarted {
+		t.Fatalf("never observed started: %v", states)
+	}
+}
+
+func TestAPIIdempotency(t *testing.T) {
+	srv, _ := newTestServer(t)
+	item := api.SubmitItem{
+		Proc:           tcloud.ProcSpawnVM,
+		Args:           spawnArgs(0, "vmI"),
+		IdempotencyKey: "spawn-vmI",
+	}
+	code, body := postJSON(t, srv.URL+"/v1/submit", item)
+	if code != http.StatusOK {
+		t.Fatalf("first submit: %d %s", code, body)
+	}
+	var first api.SubmitResult
+	json.Unmarshal(body, &first)
+	if first.Deduped {
+		t.Fatal("first submission reported deduped")
+	}
+	// Resubmission with the same key returns the same id, no new txn.
+	code, body = postJSON(t, srv.URL+"/v1/submit", item)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", code, body)
+	}
+	var second api.SubmitResult
+	json.Unmarshal(body, &second)
+	if second.ID != first.ID || !second.Deduped {
+		t.Fatalf("resubmit = %+v, want id %s deduped", second, first.ID)
+	}
+	// Same key, different procedure: typed conflict.
+	code, body = postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcStopVM, Args: []string{tcloud.ComputeHostPath(0), "vmI"},
+		IdempotencyKey: "spawn-vmI",
+	})
+	if code != http.StatusConflict {
+		t.Fatalf("key reuse: %d %s", code, body)
+	}
+	if got := errCode(t, body); got != string(trerr.SubmitIdempotencyReuse) {
+		t.Fatalf("key reuse code = %s", got)
+	}
+}
+
+func TestAPIBatchSubmit(t *testing.T) {
+	srv, _ := newTestServer(t)
+	req := api.SubmitRequest{Batch: []api.SubmitItem{
+		{Proc: tcloud.ProcSpawnVM, Args: spawnArgs(0, "vmB0"), IdempotencyKey: "b0"},
+		{Proc: tcloud.ProcSpawnVM, Args: spawnArgs(1, "vmB1"), IdempotencyKey: "b1"},
+	}}
+	code, body := postJSON(t, srv.URL+"/v1/submit", req)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+	var resp api.BatchSubmitResponse
+	if err := json.Unmarshal(body, &resp); err != nil || len(resp.Results) != 2 {
+		t.Fatalf("batch body: %s", body)
+	}
+	if resp.Results[0].ID == resp.Results[1].ID {
+		t.Fatal("batch items share an id")
+	}
+	// A batch containing an unknown procedure is rejected whole, before
+	// any item executes.
+	bad := api.SubmitRequest{Batch: []api.SubmitItem{
+		{Proc: tcloud.ProcSpawnVM, Args: spawnArgs(0, "vmB2"), IdempotencyKey: "b2"},
+		{Proc: "noSuchProc"},
+	}}
+	code, body = postJSON(t, srv.URL+"/v1/submit", bad)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad batch: %d %s", code, body)
+	}
+	if got := errCode(t, body); got != string(trerr.TxnUnknownProcedure) {
+		t.Fatalf("bad batch code = %s", got)
+	}
+	// The valid first item must not have been submitted: its key is
+	// still free, so submitting it now is not a dedup.
+	code, body = postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM, Args: spawnArgs(0, "vmB2"), IdempotencyKey: "b2"})
+	if code != http.StatusOK {
+		t.Fatalf("post-batch submit: %d %s", code, body)
+	}
+	var sr api.SubmitResult
+	json.Unmarshal(body, &sr)
+	if sr.Deduped {
+		t.Fatal("rejected batch leaked a submission")
+	}
+}
+
+// TestAPIPagination pages a 100-transaction workload with stable
+// cursors.
+func TestAPIPagination(t *testing.T) {
+	srv := newLogicalServer(t, 16)
+	// Spread VMs across compute and storage hosts so the workload
+	// commits concurrently instead of serializing on one host's lock.
+	storageHosts := tcloud.Topology{ComputeHosts: 16}.StorageHosts()
+	batch := api.SubmitRequest{}
+	for i := 0; i < 100; i++ {
+		batch.Batch = append(batch.Batch, api.SubmitItem{
+			Proc: tcloud.ProcSpawnVM,
+			Args: []string{tcloud.StorageHostPath(i % storageHosts), tcloud.ComputeHostPath(i % 16),
+				fmt.Sprintf("vmP%03d", i), "512"},
+		})
+	}
+	code, body := postJSON(t, srv.URL+"/v1/submit", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch submit: %d %s", code, body)
+	}
+	var resp api.BatchSubmitResponse
+	json.Unmarshal(body, &resp)
+	if len(resp.Results) != 100 {
+		t.Fatalf("submitted %d", len(resp.Results))
+	}
+	// Wait until all 100 are committed.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body = getJSON(t, srv.URL+"/v1/txns?state=committed&limit=1000")
+		if code != http.StatusOK {
+			t.Fatalf("list: %d %s", code, body)
+		}
+		var page tropic.TxnPage
+		json.Unmarshal(body, &page)
+		if len(page.Txns) == 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d committed", len(page.Txns))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Page through with limit 30: 30+30+30+10, ids strictly ascending,
+	// no duplicates, stable cursors.
+	seen := make(map[string]bool)
+	cursor := ""
+	var pages []int
+	for {
+		url := srv.URL + "/v1/txns?state=committed&limit=30"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		code, body = getJSON(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("page: %d %s", code, body)
+		}
+		var page tropic.TxnPage
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, len(page.Txns))
+		last := cursor
+		for _, rec := range page.Txns {
+			if rec.State != tropic.StateCommitted {
+				t.Fatalf("non-committed record %s in filtered page", rec.ID)
+			}
+			if seen[rec.ID] {
+				t.Fatalf("duplicate id %s across pages", rec.ID)
+			}
+			seen[rec.ID] = true
+			if rec.ID <= last {
+				t.Fatalf("ids not ascending: %s after %s", rec.ID, last)
+			}
+			last = rec.ID
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(seen) != 100 {
+		t.Fatalf("paged %d unique ids, want 100 (pages %v)", len(seen), pages)
+	}
+	if fmt.Sprint(pages) != fmt.Sprint([]int{30, 30, 30, 10}) {
+		t.Fatalf("page sizes = %v", pages)
+	}
+	// Filtered listing by proc matches too; the state filter is
+	// case-insensitive (state=COMMITTED is the conventional spelling).
+	code, body = getJSON(t, srv.URL+"/v1/txns?proc="+tcloud.ProcSpawnVM+"&state=COMMITTED&limit=1000")
+	if code != http.StatusOK {
+		t.Fatalf("proc filter: %d", code)
+	}
+	var byProc tropic.TxnPage
+	json.Unmarshal(body, &byProc)
+	if len(byProc.Txns) != 100 {
+		t.Fatalf("proc filter found %d", len(byProc.Txns))
+	}
+}
+
+func TestAPIHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, body := getJSON(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	var h api.HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Leader == "" || !h.Store.Quorum {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+// TestAPIHealthzNotReady probes a platform whose controllers were never
+// started: no leader, so the gateway must answer 503 with a typed body.
+func TestAPIHealthzNotReady(t *testing.T) {
+	tp := tcloud.Topology{ComputeHosts: 1}
+	p, err := tropic.New(tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  tp.BuildModel(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	gw := api.New(api.Config{Platform: p})
+	t.Cleanup(gw.Close)
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+
+	code, body := getJSON(t, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	var h api.HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "unavailable" || h.Error == nil || h.Error.Code != trerr.APIUnavailable {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestAPIStatsIncludesLatencies(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// Generate traffic on two endpoints.
+	for i := 0; i < 3; i++ {
+		getJSON(t, srv.URL+"/v1/txns")
+	}
+	code, body := getJSON(t, srv.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var stats struct {
+		Leader string                        `json:"leader"`
+		API    map[string]api.LatencySummary `json:"api"`
+		Store  struct {
+			Quorum bool `json:"quorum"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Leader == "" || !stats.Store.Quorum {
+		t.Fatalf("stats = %s", body)
+	}
+	ls, ok := stats.API["/v1/txns"]
+	if !ok || ls.Count < 3 {
+		t.Fatalf("missing /v1/txns latency summary: %s", body)
+	}
+	if ls.MaxMs < ls.P50Ms || ls.P99Ms < ls.P50Ms {
+		t.Fatalf("inconsistent summary: %+v", ls)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/store"
 	"repro/internal/txn"
+	"repro/tropic/trerr"
 )
 
 // Config parameterizes a controller instance.
@@ -322,13 +323,20 @@ func (c *Controller) handle(msg proto.InputMsg, itemPath string) error {
 		return c.cleanup(msg, itemPath)
 	case proto.KindSignal:
 		if err := c.signal(msg.TxnPath, txn.Signal(msg.Signal)); err != nil {
-			return err
+			// A signal for a record that does not exist can never
+			// succeed; drop it instead of retrying forever at the head
+			// of the queue.
+			if !errors.Is(err, store.ErrNoNode) {
+				return err
+			}
+			c.cfg.Logf("controller %s: dropping signal for missing record %s", c.cfg.Name, msg.TxnPath)
 		}
 		return c.inputQ.Remove(itemPath)
 	case proto.KindReload, proto.KindRepair:
 		var err error
 		if c.cfg.Reconciler == nil {
-			err = fmt.Errorf("%s %s: no reconciler configured", msg.Kind, msg.Target)
+			err = trerr.Newf(trerr.ReconcileUnsupported,
+				"%s %s: no reconciler configured", msg.Kind, msg.Target)
 		} else if msg.Kind == proto.KindReload {
 			err = c.cfg.Reconciler.Reload(c, msg.Target)
 		} else {
@@ -360,6 +368,13 @@ func (c *Controller) reply(msg proto.InputMsg, err error) {
 	r := proto.Reply{OK: err == nil}
 	if err != nil {
 		r.Error = err.Error()
+		code := trerr.CodeOf(err)
+		if code == "" {
+			// Reconciler implementations return plain errors; classify
+			// them under the reconcile area.
+			code = trerr.ReconcileConflict
+		}
+		r.Code = string(code)
 	}
 	if serr := c.cli.Set(msg.Reply, r.Encode(), -1); serr != nil {
 		c.cfg.Logf("controller %s: reply to %s: %v", c.cfg.Name, msg.Reply, serr)
@@ -418,7 +433,7 @@ func (c *Controller) schedule() {
 		t := c.todo[i]
 		if t.Signal == txn.SignalTerm || t.Signal == txn.SignalKill {
 			c.todo = append(c.todo[:i], c.todo[i+1:]...)
-			c.abortQueued(t, "terminated by operator signal")
+			c.abortQueued(t, trerr.New(trerr.TxnTerminated, "terminated by operator signal"))
 			continue
 		}
 		switch c.trySchedule(t) {
@@ -446,7 +461,7 @@ func (c *Controller) trySchedule(t *txn.Txn) scheduleOutcome {
 	proc, ok := c.cfg.Procedures[t.Proc]
 	var simErr error
 	if !ok {
-		simErr = fmt.Errorf("unknown stored procedure %q", t.Proc)
+		simErr = trerr.Newf(trerr.TxnUnknownProcedure, "unknown stored procedure %q", t.Proc)
 	} else {
 		simErr = proc(cctx)
 	}
@@ -459,7 +474,7 @@ func (c *Controller) trySchedule(t *txn.Txn) scheduleOutcome {
 			c.stats.Violations++
 			c.mu.Unlock()
 		}
-		c.abortQueued(t, simErr.Error())
+		c.abortQueued(t, simErr)
 		return outcomeAborted
 	}
 	reqs := cctx.lockRequests()
@@ -474,7 +489,7 @@ func (c *Controller) trySchedule(t *txn.Txn) scheduleOutcome {
 	// phyQ or double-enqueue it.
 	if err := t.Transition(txn.StateStarted); err != nil {
 		c.locks.ReleaseAll(t.ID)
-		c.abortQueued(t, err.Error())
+		c.abortQueued(t, err)
 		return outcomeAborted
 	}
 	txnPath := c.txnPath(t.ID)
@@ -485,6 +500,11 @@ func (c *Controller) trySchedule(t *txn.Txn) scheduleOutcome {
 	if err != nil {
 		c.cfg.Logf("controller %s: start %s: %v", c.cfg.Name, t.ID, err)
 		c.locks.ReleaseAll(t.ID)
+		// The started transition was never persisted; drop its history
+		// stamp so a retry doesn't record it twice.
+		if n := len(t.History); n > 0 && t.History[n-1].State == txn.StateStarted {
+			t.History = t.History[:n-1]
+		}
 		// Roll the simulation back; the transaction stays accepted and
 		// will be retried on the next event.
 		if rbErr := rollbackLog(c.ltree, c.cfg.Schema, t.Log); rbErr == nil {
@@ -492,7 +512,7 @@ func (c *Controller) trySchedule(t *txn.Txn) scheduleOutcome {
 			t.Log = nil
 			return outcomeConflict
 		}
-		c.abortQueued(t, err.Error())
+		c.abortQueued(t, err)
 		return outcomeAborted
 	}
 	c.inFlight[t.ID] = t
@@ -511,9 +531,11 @@ func (c *Controller) rollbackTimed(id string, records []txn.LogRecord) {
 }
 
 // abortQueued marks a not-yet-started transaction aborted and persists
-// the terminal state (③A).
-func (c *Controller) abortQueued(t *txn.Txn, reason string) {
-	t.Error = reason
+// the terminal state (③A), recording the failure's taxonomy code
+// alongside its message.
+func (c *Controller) abortQueued(t *txn.Txn, reason error) {
+	t.Error = reason.Error()
+	t.Code = string(trerr.CodeOf(reason))
 	t.Log = nil
 	t.State = txn.StateAccepted // normalize transient deferred state
 	if err := t.Transition(txn.StateAborted); err != nil {
@@ -560,6 +582,7 @@ func (c *Controller) cleanup(msg proto.InputMsg, itemPath string) error {
 	// in-memory effects follow only after persistence succeeds, so a
 	// retried cleanup never rolls the logical layer back twice.
 	rec.Error = msg.Error
+	rec.Code = msg.Code
 	rec.UndoneThrough = msg.UndoneThrough
 	if err := rec.Transition(outcome); err != nil {
 		return err
@@ -661,6 +684,7 @@ func (c *Controller) signal(txnPath string, sig txn.Signal) error {
 				return nil
 			}
 			r.Error = "killed by operator"
+			r.Code = string(trerr.TxnTerminated)
 			return r.Transition(txn.StateAborted)
 		})
 	}

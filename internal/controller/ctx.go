@@ -10,13 +10,13 @@
 package controller
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/lock"
 	"repro/internal/model"
 	"repro/internal/txn"
+	"repro/tropic/trerr"
 )
 
 // Procedure is a stored procedure: orchestration logic composed of
@@ -26,12 +26,14 @@ import (
 type Procedure func(c *Ctx) error
 
 // ErrConstraint wraps constraint violations detected during simulation;
-// they abort the transaction (Figure 2, ③A).
-var ErrConstraint = errors.New("constraint violation")
+// they abort the transaction (Figure 2, ③A). It carries the
+// txn.constraint_violation taxonomy code through to the API.
+var ErrConstraint = trerr.New(trerr.TxnConstraintViolation, "constraint violation")
 
 // ErrAbort lets a stored procedure abort its own transaction with a
-// domain reason (e.g. "no host has capacity").
-var ErrAbort = errors.New("aborted by procedure")
+// domain reason (e.g. "no host has capacity"). It carries the
+// txn.procedure_abort taxonomy code through to the API.
+var ErrAbort = trerr.New(trerr.TxnProcedureAbort, "aborted by procedure")
 
 // Ctx is the execution context a stored procedure runs in. It tracks
 // the reads and writes of the simulation so the scheduler can derive

@@ -213,13 +213,22 @@ func TestRunOpsPropagatesFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer env.Stop()
+	// A procedure that aborts during simulation (missing args) still
+	// counts as a terminal outcome, not a transport error.
 	_, states, err := runOps(testCtx(t, 30*time.Second), env.Platform, []workload.Op{
-		{Proc: "definitely-not-a-proc"},
+		{Proc: tcloud.ProcStartVM},
 	}, 4)
 	if err != nil {
 		t.Fatalf("runOps transport error: %v", err)
 	}
 	if states[tropic.StateAborted] != 1 {
 		t.Fatalf("states = %v", states)
+	}
+	// An unknown procedure is rejected synchronously at submit and does
+	// surface as a transport error.
+	if _, _, err := runOps(testCtx(t, 30*time.Second), env.Platform, []workload.Op{
+		{Proc: "definitely-not-a-proc"},
+	}, 4); err == nil {
+		t.Fatal("unknown procedure should fail submission")
 	}
 }

@@ -41,6 +41,10 @@ const (
 	// RepliesPath hosts reply nodes for request/response exchanges
 	// (reconciliation results).
 	RepliesPath = Root + "/replies"
+	// IdempotencyPath maps client-supplied idempotency keys to the
+	// transaction id a key's first submission produced, so resubmissions
+	// dedup instead of double-executing. Child names are the keys.
+	IdempotencyPath = Root + "/idempotency"
 )
 
 // EncodePath turns a model path into a legal znode name (slashes are not
@@ -109,6 +113,8 @@ type InputMsg struct {
 	// Error is the failure description accompanying aborted/failed
 	// outcomes.
 	Error string `json:"error,omitempty"`
+	// Code is the trerr taxonomy code classifying Error.
+	Code string `json:"code,omitempty"`
 	// UndoneThrough counts the undo actions that succeeded during
 	// physical rollback.
 	UndoneThrough int `json:"undoneThrough,omitempty"`
@@ -118,6 +124,8 @@ type InputMsg struct {
 type Reply struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Code is the trerr taxonomy code classifying Error.
+	Code string `json:"code,omitempty"`
 }
 
 // Encode serializes the reply.

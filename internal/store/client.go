@@ -258,6 +258,15 @@ func (c *Client) WatchNode(path string) (<-chan Event, error) {
 	return w.ch, nil
 }
 
+// Unwatch cancels an armed node watch that the caller will not consume
+// (e.g. Wait discovering the record is already terminal after arming).
+// The channel is closed without an event. Without this, one-shot
+// watches on nodes that never change again would accumulate in the
+// ensemble's watch table for the life of the session.
+func (c *Client) Unwatch(path string, ch <-chan Event) {
+	c.ens.watches.cancelNode(path, ch)
+}
+
 // WatchChildren registers a one-shot watch for membership changes of
 // path's children.
 func (c *Client) WatchChildren(path string) (<-chan Event, error) {

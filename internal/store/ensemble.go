@@ -536,6 +536,32 @@ func childFullPath(requested, resolvedName string) string {
 	return pp + "/" + resolvedName
 }
 
+// Health summarizes ensemble availability for readiness probes.
+type Health struct {
+	// Replicas is the configured ensemble size.
+	Replicas int `json:"replicas"`
+	// Alive is how many replicas are currently applying commits.
+	Alive int `json:"alive"`
+	// Quorum reports whether a strict majority is alive (writes can
+	// commit).
+	Quorum bool `json:"quorum"`
+	// Sessions is the number of live client sessions.
+	Sessions int `json:"sessions"`
+}
+
+// Health returns a snapshot of ensemble availability.
+func (e *Ensemble) Health() Health {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	alive := e.aliveCount()
+	return Health{
+		Replicas: len(e.replicas),
+		Alive:    alive,
+		Quorum:   alive*2 > len(e.replicas),
+		Sessions: len(e.sessions),
+	}
+}
+
 // Commits reports how many write operations the ensemble has committed.
 func (e *Ensemble) Commits() int64 {
 	e.mu.Lock()

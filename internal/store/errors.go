@@ -12,31 +12,34 @@
 // controller failover builds on.
 package store
 
-import "errors"
+import "repro/tropic/trerr"
 
 // Errors returned by store operations. They mirror the ZooKeeper error
-// codes TROPIC's recipes (queues, election) depend on.
+// codes TROPIC's recipes (queues, election) depend on. Each sentinel
+// carries its trerr taxonomy code, so a store failure that escapes to
+// the HTTP gateway keeps a stable machine-readable identity
+// (errors.Is against these sentinels continues to work as before).
 var (
 	// ErrNoNode is returned when the target znode does not exist.
-	ErrNoNode = errors.New("store: node does not exist")
+	ErrNoNode = trerr.New(trerr.StoreNoNode, "store: node does not exist")
 	// ErrNodeExists is returned by Create when the znode already exists.
-	ErrNodeExists = errors.New("store: node already exists")
+	ErrNodeExists = trerr.New(trerr.StoreNodeExists, "store: node already exists")
 	// ErrBadVersion is returned when a conditional Set/Delete specifies a
 	// version that does not match the znode's current version.
-	ErrBadVersion = errors.New("store: version conflict")
+	ErrBadVersion = trerr.New(trerr.StoreBadVersion, "store: version conflict")
 	// ErrNotEmpty is returned by Delete when the znode still has children.
-	ErrNotEmpty = errors.New("store: node has children")
+	ErrNotEmpty = trerr.New(trerr.StoreNotEmpty, "store: node has children")
 	// ErrNoQuorum is returned when fewer than a majority of replicas are
 	// alive and the ensemble cannot commit writes.
-	ErrNoQuorum = errors.New("store: no quorum")
+	ErrNoQuorum = trerr.New(trerr.StoreNoQuorum, "store: no quorum")
 	// ErrSessionExpired is returned on any operation through a client whose
 	// session the ensemble has expired.
-	ErrSessionExpired = errors.New("store: session expired")
+	ErrSessionExpired = trerr.New(trerr.StoreSessionExpired, "store: session expired")
 	// ErrEphemeralChildren is returned when creating a child under an
 	// ephemeral znode, which ZooKeeper forbids.
-	ErrEphemeralChildren = errors.New("store: ephemeral nodes may not have children")
+	ErrEphemeralChildren = trerr.New(trerr.StoreEphemeralChildren, "store: ephemeral nodes may not have children")
 	// ErrBadPath is returned for malformed znode paths.
-	ErrBadPath = errors.New("store: invalid path")
+	ErrBadPath = trerr.New(trerr.StoreBadPath, "store: invalid path")
 	// ErrClosed is returned when the ensemble has been shut down.
-	ErrClosed = errors.New("store: ensemble closed")
+	ErrClosed = trerr.New(trerr.StoreClosed, "store: ensemble closed")
 )

@@ -80,6 +80,34 @@ func (wt *watchTable) addChild(path string, w *watcher) {
 	wt.child[path] = append(wt.child[path], w)
 }
 
+// cancelNode removes an armed node watch that will not be consumed,
+// identified by its channel, and closes the channel without delivering
+// an event. A watch that already fired (and was therefore removed) is
+// left alone — each watcher is finalized by exactly one path, since
+// both fire and cancel detach it from the table under the mutex before
+// touching the channel.
+func (wt *watchTable) cancelNode(path string, ch <-chan Event) {
+	wt.mu.Lock()
+	var victim *watcher
+	ws := wt.node[path]
+	for i, w := range ws {
+		if w.ch == ch {
+			victim = w
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(wt.node, path)
+	} else if victim != nil {
+		wt.node[path] = ws
+	}
+	wt.mu.Unlock()
+	if victim != nil {
+		close(victim.ch)
+	}
+}
+
 // firedWatches accumulates the events produced while applying one
 // committed operation; fire delivers them after the tree mutation is
 // complete.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/store"
 	"repro/internal/txn"
+	"repro/tropic/trerr"
 )
 
 // Executor is the device-API surface a worker drives. device.Cloud
@@ -186,11 +187,12 @@ func (w *Worker) execute(txnPath string) error {
 		// Honor operator TERM signals between actions (§4): stop and
 		// roll back gracefully.
 		if sig, err := w.currentSignal(txnPath); err == nil && sig == txn.SignalTerm {
-			actErr = fmt.Errorf("terminated by operator signal")
+			actErr = trerr.New(trerr.TxnTerminated, "terminated by operator signal")
 			break
 		}
 		if err := w.cfg.Executor.Execute(r.Path, r.Action, r.Args); err != nil {
-			actErr = fmt.Errorf("action %d (%s at %s): %w", i+1, r.Action, r.Path, err)
+			actErr = trerr.Newf(trerr.TxnPhysicalFailure,
+				"action %d (%s at %s): %w", i+1, r.Action, r.Path, err)
 			break
 		}
 		atomic.AddInt64(&w.stats.Actions, 1)
@@ -198,7 +200,7 @@ func (w *Worker) execute(txnPath string) error {
 	}
 
 	if actErr == nil {
-		return w.report(txnPath, txn.StateCommitted, "", 0)
+		return w.report(txnPath, txn.StateCommitted, nil, 0)
 	}
 
 	// Roll back the applied prefix in reverse chronological order. If
@@ -221,16 +223,17 @@ func (w *Worker) execute(txnPath string) error {
 	}
 
 	if undoErr == nil {
-		return w.report(txnPath, txn.StateAborted, actErr.Error(), undone)
+		return w.report(txnPath, txn.StateAborted, actErr, undone)
 	}
 	return w.report(txnPath, txn.StateFailed,
-		fmt.Sprintf("%v; rollback stopped: %v", actErr, undoErr), undone)
+		trerr.Newf(trerr.TxnRollbackFailed, "%v; rollback stopped: %v", actErr, undoErr), undone)
 }
 
 // report notifies the controller of the physical outcome through
 // inputQ. Per Figure 2, the *controller* marks the record terminal
-// during cleanup — the worker only executes and reports.
-func (w *Worker) report(txnPath string, outcome txn.State, errStr string, undone int) error {
+// during cleanup — the worker only executes and reports; the failure's
+// taxonomy code rides along so it survives into the record.
+func (w *Worker) report(txnPath string, outcome txn.State, outcomeErr error, undone int) error {
 	switch outcome {
 	case txn.StateCommitted:
 		atomic.AddInt64(&w.stats.Committed, 1)
@@ -239,13 +242,17 @@ func (w *Worker) report(txnPath string, outcome txn.State, errStr string, undone
 	case txn.StateFailed:
 		atomic.AddInt64(&w.stats.Failed, 1)
 	}
-	_, err := w.inQ.Put(proto.InputMsg{
+	msg := proto.InputMsg{
 		Kind:          proto.KindResult,
 		TxnPath:       txnPath,
 		Outcome:       string(outcome),
-		Error:         errStr,
 		UndoneThrough: undone,
-	}.Encode())
+	}
+	if outcomeErr != nil {
+		msg.Error = outcomeErr.Error()
+		msg.Code = string(trerr.CodeOf(outcomeErr))
+	}
+	_, err := w.inQ.Put(msg.Encode())
 	return err
 }
 

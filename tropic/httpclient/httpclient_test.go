@@ -1,0 +1,297 @@
+package httpclient_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/device"
+	"repro/tcloud"
+	"repro/tropic"
+	"repro/tropic/httpclient"
+	"repro/tropic/trerr"
+)
+
+// newPlatform starts a small physical deployment and its gateway.
+func newPlatform(t *testing.T) (*tropic.Platform, *device.Cloud, *httptest.Server) {
+	t.Helper()
+	tp := tcloud.Topology{ComputeHosts: 2}
+	cloud, err := tp.BuildCloud()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tropic.New(tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  cloud.Snapshot(),
+		Executor:   cloud,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	gw := api.New(api.Config{Platform: p})
+	t.Cleanup(gw.Close)
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+	return p, cloud, srv
+}
+
+func spawnArgs(host int, vm string) []string {
+	return []string{tcloud.StorageHostPath(0), tcloud.ComputeHostPath(host), vm, "1024"}
+}
+
+// exerciseSession drives one tropic.Session through the shared surface:
+// lifecycle, typed errors, listing, and streaming. Both the in-process
+// client and the HTTP SDK must pass it unchanged — that is the
+// interchangeability contract.
+func exerciseSession(t *testing.T, s tropic.Session, vmPrefix string, host int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Typed submission errors.
+	if _, err := s.Submit("noSuchProc"); !errors.Is(err, trerr.TxnUnknownProcedure) {
+		t.Fatalf("unknown proc: %v, want txn.unknown_procedure", err)
+	}
+	if _, err := s.Submit(""); !errors.Is(err, trerr.SubmitInvalidArgs) {
+		t.Fatalf("empty proc: %v, want submit.invalid_args", err)
+	}
+	// Typed lookup errors.
+	if _, err := s.Get("t-9999999999"); !errors.Is(err, trerr.TxnNotFound) {
+		t.Fatalf("get bogus: %v, want txn.not_found", err)
+	}
+	if _, err := s.Wait(ctx, "t-9999999999"); !errors.Is(err, trerr.TxnNotFound) {
+		t.Fatalf("wait bogus: %v, want txn.not_found", err)
+	}
+	if err := s.Signal("t-1", tropic.Signal("NUKE")); !errors.Is(err, trerr.TxnInvalidSignal) {
+		t.Fatalf("bad signal: %v, want txn.invalid_signal", err)
+	}
+
+	// Submit → wait lifecycle.
+	vm := vmPrefix + "-1"
+	rec, err := s.SubmitAndWait(ctx, tcloud.ProcSpawnVM, spawnArgs(host, vm)...)
+	if err != nil {
+		t.Fatalf("submit+wait: %v", err)
+	}
+	if rec.State != tropic.StateCommitted {
+		t.Fatalf("state = %s (%s)", rec.State, rec.Error)
+	}
+	if len(rec.History) == 0 || rec.History[len(rec.History)-1].State != tropic.StateCommitted {
+		t.Fatalf("history = %+v", rec.History)
+	}
+
+	// Idempotent resubmission.
+	key := vmPrefix + "-idem"
+	id1, deduped, err := s.SubmitIdempotent(ctx, key, tcloud.ProcSpawnVM, spawnArgs(host, vmPrefix+"-2")...)
+	if err != nil || deduped {
+		t.Fatalf("idempotent first: %s %v %v", id1, deduped, err)
+	}
+	id2, deduped, err := s.SubmitIdempotent(ctx, key, tcloud.ProcSpawnVM, spawnArgs(host, vmPrefix+"-2")...)
+	if err != nil || !deduped || id2 != id1 {
+		t.Fatalf("idempotent second: %s %v %v (first %s)", id2, deduped, err, id1)
+	}
+	if _, _, err := s.SubmitIdempotent(ctx, key, tcloud.ProcStopVM,
+		tcloud.ComputeHostPath(host), vmPrefix+"-2"); !errors.Is(err, trerr.SubmitIdempotencyReuse) {
+		t.Fatalf("key reuse: %v, want submit.idempotency_reuse", err)
+	}
+	// Same key and proc but different args is also a reuse conflict —
+	// not a silent dedup to the wrong transaction.
+	if _, _, err := s.SubmitIdempotent(ctx, key, tcloud.ProcSpawnVM,
+		spawnArgs(host, vmPrefix+"-other")...); !errors.Is(err, trerr.SubmitIdempotencyReuse) {
+		t.Fatalf("args reuse: %v, want submit.idempotency_reuse", err)
+	}
+	if _, err := s.Wait(ctx, id1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch.
+	outcomes, err := s.SubmitBatch(ctx, []tropic.SubmitSpec{
+		{Proc: tcloud.ProcSpawnVM, Args: spawnArgs(host, vmPrefix+"-3")},
+		{Proc: tcloud.ProcSpawnVM, Args: spawnArgs(host, vmPrefix+"-4")},
+	})
+	if err != nil || len(outcomes) != 2 {
+		t.Fatalf("batch: %v %v", outcomes, err)
+	}
+	if _, err := s.SubmitBatch(ctx, nil); !errors.Is(err, trerr.SubmitInvalidArgs) {
+		t.Fatalf("empty batch: %v", err)
+	}
+	for _, o := range outcomes {
+		if _, err := s.Wait(ctx, o.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Listing with filters and pagination.
+	page, err := s.List(tropic.ListOptions{State: tropic.StateCommitted, Proc: tcloud.ProcSpawnVM, Limit: 2})
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(page.Txns) != 2 || page.NextCursor == "" {
+		t.Fatalf("page = %d txns, cursor %q", len(page.Txns), page.NextCursor)
+	}
+	page2, err := s.List(tropic.ListOptions{State: tropic.StateCommitted, Cursor: page.NextCursor, Limit: 100})
+	if err != nil {
+		t.Fatalf("list page 2: %v", err)
+	}
+	for _, rec := range page2.Txns {
+		if rec.ID <= page.NextCursor {
+			t.Fatalf("cursor not respected: %s <= %s", rec.ID, page.NextCursor)
+		}
+	}
+
+	// Watch an already-terminal transaction: terminal record, then close.
+	ch, err := s.WatchTxn(ctx, id1)
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	var last *tropic.Txn
+	for rec := range ch {
+		last = rec
+	}
+	if last == nil || !last.State.Terminal() {
+		t.Fatalf("watch ended at %+v", last)
+	}
+	// Watch on an unknown id is a synchronous typed error.
+	if _, err := s.WatchTxn(ctx, "t-9999999999"); !errors.Is(err, trerr.TxnNotFound) {
+		t.Fatalf("watch bogus: %v, want txn.not_found", err)
+	}
+}
+
+// TestSessionInterchangeability runs the identical scenario against the
+// in-process client and the HTTP SDK.
+func TestSessionInterchangeability(t *testing.T) {
+	p, _, srv := newPlatform(t)
+
+	inproc := p.Client()
+	defer inproc.Close()
+	exerciseSession(t, inproc, "vmA", 0)
+
+	remote := httpclient.New(srv.URL)
+	defer remote.Close()
+	exerciseSession(t, remote, "vmB", 1)
+}
+
+// TestHTTPClientTypedErrorDetails checks decoded errors keep their
+// structured details and both sentinel-matching forms.
+func TestHTTPClientTypedErrorDetails(t *testing.T) {
+	_, _, srv := newPlatform(t)
+	c := httpclient.New(srv.URL)
+	defer c.Close()
+
+	_, err := c.Get("t-0000009999")
+	var te *trerr.Error
+	if !errors.As(err, &te) {
+		t.Fatalf("err %T is not *trerr.Error", err)
+	}
+	if te.Code != trerr.TxnNotFound {
+		t.Fatalf("code = %s", te.Code)
+	}
+	if te.Details["id"] != "t-0000009999" {
+		t.Fatalf("details = %v", te.Details)
+	}
+	// errors.Is works against both the Code sentinel and an *Error.
+	if !errors.Is(err, trerr.TxnNotFound) || !errors.Is(err, trerr.New(trerr.TxnNotFound, "x")) {
+		t.Fatal("sentinel matching failed")
+	}
+}
+
+func TestHTTPClientWatchStreamsTransitions(t *testing.T) {
+	_, cloud, srv := newPlatform(t)
+	inj := device.NewInjector(1)
+	inj.Add(device.FaultRule{Action: "importImage", Delay: 300 * time.Millisecond})
+	cloud.SetFaultInjector(inj)
+
+	c := httpclient.New(srv.URL)
+	defer c.Close()
+	id, err := c.Submit(tcloud.ProcSpawnVM, spawnArgs(0, "vmS")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	ch, err := c.WatchTxn(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states []tropic.State
+	for rec := range ch {
+		states = append(states, rec.State)
+	}
+	if len(states) < 2 {
+		t.Fatalf("states = %v", states)
+	}
+	if states[len(states)-1] != tropic.StateCommitted {
+		t.Fatalf("final state = %v", states)
+	}
+	sawStarted := false
+	for _, s := range states {
+		if s == tropic.StateStarted {
+			sawStarted = true
+		}
+	}
+	if !sawStarted {
+		t.Fatalf("never saw started: %v", states)
+	}
+}
+
+func TestHTTPClientHealthzAndStats(t *testing.T) {
+	_, _, srv := newPlatform(t)
+	c := httpclient.New(srv.URL)
+	defer c.Close()
+	ctx := context.Background()
+
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if h.Status != "ok" || h.Leader == "" || !h.Store.Quorum {
+		t.Fatalf("health = %+v", h)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"leader", "controller", "worker", "store", "api"} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("stats missing %q: %v", key, stats)
+		}
+	}
+}
+
+// TestHTTPClientHealthzUnavailable probes a gateway over a platform
+// with no elected leader.
+func TestHTTPClientHealthzUnavailable(t *testing.T) {
+	tp := tcloud.Topology{ComputeHosts: 1}
+	p, err := tropic.New(tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		Bootstrap:  tp.BuildModel(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	gw := api.New(api.Config{Platform: p})
+	t.Cleanup(gw.Close)
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+
+	c := httpclient.New(srv.URL)
+	defer c.Close()
+	h, err := c.Healthz(context.Background())
+	if !errors.Is(err, trerr.APIUnavailable) {
+		t.Fatalf("err = %v, want api.unavailable", err)
+	}
+	if h == nil || h.Status != "unavailable" {
+		t.Fatalf("health = %+v", h)
+	}
+}

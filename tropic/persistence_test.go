@@ -68,12 +68,12 @@ func TestPlatformRestartPreservesCommittedTransactions(t *testing.T) {
 		}
 		want[rec.ID] = outcome{tropic.StateCommitted, vm}
 	}
-	rec, err := c.SubmitAndWait(ctx, "noSuchProcedure")
+	rec, err := c.SubmitAndWait(ctx, tcloud.ProcStartVM) // missing args → procedure abort
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rec.State != tropic.StateAborted {
-		t.Fatalf("bogus procedure: %s", rec.State)
+		t.Fatalf("bad-args procedure: %s", rec.State)
 	}
 	want[rec.ID] = outcome{tropic.StateAborted, ""}
 

@@ -1,0 +1,431 @@
+package tropic
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/store"
+	"repro/tropic/trerr"
+)
+
+// Session is the orchestration surface shared by the in-process Client
+// and the remote tropic/httpclient SDK, so callers can be written once
+// and pointed at either. All failures carry trerr taxonomy codes
+// (errors.Is-matchable against trerr sentinels) on both implementations.
+type Session interface {
+	// Submit initiates a transaction and returns its id.
+	Submit(proc string, args ...string) (string, error)
+	// SubmitIdempotent submits with a client-supplied idempotency key:
+	// resubmitting the same key returns the original transaction's id
+	// (deduped=true) instead of executing twice.
+	SubmitIdempotent(ctx context.Context, key, proc string, args ...string) (id string, deduped bool, err error)
+	// SubmitBatch submits several transactions, validating every item
+	// before any executes.
+	SubmitBatch(ctx context.Context, items []SubmitSpec) ([]SubmitOutcome, error)
+	// Get fetches the current record of a transaction.
+	Get(id string) (*Txn, error)
+	// Wait blocks until the transaction is terminal.
+	Wait(ctx context.Context, id string) (*Txn, error)
+	// SubmitAndWait submits and waits for the outcome.
+	SubmitAndWait(ctx context.Context, proc string, args ...string) (*Txn, error)
+	// List pages through transaction records in submission order.
+	List(opts ListOptions) (*TxnPage, error)
+	// WatchTxn streams the transaction's state transitions until it is
+	// terminal; the channel closes after the terminal record.
+	WatchTxn(ctx context.Context, id string) (<-chan *Txn, error)
+	// Signal sends a TERM or KILL to a transaction.
+	Signal(id string, sig Signal) error
+	// Repair drives physical state back to the logical state (§4).
+	Repair(ctx context.Context, target string) error
+	// Reload synchronizes logical state from the physical state (§4).
+	Reload(ctx context.Context, target string) error
+	// Close releases the session.
+	Close()
+}
+
+var _ Session = (*Client)(nil)
+
+// ListOptions filter and paginate List.
+type ListOptions struct {
+	// State, when non-empty, keeps only records in that state.
+	State State
+	// Proc, when non-empty, keeps only invocations of that procedure.
+	Proc string
+	// Cursor resumes after a previous page: only records with id >
+	// Cursor are returned. Transaction ids are store-assigned sequence
+	// numbers, so cursors are stable under concurrent submissions.
+	Cursor string
+	// Limit caps the page size (default 50, max 1000).
+	Limit int
+}
+
+// TxnPage is one page of List results.
+type TxnPage struct {
+	// Txns are the matching records in ascending id order. A page may
+	// hold fewer records than the limit — even zero — while NextCursor
+	// is still set: the scan budget ran out before the page filled.
+	// Iteration is complete only when NextCursor comes back empty.
+	Txns []*Txn `json:"txns"`
+	// NextCursor, when non-empty, fetches the next page when passed as
+	// ListOptions.Cursor.
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// List page-size and per-request scan bounds. The scan cap keeps one
+// request with a highly selective filter from reading every record in
+// the store; the cursor advances past scanned non-matches, so
+// iteration still covers everything.
+const (
+	listDefaultLimit = 50
+	listMaxLimit     = 1000
+	listScanCap      = 4096
+)
+
+// List pages through the store's transaction records in submission
+// order, filtered by state and procedure. Per-request work is bounded:
+// at most listScanCap records are examined, so a filter that matches
+// nothing costs O(scan cap), not O(all records).
+func (c *Client) List(opts ListOptions) (*TxnPage, error) {
+	limit := opts.Limit
+	if limit <= 0 {
+		limit = listDefaultLimit
+	}
+	if limit > listMaxLimit {
+		limit = listMaxLimit
+	}
+	ids, err := c.cli.Children(proto.TxnsPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			return &TxnPage{}, nil // platform not bootstrapped yet: nothing to list
+		}
+		return nil, err
+	}
+	page := &TxnPage{}
+	scanned := 0
+	lastExamined := opts.Cursor
+	for _, id := range ids { // Children returns sorted names = ascending ids
+		if opts.Cursor != "" && id <= opts.Cursor {
+			continue
+		}
+		if scanned == listScanCap {
+			// Scan budget exhausted: resume from the last examined id.
+			page.NextCursor = lastExamined
+			return page, nil
+		}
+		rec, err := c.Get(id)
+		if err != nil {
+			if errors.Is(err, trerr.TxnNotFound) {
+				continue // record GC'd between Children and Get
+			}
+			return nil, err
+		}
+		scanned++
+		lastExamined = id
+		if opts.State != "" && rec.State != opts.State {
+			continue
+		}
+		if opts.Proc != "" && rec.Proc != opts.Proc {
+			continue
+		}
+		if len(page.Txns) == limit {
+			// A further match exists beyond the page: hand out a cursor.
+			page.NextCursor = page.Txns[limit-1].ID
+			return page, nil
+		}
+		page.Txns = append(page.Txns, rec)
+	}
+	return page, nil
+}
+
+// WatchTxn streams the transaction's state transitions: the current
+// state immediately, then every observed change, ending with the
+// terminal record, after which the channel closes. Transitions faster
+// than the store watch round-trip may be coalesced into their
+// successor; the terminal state is always delivered. An unknown id
+// fails synchronously with trerr.TxnNotFound.
+func (c *Client) WatchTxn(ctx context.Context, id string) (<-chan *Txn, error) {
+	path := proto.TxnsPath + "/" + id
+	watch, err := c.cli.WatchNode(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := c.Get(id)
+	if err != nil {
+		c.cli.Unwatch(path, watch)
+		return nil, err
+	}
+	ch := make(chan *Txn, 8)
+	go func() {
+		defer close(ch)
+		var last State
+		for {
+			if rec.State != last {
+				last = rec.State
+				select {
+				case ch <- rec:
+				case <-ctx.Done():
+					c.cli.Unwatch(path, watch)
+					return
+				}
+			}
+			if rec.State.Terminal() {
+				c.cli.Unwatch(path, watch)
+				return
+			}
+			select {
+			case <-ctx.Done():
+				c.cli.Unwatch(path, watch)
+				return
+			case ev := <-watch:
+				if ev.Type == store.EventSessionExpired {
+					return
+				}
+			}
+			if watch, err = c.cli.WatchNode(path); err != nil {
+				return
+			}
+			if rec, err = c.Get(id); err != nil {
+				c.cli.Unwatch(path, watch)
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// SubmitSpec describes one submission in a batch.
+type SubmitSpec struct {
+	Proc string
+	Args []string
+	// IdempotencyKey, when non-empty, dedups resubmissions of this item.
+	IdempotencyKey string
+}
+
+// SubmitOutcome reports one accepted batch submission.
+type SubmitOutcome struct {
+	ID string
+	// Deduped is true when the item's idempotency key matched an
+	// earlier submission and no new transaction was created.
+	Deduped bool
+}
+
+// SubmitBatch submits several transactions. Every item is validated
+// (procedure registered, idempotency key well-formed) before any is
+// submitted, so a bad entry rejects the whole batch with no partial
+// execution; validation errors carry a "batchIndex" detail. A failure
+// while submitting (after validation) leaves earlier items submitted
+// and also reports the failing index.
+func (c *Client) SubmitBatch(ctx context.Context, items []SubmitSpec) ([]SubmitOutcome, error) {
+	if len(items) == 0 {
+		return nil, trerr.New(trerr.SubmitInvalidArgs, "tropic: submit: empty batch")
+	}
+	for i, item := range items {
+		if err := c.ValidateProc(item.Proc); err != nil {
+			return nil, batchIndexed(err, i)
+		}
+		if item.IdempotencyKey != "" && !ValidIdempotencyKey(item.IdempotencyKey) {
+			return nil, batchIndexed(trerr.Newf(trerr.SubmitInvalidArgs,
+				"tropic: submit: idempotency key %q must be 1-128 chars of [A-Za-z0-9._-]",
+				item.IdempotencyKey), i)
+		}
+	}
+	out := make([]SubmitOutcome, 0, len(items))
+	for i, item := range items {
+		id, deduped, err := c.SubmitIdempotent(ctx, item.IdempotencyKey, item.Proc, item.Args...)
+		if err != nil {
+			return out, batchIndexed(err, i)
+		}
+		out = append(out, SubmitOutcome{ID: id, Deduped: deduped})
+	}
+	return out, nil
+}
+
+// batchIndexed annotates a batch-item failure with its index,
+// preserving the original error's details and cause chain.
+func batchIndexed(err error, i int) error {
+	var te *trerr.Error
+	if errors.As(err, &te) {
+		out := trerr.Wrap(te.Code, err, te.Message)
+		for k, v := range te.Details {
+			out.With(k, v)
+		}
+		return out.With("batchIndex", fmt.Sprint(i))
+	}
+	return err
+}
+
+// idemEntry is the payload of an idempotency-key node: an in-flight
+// claim (ID empty, ClaimedAt set) or the resolved transaction the
+// key's first submission produced. Proc and Args identify the original
+// invocation so a key reused with a different payload is rejected
+// instead of silently returning the wrong transaction.
+type idemEntry struct {
+	ID   string   `json:"id,omitempty"`
+	Proc string   `json:"proc,omitempty"`
+	Args []string `json:"args,omitempty"`
+	// ClaimedAt timestamps an in-flight claim so a claim orphaned by a
+	// failed cleanup can be taken over instead of wedging the key.
+	ClaimedAt time.Time `json:"claimedAt,omitempty"`
+}
+
+// staleIdempotencyClaim is how old an unresolved claim must be before a
+// waiting resubmission may take it over. Claims normally resolve in
+// milliseconds; an older empty claim means its owner failed between
+// claiming and recording (and its cleanup Delete also failed), so
+// taking over un-wedges the key. A submitter stalled longer than this
+// can race the takeover and execute twice — the price of not wedging
+// keys forever.
+const staleIdempotencyClaim = 30 * time.Second
+
+// ValidIdempotencyKey reports whether key is usable as an idempotency
+// key: 1–128 characters from [A-Za-z0-9._-].
+func ValidIdempotencyKey(key string) bool {
+	if len(key) == 0 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9',
+			b == '.', b == '_', b == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SubmitIdempotent submits a transaction under a client-supplied
+// idempotency key. The first submission with a key executes normally
+// and records its transaction id under the key; any resubmission
+// returns that id with deduped=true instead of executing twice. Reusing
+// a key for a different procedure fails with
+// trerr.SubmitIdempotencyReuse. A concurrent racer that won the key but
+// has not yet recorded its id is awaited until ctx expires
+// (trerr.SubmitIdempotencyPending). An empty key degrades to a plain
+// Submit.
+//
+// The in-flight claim is an ephemeral node — a claimant that crashes
+// before recording its id releases the key with its session instead of
+// wedging it forever — while the recorded id entry is persistent, so
+// dedup survives restarts.
+func (c *Client) SubmitIdempotent(ctx context.Context, key, proc string, args ...string) (string, bool, error) {
+	if key == "" {
+		id, err := c.Submit(proc, args...)
+		return id, false, err
+	}
+	if !ValidIdempotencyKey(key) {
+		return "", false, trerr.Newf(trerr.SubmitInvalidArgs,
+			"tropic: submit: idempotency key %q must be 1-128 chars of [A-Za-z0-9._-]", key)
+	}
+	if err := c.ValidateProc(proc); err != nil {
+		return "", false, err
+	}
+	if err := c.cli.EnsurePath(proto.IdempotencyPath); err != nil {
+		return "", false, err
+	}
+	keyPath := proto.IdempotencyPath + "/" + key
+	// Claim the key with a timestamped ephemeral placeholder; exactly
+	// one submitter wins the Create and proceeds to execute.
+	claim, merr := json.Marshal(idemEntry{Proc: proc, Args: args, ClaimedAt: time.Now()})
+	if merr != nil {
+		return "", false, fmt.Errorf("tropic: idempotency claim %s: %w", key, merr)
+	}
+	if _, err := c.cli.Create(keyPath, claim, store.FlagEphemeral); err != nil {
+		if !errors.Is(err, store.ErrNodeExists) {
+			return "", false, err
+		}
+		return c.awaitIdempotent(ctx, keyPath, key, proc, args)
+	}
+	id, err := c.Submit(proc, args...)
+	if err != nil {
+		// Release the claim so a corrected retry can reuse the key.
+		_ = c.cli.Delete(keyPath, -1)
+		return "", false, err
+	}
+	entry, merr := json.Marshal(idemEntry{ID: id, Proc: proc, Args: args})
+	if merr != nil {
+		return id, false, nil
+	}
+	// Promote the ephemeral claim to a persistent entry atomically;
+	// best-effort — on failure the claim dies with this session and the
+	// key becomes reusable, which can re-execute but never wedges.
+	_ = c.cli.Multi(
+		store.DeleteOp(keyPath, -1),
+		store.CreateOp(keyPath, entry, 0),
+	)
+	return id, false, nil
+}
+
+// awaitIdempotent resolves a lost idempotency race: read the winner's
+// recorded id, waiting out the window between its key claim and its id
+// write.
+func (c *Client) awaitIdempotent(ctx context.Context, keyPath, key, proc string, args []string) (string, bool, error) {
+	for {
+		watch, err := c.cli.WatchNode(keyPath)
+		if err != nil {
+			return "", false, err
+		}
+		data, stat, err := c.cli.Get(keyPath)
+		if err != nil {
+			c.cli.Unwatch(keyPath, watch)
+			if errors.Is(err, store.ErrNoNode) {
+				// The winner's submission failed (or its session died)
+				// and the claim is gone; take over.
+				return c.SubmitIdempotent(ctx, key, proc, args...)
+			}
+			return "", false, err
+		}
+		var e idemEntry
+		if len(data) > 0 {
+			if err := json.Unmarshal(data, &e); err != nil {
+				c.cli.Unwatch(keyPath, watch)
+				return "", false, fmt.Errorf("tropic: idempotency entry %s: %w", key, err)
+			}
+		}
+		if e.ID != "" {
+			c.cli.Unwatch(keyPath, watch)
+			if e.Proc != proc {
+				return "", false, trerr.Newf(trerr.SubmitIdempotencyReuse,
+					"tropic: idempotency key %q was used for procedure %q, not %q",
+					key, e.Proc, proc).With("key", key).With("proc", e.Proc)
+			}
+			if !slices.Equal(e.Args, args) {
+				return "", false, trerr.Newf(trerr.SubmitIdempotencyReuse,
+					"tropic: idempotency key %q was used for %s%v, not %s%v",
+					key, e.Proc, e.Args, proc, args).With("key", key).With("proc", e.Proc)
+			}
+			return e.ID, true, nil
+		}
+		// An unresolved claim. A stale one was orphaned by a claimant
+		// whose cleanup failed (e.g. during quorum loss) on a session
+		// that never expires; a version-checked delete takes it over
+		// without racing the owner's promotion.
+		if !e.ClaimedAt.IsZero() && time.Since(e.ClaimedAt) > staleIdempotencyClaim {
+			c.cli.Unwatch(keyPath, watch)
+			derr := c.cli.Delete(keyPath, stat.Version)
+			if derr == nil || errors.Is(derr, store.ErrNoNode) {
+				return c.SubmitIdempotent(ctx, key, proc, args...)
+			}
+			if errors.Is(derr, store.ErrBadVersion) {
+				continue // the claim just resolved; re-read it
+			}
+			return "", false, derr
+		}
+		select {
+		case <-ctx.Done():
+			c.cli.Unwatch(keyPath, watch)
+			return "", false, trerr.Wrap(trerr.SubmitIdempotencyPending, ctx.Err(),
+				fmt.Sprintf("tropic: idempotency key %q is claimed by an unfinished submission", key)).With("key", key)
+		case ev := <-watch:
+			if ev.Type == store.EventSessionExpired {
+				return "", false, store.ErrSessionExpired
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package trerr is TROPIC's typed error taxonomy. Every failure the
+// platform surfaces — from a constraint check deep in the logical layer
+// to a malformed HTTP request at the gateway — carries a stable,
+// machine-consumable Code of the form "area.name" (lowercase ASCII,
+// digits, and underscores; a single dot separates the area from the
+// name). Codes are registered at init time with their one canonical
+// HTTP status and a short description, so the gateway's JSON bodies,
+// the remote SDK's decoded errors, and the README's error table can
+// never drift apart.
+//
+// A Code is itself an error, so sentinel matching reads naturally:
+//
+//	if errors.Is(err, trerr.TxnNotFound) { ... }
+//
+// matches any *trerr.Error (or wrapped chain containing one) carrying
+// that code, whether it was produced in-process or decoded from a
+// gateway response by tropic/httpclient.
+package trerr
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Code is a validated "area.name" error code. The zero value ("") means
+// "no code"; CodeOf returns it for errors outside the taxonomy.
+type Code string
+
+// Error implements error so a Code can be used directly as an errors.Is
+// target and wrapped with fmt.Errorf("%w", ...).
+func (c Code) Error() string { return string(c) }
+
+// Area returns the portion before the dot ("txn" in "txn.not_found").
+func (c Code) Area() string {
+	if i := strings.IndexByte(string(c), '.'); i >= 0 {
+		return string(c)[:i]
+	}
+	return string(c)
+}
+
+// Valid reports whether c follows the area.name format: lowercase
+// letters, digits, and underscores on both sides of a single dot.
+func (c Code) Valid() bool {
+	s := string(c)
+	dot := strings.IndexByte(s, '.')
+	if dot <= 0 || dot == len(s)-1 || strings.IndexByte(s[dot+1:], '.') >= 0 {
+		return false
+	}
+	for _, part := range []string{s[:dot], s[dot+1:]} {
+		for i := 0; i < len(part); i++ {
+			b := part[i]
+			if !(b >= 'a' && b <= 'z' || b >= '0' && b <= '9' || b == '_') {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Info documents one registered code.
+type Info struct {
+	Code   Code
+	Status int
+	Doc    string
+}
+
+var registry = map[Code]Info{}
+
+// register validates and records a code with its canonical HTTP status.
+// It panics on a malformed or duplicate code — taxonomy bugs are
+// programmer errors caught at init.
+func register(s string, status int, doc string) Code {
+	c := Code(s)
+	if !c.Valid() {
+		panic(fmt.Sprintf("trerr: invalid code %q (want area.name, lowercase/digits/underscores)", s))
+	}
+	if _, dup := registry[c]; dup {
+		panic(fmt.Sprintf("trerr: duplicate code %q", s))
+	}
+	if status < 400 || status > 599 {
+		panic(fmt.Sprintf("trerr: code %q: status %d is not an HTTP error status", s, status))
+	}
+	registry[c] = Info{Code: c, Status: status, Doc: doc}
+	return c
+}
+
+// Codes returns every registered code sorted by code string, for the
+// README error table and the API-surface snapshot test.
+func Codes() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// HTTPStatus returns the canonical HTTP status for a code; unregistered
+// codes (including "") map to 500.
+func HTTPStatus(c Code) int {
+	if info, ok := registry[c]; ok {
+		return info.Status
+	}
+	return http.StatusInternalServerError
+}
+
+// Error is a failure carrying a taxonomy code, a human-readable
+// message, and optional machine-readable details. It supports
+// errors.Is/As and wrapping.
+type Error struct {
+	// Code is the stable area.name identifier.
+	Code Code `json:"code"`
+	// Message describes this specific failure.
+	Message string `json:"message"`
+	// Details carries structured context (ids, paths, parameters).
+	Details map[string]string `json:"details,omitempty"`
+
+	cause error
+}
+
+// New builds an Error with the given code and message.
+func New(code Code, msg string) *Error {
+	return &Error{Code: code, Message: msg}
+}
+
+// Newf builds an Error with a formatted message. %w verbs are honored:
+// the wrapped error becomes the cause.
+func Newf(code Code, format string, args ...any) *Error {
+	wrapped := fmt.Errorf(format, args...)
+	return &Error{Code: code, Message: wrapped.Error(), cause: errors.Unwrap(wrapped)}
+}
+
+// Wrap builds an Error whose cause is err; errors.Is/As see through to
+// it. A nil err returns nil.
+func Wrap(code Code, err error, msg string) *Error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: code, Message: msg, cause: err}
+}
+
+// With records one detail key/value, returning e for chaining.
+func (e *Error) With(key, value string) *Error {
+	if e.Details == nil {
+		e.Details = make(map[string]string)
+	}
+	e.Details[key] = value
+	return e
+}
+
+// Error renders "message: cause" (the code is metadata, not prose; the
+// gateway and SDK surface it structurally).
+func (e *Error) Error() string {
+	if e.cause != nil && !strings.Contains(e.Message, e.cause.Error()) {
+		return e.Message + ": " + e.cause.Error()
+	}
+	return e.Message
+}
+
+// Unwrap exposes the cause for errors.Is/As traversal.
+func (e *Error) Unwrap() error { return e.cause }
+
+// Is matches a bare Code target or another *Error with the same code,
+// in addition to the default identity/unwrap semantics.
+func (e *Error) Is(target error) bool {
+	switch t := target.(type) {
+	case Code:
+		return e.Code == t
+	case *Error:
+		return t != nil && e.Code == t.Code
+	}
+	return false
+}
+
+// CodeOf extracts the taxonomy code from an error chain ("" when the
+// chain carries none). The outermost coded error wins.
+func CodeOf(err error) Code {
+	for err != nil {
+		if te, ok := err.(*Error); ok {
+			return te.Code
+		}
+		if c, ok := err.(Code); ok {
+			return c
+		}
+		err = errors.Unwrap(err)
+	}
+	return ""
+}
+
+// StatusOf maps an error chain to its HTTP status: the canonical status
+// of its code, or 500 for uncoded errors.
+func StatusOf(err error) int { return HTTPStatus(CodeOf(err)) }

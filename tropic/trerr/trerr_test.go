@@ -1,0 +1,149 @@
+package trerr
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestCodeValid(t *testing.T) {
+	valid := []Code{"txn.not_found", "api.bad_request", "store.no_quorum", "a.b_2"}
+	for _, c := range valid {
+		if !c.Valid() {
+			t.Errorf("%q should be valid", c)
+		}
+	}
+	invalid := []Code{"", "txn", ".name", "txn.", "Txn.NotFound", "txn-not.found",
+		"txn.not.found", "txn.not found", "api.rate-limit"}
+	for _, c := range invalid {
+		if c.Valid() {
+			t.Errorf("%q should be invalid", c)
+		}
+	}
+}
+
+func TestRegistryAllValid(t *testing.T) {
+	if len(registry) < 20 {
+		t.Fatalf("registry has %d codes, expected the full taxonomy", len(registry))
+	}
+	for c, info := range registry {
+		if !c.Valid() {
+			t.Errorf("registered code %q is malformed", c)
+		}
+		if info.Status < 400 || info.Status > 599 {
+			t.Errorf("code %q: status %d", c, info.Status)
+		}
+		if info.Doc == "" {
+			t.Errorf("code %q: missing doc", c)
+		}
+	}
+}
+
+func TestErrorsIsMatching(t *testing.T) {
+	err := New(TxnNotFound, "no transaction t-42")
+	if !errors.Is(err, TxnNotFound) {
+		t.Fatal("Is(err, TxnNotFound) = false")
+	}
+	if errors.Is(err, TxnUnknownProcedure) {
+		t.Fatal("Is matched the wrong code")
+	}
+	// Matching survives fmt.Errorf wrapping.
+	wrapped := fmt.Errorf("gateway: %w", err)
+	if !errors.Is(wrapped, TxnNotFound) {
+		t.Fatal("Is through fmt.Errorf chain = false")
+	}
+	// Two independent *Error values with the same code match.
+	if !errors.Is(err, New(TxnNotFound, "other message")) {
+		t.Fatal("two *Error with same code should match")
+	}
+}
+
+func TestWrapAndCodeOf(t *testing.T) {
+	cause := errors.New("store: node does not exist")
+	err := Wrap(TxnNotFound, cause, "transaction t-7 not found")
+	if !errors.Is(err, cause) {
+		t.Fatal("Wrap lost the cause")
+	}
+	if got := CodeOf(err); got != TxnNotFound {
+		t.Fatalf("CodeOf = %q", got)
+	}
+	if got := CodeOf(fmt.Errorf("outer: %w", err)); got != TxnNotFound {
+		t.Fatalf("CodeOf through chain = %q", got)
+	}
+	if got := CodeOf(errors.New("plain")); got != "" {
+		t.Fatalf("CodeOf(plain) = %q", got)
+	}
+	if Wrap(TxnNotFound, nil, "x") != nil {
+		t.Fatal("Wrap(nil) should be nil")
+	}
+	// Outermost code wins over an inner one.
+	inner := New(StoreNoNode, "inner")
+	outer := Wrap(TxnNotFound, inner, "outer")
+	if got := CodeOf(outer); got != TxnNotFound {
+		t.Fatalf("outermost code should win, got %q", got)
+	}
+	if !errors.Is(outer, StoreNoNode) {
+		t.Fatal("inner code should still Is-match through the chain")
+	}
+}
+
+func TestNewfWrapVerb(t *testing.T) {
+	cause := errors.New("boom")
+	err := Newf(TxnUnknownProcedure, "unknown stored procedure %q: %w", "nope", cause)
+	if !errors.Is(err, cause) {
+		t.Fatal("Newf %w not honored")
+	}
+	if !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("message = %q", err.Error())
+	}
+}
+
+func TestDetails(t *testing.T) {
+	err := New(TxnNotFound, "nope").With("id", "t-1").With("hint", "expired")
+	if err.Details["id"] != "t-1" || err.Details["hint"] != "expired" {
+		t.Fatalf("details = %v", err.Details)
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	cases := map[Code]int{
+		TxnNotFound:         http.StatusNotFound,
+		TxnUnknownProcedure: http.StatusBadRequest,
+		TxnWaitTimeout:      http.StatusGatewayTimeout,
+		SubmitInvalidArgs:   http.StatusBadRequest,
+		ReconcileConflict:   http.StatusConflict,
+		StoreSessionExpired: http.StatusServiceUnavailable,
+		APIUnavailable:      http.StatusServiceUnavailable,
+		Code("bogus.code"):  http.StatusInternalServerError,
+		Code(""):            http.StatusInternalServerError,
+	}
+	for c, want := range cases {
+		if got := HTTPStatus(c); got != want {
+			t.Errorf("HTTPStatus(%q) = %d, want %d", c, got, want)
+		}
+	}
+	if StatusOf(errors.New("plain")) != http.StatusInternalServerError {
+		t.Error("StatusOf(uncoded) != 500")
+	}
+}
+
+// TestCodeSurface pins the registered code strings and statuses to a
+// golden file: renaming or remapping a code is an API break and must
+// show up as an explicit diff here (and in the CI `go doc` snapshot).
+func TestCodeSurface(t *testing.T) {
+	var b strings.Builder
+	for _, info := range Codes() {
+		fmt.Fprintf(&b, "%s %d\n", info.Code, info.Status)
+	}
+	got := b.String()
+	want, err := os.ReadFile("testdata/codes.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with the surface below)\n%s", err, got)
+	}
+	if got != string(want) {
+		t.Fatalf("error-code surface changed.\n--- want\n%s--- got\n%s", want, got)
+	}
+}

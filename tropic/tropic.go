@@ -39,6 +39,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/txn"
 	"repro/internal/worker"
+	"repro/tropic/trerr"
 )
 
 // Re-exported model and transaction vocabulary, so services are written
@@ -66,6 +67,10 @@ type (
 	LogRecord = txn.LogRecord
 	// State is a transaction state (paper Figure 2).
 	State = txn.State
+	// StateStamp timestamps one state transition (Txn.History).
+	StateStamp = txn.StateStamp
+	// Signal is an operator TERM/KILL intervention (§4).
+	Signal = txn.Signal
 	// Executor is the physical device API used by workers.
 	Executor = worker.Executor
 	// NoopExecutor is the logical-only mode executor (§5).
@@ -373,25 +378,53 @@ func (p *Platform) ControllerStats() controller.Stats {
 
 // Client opens a new client session against the platform.
 func (p *Platform) Client() *Client {
-	return &Client{cli: p.ens.Connect()}
+	return &Client{cli: p.ens.Connect(), procs: p.cfg.Procedures}
 }
 
 // Client submits transactional orchestrations and tracks their outcome,
 // playing the role of the API service gateway in Figure 1.
 type Client struct {
 	cli *store.Client
+	// procs is the platform's procedure registry, used to reject
+	// unknown procedures synchronously at submit time (nil skips the
+	// check, for clients constructed without a registry).
+	procs map[string]Procedure
 }
 
 // Close releases the client's store session.
 func (c *Client) Close() { c.cli.Close() }
 
-// Submit initiates a transaction (Figure 2, ①) and returns its id.
+// ValidateProc rejects submissions that could never execute: an empty
+// procedure name (submit.invalid_args) or one missing from the registry
+// (txn.unknown_procedure).
+func (c *Client) ValidateProc(proc string) error {
+	if proc == "" {
+		return trerr.New(trerr.SubmitInvalidArgs, "tropic: submit: empty procedure name")
+	}
+	if c.procs != nil {
+		if _, ok := c.procs[proc]; !ok {
+			return trerr.Newf(trerr.TxnUnknownProcedure,
+				"tropic: submit: unknown stored procedure %q", proc).With("proc", proc)
+		}
+	}
+	return nil
+}
+
+// Submit initiates a transaction (Figure 2, ①) and returns its id. The
+// procedure name is validated against the registry, so an unknown
+// procedure is rejected here instead of producing a transaction doomed
+// to abort asynchronously.
 func (c *Client) Submit(proc string, args ...string) (string, error) {
+	if err := c.ValidateProc(proc); err != nil {
+		return "", err
+	}
+	now := time.Now()
 	rec := &txn.Txn{
 		Proc:        proc,
 		Args:        args,
 		State:       txn.StateInitialized,
-		SubmittedAt: time.Now(),
+		SubmittedAt: now,
+		History:     []txn.StateStamp{{State: txn.StateInitialized, At: now}},
 	}
 	path, err := c.cli.Create(proto.TxnPrefix, rec.Encode(), store.FlagSequence)
 	if err != nil {
@@ -405,10 +438,18 @@ func (c *Client) Submit(proc string, args ...string) (string, error) {
 	return idFromPath(path), nil
 }
 
-// Get fetches the current record of a transaction.
+// Get fetches the current record of a transaction. An unknown id is
+// reported as trerr.TxnNotFound.
 func (c *Client) Get(id string) (*Txn, error) {
+	if id == "" {
+		return nil, trerr.New(trerr.APIBadRequest, "tropic: get: missing transaction id")
+	}
 	data, _, err := c.cli.Get(proto.TxnsPath + "/" + id)
 	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			return nil, trerr.Wrap(trerr.TxnNotFound, err,
+				fmt.Sprintf("transaction %s not found", id)).With("id", id)
+		}
 		return nil, err
 	}
 	rec, err := txn.Decode(data)
@@ -420,7 +461,9 @@ func (c *Client) Get(id string) (*Txn, error) {
 }
 
 // Wait blocks until the transaction reaches a terminal state and
-// returns its final record.
+// returns its final record. An unknown id is reported as
+// trerr.TxnNotFound; an elapsed deadline as trerr.TxnWaitTimeout (with
+// context.DeadlineExceeded still in the chain).
 func (c *Client) Wait(ctx context.Context, id string) (*Txn, error) {
 	path := proto.TxnsPath + "/" + id
 	for {
@@ -430,13 +473,22 @@ func (c *Client) Wait(ctx context.Context, id string) (*Txn, error) {
 		}
 		rec, err := c.Get(id)
 		if err != nil {
+			c.cli.Unwatch(path, watch)
 			return nil, err
 		}
 		if rec.State.Terminal() {
+			// Terminal records never change again: release the armed
+			// watch instead of leaking it for the session's lifetime.
+			c.cli.Unwatch(path, watch)
 			return rec, nil
 		}
 		select {
 		case <-ctx.Done():
+			c.cli.Unwatch(path, watch)
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return nil, trerr.Wrap(trerr.TxnWaitTimeout, ctx.Err(),
+					fmt.Sprintf("tropic: wait %s: deadline elapsed before a terminal state", id)).With("id", id)
+			}
 			return nil, ctx.Err()
 		case ev := <-watch:
 			if ev.Type == store.EventSessionExpired {
@@ -486,10 +538,12 @@ func (c *Client) reconcileRequest(ctx context.Context, kind proto.MsgKind, targe
 	_, err = c.cli.Create(proto.InputQPath+"/item-",
 		proto.InputMsg{Kind: kind, Target: target, Reply: replyPath}.Encode(), store.FlagSequence)
 	if err != nil {
+		c.cli.Unwatch(replyPath, watch)
 		return err
 	}
 	select {
 	case <-ctx.Done():
+		c.cli.Unwatch(replyPath, watch)
 		return ctx.Err()
 	case ev := <-watch:
 		if ev.Type == store.EventSessionExpired {
@@ -505,13 +559,27 @@ func (c *Client) reconcileRequest(ctx context.Context, kind proto.MsgKind, targe
 		return err
 	}
 	if !reply.OK {
-		return fmt.Errorf("tropic: %s %s: %s", kind, target, reply.Error)
+		code := trerr.Code(reply.Code)
+		if !code.Valid() {
+			code = trerr.ReconcileConflict
+		}
+		return trerr.New(code,
+			fmt.Sprintf("tropic: %s %s: %s", kind, target, reply.Error)).With("target", target)
 	}
 	return nil
 }
 
-// Signal sends a TERM or KILL to a transaction (§4).
+// Signal sends a TERM or KILL to a transaction (§4). The signal value
+// and the transaction's existence are validated synchronously
+// (trerr.TxnInvalidSignal / trerr.TxnNotFound).
 func (c *Client) Signal(id string, sig txn.Signal) error {
+	if sig != txn.SignalTerm && sig != txn.SignalKill {
+		return trerr.Newf(trerr.TxnInvalidSignal,
+			"tropic: signal %q: signal must be TERM or KILL", sig)
+	}
+	if _, err := c.Get(id); err != nil {
+		return err
+	}
 	_, err := c.cli.Create(proto.InputQPath+"/item-",
 		proto.InputMsg{
 			Kind:    proto.KindSignal,

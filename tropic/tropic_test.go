@@ -2,6 +2,7 @@ package tropic_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/reconcile"
 	"repro/tcloud"
 	"repro/tropic"
+	"repro/tropic/trerr"
 )
 
 // newTCloud spins up a physical-mode platform over simulated devices.
@@ -381,13 +383,13 @@ func TestProcedureAbortSelf(t *testing.T) {
 	defer c.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	// Unknown procedure.
-	rec, err := c.SubmitAndWait(ctx, "noSuchProc")
-	if err != nil || rec.State != tropic.StateAborted {
-		t.Fatalf("unknown proc: %v %v", rec, err)
+	// Unknown procedure: rejected synchronously with a typed error
+	// instead of producing a doomed transaction.
+	if _, err := c.SubmitAndWait(ctx, "noSuchProc"); !errors.Is(err, trerr.TxnUnknownProcedure) {
+		t.Fatalf("unknown proc: err = %v, want txn.unknown_procedure", err)
 	}
 	// Bad args.
-	rec, err = c.SubmitAndWait(ctx, tcloud.ProcStartVM)
+	rec, err := c.SubmitAndWait(ctx, tcloud.ProcStartVM)
 	if err != nil || rec.State != tropic.StateAborted {
 		t.Fatalf("bad args: %v %v", rec, err)
 	}
