@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		expName     = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|all")
+		expName     = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|pipeline|all")
 		full        = flag.Bool("full", false, "paper-scale run (12,500 hosts, full 1-hour trace; takes many minutes)")
 		hosts       = flag.Int("hosts", 400, "compute hosts (logical-only experiments)")
 		mults       = flag.String("mult", "1,2,3,4,5", "comma-separated EC2 load multipliers")
@@ -40,6 +41,9 @@ func main() {
 		commitLat   = flag.Duration("commit-latency", 50*time.Microsecond, "simulated store quorum latency")
 		seed        = flag.Int64("seed", 2011, "workload seed")
 		timeout     = flag.Duration("timeout", 30*time.Minute, "overall deadline")
+		pipeTxns    = flag.Int("pipeline-txns", 256, "transactions per pipeline ablation point")
+		pipeBatches = flag.String("pipeline-batches", "1,8,32", "comma-separated pipeline batch sizes")
+		jsonOut     = flag.String("json", "", "write pipeline results as JSON to this file (e.g. BENCH_pipeline.json)")
 	)
 	flag.Parse()
 
@@ -110,6 +114,62 @@ func main() {
 	if all || *expName == "ablation" {
 		run("§3.1.1 ablation: FIFO vs aggressive scheduling", runAblation)
 	}
+	if all || *expName == "pipeline" {
+		run("Batched pipeline: group-commit throughput ablation", func(ctx context.Context) error {
+			return runPipeline(ctx, *pipeTxns, parseMults(*pipeBatches), *jsonOut)
+		})
+	}
+}
+
+// runPipeline sweeps the group-commit batch size over the end-to-end
+// pipeline and optionally writes the points as JSON for the perf
+// trajectory (CI emits BENCH_pipeline.json on every run).
+func runPipeline(ctx context.Context, txns int, batches []int, jsonPath string) error {
+	if len(batches) == 0 {
+		batches = []int{1, 32}
+	}
+	type jsonDoc struct {
+		Generated string               `json:"generated"`
+		Txns      int                  `json:"txns"`
+		Results   []exp.PipelineResult `json:"results"`
+	}
+	doc := jsonDoc{Generated: time.Now().UTC().Format(time.RFC3339), Txns: txns}
+	fmt.Printf("%-8s %-12s %-12s %-12s %-14s %-14s %s\n",
+		"batch", "txns/s", "p99 ms", "commits/txn", "drain items", "flush ms", "max flush ops")
+	var base float64
+	for _, batch := range batches {
+		res, err := exp.Pipeline(ctx, exp.PipelineParams{Txns: txns, BatchMaxOps: batch})
+		if err != nil {
+			return err
+		}
+		meanDrain := 0.0
+		if res.InBatches > 0 {
+			meanDrain = float64(res.InBatchItems) / float64(res.InBatches)
+		}
+		fmt.Printf("%-8d %-12.0f %-12.0f %-12.1f %-14.1f %-14.2f %d\n",
+			batch, res.PerSecond, res.P99LatencyMs,
+			float64(res.StoreCommits)/float64(res.Txns), meanDrain, res.MeanFlushMs, res.MaxFlushOps)
+		if base == 0 {
+			base = res.PerSecond
+		}
+		doc.Results = append(doc.Results, res)
+	}
+	if len(doc.Results) > 1 && base > 0 {
+		last := doc.Results[len(doc.Results)-1]
+		fmt.Printf("group commit at batch %d: %.2fx the unbatched path\n",
+			last.BatchMaxOps, last.PerSecond/base)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 func runAblation(ctx context.Context) error {

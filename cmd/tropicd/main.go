@@ -45,6 +45,9 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "coordination-store data directory (empty: in-memory only)")
 		syncFlag    = flag.String("sync", "always", "WAL fsync policy with -data-dir: always|none")
 		snapEvery   = flag.Int("snapshot-every", 4096, "store writes between snapshots with -data-dir")
+		batchOps    = flag.Int("batch-max-ops", 32, "pipeline group-commit batch size (1 disables batching, 0 selects the default 32)")
+		batchDelay  = flag.Duration("batch-max-delay", 2*time.Millisecond, "async batch flush-latency ceiling")
+		workerClaim = flag.Int("worker-claim", 4, "phyQ items one worker thread claims per store round trip")
 	)
 	flag.Parse()
 
@@ -54,15 +57,18 @@ func main() {
 		logger.Fatalf("-sync: %v", err)
 	}
 	cfg := tropic.Config{
-		Schema:         tcloud.NewSchema(),
-		Procedures:     tcloud.Procedures(),
-		Controllers:    *controllers,
-		CommitLatency:  *commitLat,
-		SessionTimeout: *sessionTO,
-		DataDir:        *dataDir,
-		SyncPolicy:     syncPolicy,
-		SnapshotEvery:  *snapEvery,
-		Logf:           logger.Printf,
+		Schema:           tcloud.NewSchema(),
+		Procedures:       tcloud.Procedures(),
+		Controllers:      *controllers,
+		CommitLatency:    *commitLat,
+		SessionTimeout:   *sessionTO,
+		DataDir:          *dataDir,
+		SyncPolicy:       syncPolicy,
+		SnapshotEvery:    *snapEvery,
+		BatchMaxOps:      *batchOps,
+		BatchMaxDelay:    *batchDelay,
+		WorkerClaimBatch: *workerClaim,
+		Logf:             logger.Printf,
 	}
 	tp := tcloud.Topology{ComputeHosts: *hosts}
 	if *logicalOnly {
@@ -91,6 +97,14 @@ func main() {
 	cancel()
 	logger.Printf("platform up: %d compute hosts (%d VM slots), %d storage hosts, leader %s",
 		*hosts, *hosts*8, tp.StorageHosts(), p.Leader().Name())
+	// Log the RESOLVED configuration (0 values select defaults), not the
+	// raw flags.
+	if info := p.PipelineInfo(); info.BatchMaxOps > 1 {
+		logger.Printf("pipeline: group commit on (batch-max-ops=%d batch-max-delay=%.3gms worker-claim=%d)",
+			info.BatchMaxOps, info.BatchMaxDelayMs, info.WorkerClaimBatch)
+	} else {
+		logger.Printf("pipeline: group commit OFF (per-item round trips)")
+	}
 	if *dataDir != "" {
 		if ps := p.Ensemble().PersistStats(); ps.Recoveries > 0 {
 			logger.Printf("durable store: dir=%s sync=%s recovered in %s",

@@ -16,7 +16,8 @@
 //	POST /v1/signal   send TERM/KILL to a transaction (§4)
 //	POST /v1/repair   logical→physical reconciliation (§4)
 //	POST /v1/reload   physical→logical reconciliation (§4)
-//	GET  /v1/stats    controller/worker/store counters + API latencies
+//	GET  /v1/stats    controller/worker/store counters, batch-pipeline
+//	                  config, queue depth gauges, API latencies
 //	GET  /healthz     readiness: leader presence and store quorum
 package api
 
@@ -409,6 +410,8 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		"worker":     g.p.Worker().Stats(),
 		"persist":    g.p.Ensemble().PersistStats(),
 		"store":      g.p.Ensemble().Health(),
+		"pipeline":   g.p.PipelineInfo(),
+		"queues":     g.p.QueueDepths(),
 		"api":        g.latencySummaries(),
 	})
 }

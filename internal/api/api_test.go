@@ -712,3 +712,61 @@ func TestAPIStatsIncludesLatencies(t *testing.T) {
 		t.Fatalf("inconsistent summary: %+v", ls)
 	}
 }
+
+func TestAPIStatsIncludesPipelineAndQueues(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// One committed transaction so the gauges have something to measure
+	// having drained.
+	code, body := postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM,
+		Args: spawnArgs(0, "vmstats"),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sr api.SubmitResult
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := getJSON(t, srv.URL+"/v1/wait?id="+sr.ID); code != http.StatusOK {
+		t.Fatalf("wait: %d", code)
+	}
+	code, body = getJSON(t, srv.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var stats struct {
+		Pipeline struct {
+			BatchMaxOps      int     `json:"batchMaxOps"`
+			BatchMaxDelayMs  float64 `json:"batchMaxDelayMs"`
+			WorkerClaimBatch int     `json:"workerClaimBatch"`
+		} `json:"pipeline"`
+		Queues struct {
+			InQ   *int64 `json:"inQ"`
+			TodoQ *int64 `json:"todoQ"`
+			PhyQ  *int64 `json:"phyQ"`
+		} `json:"queues"`
+		Controller struct {
+			Flushes      int64 `json:"Flushes"`
+			InBatchItems int64 `json:"InBatchItems"`
+		} `json:"controller"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pipeline.BatchMaxOps != 32 || stats.Pipeline.WorkerClaimBatch != 4 ||
+		stats.Pipeline.BatchMaxDelayMs != 2 {
+		t.Fatalf("pipeline config = %+v, want defaults 32/2ms/4", stats.Pipeline)
+	}
+	if stats.Queues.InQ == nil || stats.Queues.TodoQ == nil || stats.Queues.PhyQ == nil {
+		t.Fatalf("queue gauges missing: %s", body)
+	}
+	// The transaction committed and nothing else is running: all depths
+	// drained back to zero.
+	if *stats.Queues.InQ != 0 || *stats.Queues.PhyQ != 0 {
+		t.Fatalf("queues not drained: %s", body)
+	}
+	if stats.Controller.Flushes == 0 || stats.Controller.InBatchItems == 0 {
+		t.Fatalf("batched pipeline counters missing: %s", body)
+	}
+}

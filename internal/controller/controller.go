@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/election"
 	"repro/internal/lock"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/proto"
 	"repro/internal/queue"
@@ -49,6 +50,14 @@ type Config struct {
 	// ships FIFO and names the aggressive strategy as future work; both
 	// are implemented here (see the scheduling-policy ablation bench).
 	Policy SchedulingPolicy
+	// BatchMaxOps caps how many inputQ items the leader drains per event
+	// round; the round's grouped Multi carries those items' staged
+	// effects plus the scheduling pass's admissions, typically a few ops
+	// per item (Stats.MaxFlushOps reports the realized sizes). Values
+	// ≤ 1 disable batching: the leader processes one item per round with
+	// one store round trip per effect, exactly the pre-batching pipeline
+	// (kept runnable for the ablation benchmarks).
+	BatchMaxOps int
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +101,24 @@ type Stats struct {
 	RollbackNanos int64
 	// Rollbacks counts logical rollbacks performed.
 	Rollbacks int64
+
+	// Batch-pipeline counters (zero when BatchMaxOps ≤ 1).
+	//
+	// InBatches counts inputQ drain rounds and InBatchItems the items
+	// they carried; their ratio is the achieved event-batch size.
+	InBatches    int64
+	InBatchItems int64
+	// MaxInBatch is the largest single drain.
+	MaxInBatch int64
+	// Flushes counts grouped Multi commits (staged accepts/cleanups and
+	// admission rounds), FlushedOps the store operations they carried,
+	// and MaxFlushOps the largest single flush.
+	Flushes     int64
+	FlushedOps  int64
+	MaxFlushOps int64
+	// FlushNanos is wall time spent inside grouped flush commits — the
+	// group-commit latency the BatchMaxDelay knob bounds upstream.
+	FlushNanos int64
 }
 
 // Controller is one TROPIC controller replica. All replicas run Run;
@@ -109,9 +136,13 @@ type Controller struct {
 	locks    *lock.Manager
 	todo     []*txn.Txn
 	inFlight map[string]*txn.Txn
+	// admitPending holds runnable transactions staged by the current
+	// scheduling round, group-committed by flushAdmissions.
+	admitPending []*txn.Txn
 
-	stats   Stats
-	leading atomic.Bool
+	stats     Stats
+	leading   atomic.Bool
+	todoDepth metrics.Gauge
 
 	mu     sync.Mutex // guards stats snapshotting
 	killed atomic.Bool
@@ -236,12 +267,19 @@ func (c *Controller) Close() {
 func (c *Controller) Stats() Stats {
 	c.mu.Lock()
 	s := Stats{
-		Accepted:   c.stats.Accepted,
-		Committed:  c.stats.Committed,
-		Aborted:    c.stats.Aborted,
-		Failed:     c.stats.Failed,
-		Deferrals:  c.stats.Deferrals,
-		Violations: c.stats.Violations,
+		Accepted:     c.stats.Accepted,
+		Committed:    c.stats.Committed,
+		Aborted:      c.stats.Aborted,
+		Failed:       c.stats.Failed,
+		Deferrals:    c.stats.Deferrals,
+		Violations:   c.stats.Violations,
+		InBatches:    c.stats.InBatches,
+		InBatchItems: c.stats.InBatchItems,
+		MaxInBatch:   c.stats.MaxInBatch,
+		Flushes:      c.stats.Flushes,
+		FlushedOps:   c.stats.FlushedOps,
+		MaxFlushOps:  c.stats.MaxFlushOps,
+		FlushNanos:   c.stats.FlushNanos,
 	}
 	c.mu.Unlock()
 	s.BusyNanos = atomic.LoadInt64(&c.stats.BusyNanos)
@@ -257,15 +295,23 @@ func (c *Controller) Stats() Stats {
 // lead controller is the queue's only consumer; each item is deleted
 // atomically with the persistent effects of processing it, so a leader
 // crash at any point neither loses nor double-applies a message.
+//
+// With batching enabled (BatchMaxOps > 1) the loop drains up to
+// BatchMaxOps items per event round, stages their persistent effects,
+// and commits the round in one grouped Multi; the scheduling pass that
+// follows group-commits every admitted transaction the same way. Under a
+// backlog this amortizes the store round trip that otherwise dominates
+// per-transaction cost (§6.1) across the whole batch — the queues fill
+// while a flush is in flight, so the pipeline is self-clocking.
 func (c *Controller) lead(ctx context.Context) error {
-	// Retry backoff for a persistently failing head item: exponential
-	// from retryBackoffMin to retryBackoffMax, reset on any success.
+	// Retry backoff for a persistently failing item: exponential from
+	// retryBackoffMin to retryBackoffMax, reset on any clean round.
 	// Store latency makes each failed attempt cheap for the leader but
 	// expensive for the ensemble, so the pause grows with consecutive
 	// failures instead of hot-looping at a flat 1ms.
 	backoff := time.Duration(0)
 	for {
-		data, itemPath, err := c.inputQ.TakeHead(ctx)
+		items, err := c.inputQ.TakeHeadBatch(ctx, c.batchMax())
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -273,17 +319,12 @@ func (c *Controller) lead(ctx context.Context) error {
 			return err
 		}
 		start := time.Now()
-		msg, err := proto.DecodeInputMsg(data)
-		if err != nil {
-			c.cfg.Logf("controller %s: dropping bad input item: %v", c.cfg.Name, err)
-			_ = c.inputQ.Remove(itemPath)
-			continue
-		}
-		if err := c.handle(msg, itemPath); err != nil {
-			if errors.Is(err, store.ErrSessionExpired) || errors.Is(err, store.ErrNoQuorum) {
-				return err
+		c.noteInBatch(len(items))
+		roundErr := c.processRound(items)
+		if roundErr != nil {
+			if errors.Is(roundErr, store.ErrSessionExpired) || errors.Is(roundErr, store.ErrNoQuorum) {
+				return roundErr
 			}
-			c.cfg.Logf("controller %s: handle %s: %v", c.cfg.Name, msg.Kind, err)
 			if backoff == 0 {
 				backoff = retryBackoffMin
 			} else if backoff *= 2; backoff > retryBackoffMax {
@@ -302,8 +343,314 @@ func (c *Controller) lead(ctx context.Context) error {
 		} else {
 			backoff = 0
 		}
-		c.schedule()
 		atomic.AddInt64(&c.stats.BusyNanos, time.Since(start).Nanoseconds())
+	}
+}
+
+// processRound handles one drained batch end to end. Unbatched, it is
+// the legacy pipeline: per-item commits, then a scheduling pass with
+// per-admission commits. Batched, the items' staged effects AND the
+// scheduling pass's admissions all ride one grouped Multi — a freshly
+// submitted transaction can go accepted→started→phyQ in a single store
+// commit shared with the rest of its round.
+func (c *Controller) processRound(items []queue.Item) error {
+	r := &round{staged: make(map[string]bool)}
+	err := c.handleRound(r, items)
+	if err != nil && errFatal(err) {
+		return err
+	}
+	if c.batching() {
+		c.scheduleInto(r)
+		cleanups := r.cleanups
+		if ferr := c.flushRound(r); ferr != nil {
+			if errFatal(ferr) {
+				return ferr
+			}
+			if err == nil {
+				err = ferr
+			}
+		}
+		// The flush's cleanups released locks AFTER the round's
+		// scheduling pass ran. If queued work remains, schedule again now
+		// — a deferred transaction must not wait for an input event that
+		// may never come to claim locks that are already free.
+		if cleanups > 0 && len(c.todo) > 0 {
+			c.schedule()
+		}
+		c.todoDepth.Set(int64(len(c.todo)))
+		return err
+	}
+	if ferr := c.flushRound(r); ferr != nil {
+		if errFatal(ferr) {
+			return ferr
+		}
+		if err == nil {
+			err = ferr
+		}
+	}
+	c.schedule()
+	return err
+}
+
+// batchMax returns the per-round drain bound (1 = unbatched).
+func (c *Controller) batchMax() int {
+	if c.cfg.BatchMaxOps > 1 {
+		return c.cfg.BatchMaxOps
+	}
+	return 1
+}
+
+// batching reports whether the grouped-commit pipeline is enabled.
+func (c *Controller) batching() bool { return c.cfg.BatchMaxOps > 1 }
+
+func (c *Controller) noteInBatch(n int) {
+	if !c.batching() {
+		return
+	}
+	c.mu.Lock()
+	c.stats.InBatches++
+	c.stats.InBatchItems += int64(n)
+	if int64(n) > c.stats.MaxInBatch {
+		c.stats.MaxInBatch = int64(n)
+	}
+	c.mu.Unlock()
+}
+
+// noteFlush records one grouped Multi commit in the batch stats.
+// Unbatched mode commits the same legacy per-item ops through the same
+// helpers; those are not grouped commits and stay out of the counters.
+func (c *Controller) noteFlush(ops int, d time.Duration) {
+	if !c.batching() {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Flushes++
+	c.stats.FlushedOps += int64(ops)
+	if int64(ops) > c.stats.MaxFlushOps {
+		c.stats.MaxFlushOps = int64(ops)
+	}
+	c.stats.FlushNanos += d.Nanoseconds()
+	c.mu.Unlock()
+}
+
+// round accumulates the staged persistent effects of one inputQ drain:
+// store operations to group-commit, the in-memory effects to apply once
+// the commit lands, and per-item fallbacks replaying the legacy one-
+// item-at-a-time path if the grouped commit fails validation (e.g. a
+// record's version moved between staging and flush).
+type round struct {
+	ops      []store.Op
+	after    []func()
+	fallback []func() error
+	// staged tracks transaction paths with staged effects, so a second
+	// message touching the same record defers to the next round instead
+	// of poisoning the grouped Multi with a stale version.
+	staged map[string]bool
+	// accepted are transactions optimistically appended to todoQ this
+	// round (so the same round's scheduling pass can admit them); undone
+	// before fallbacks if the flush fails.
+	accepted []*txn.Txn
+	// admitted are transactions whose admission (started-state write +
+	// phyQ enqueue) is staged in ops; fully unwound — simulation, locks,
+	// transition — if the flush fails.
+	admitted []*txn.Txn
+	// aborted are transactions whose terminal abort write is staged in
+	// ops; if the flush fails they revert to accepted and requeue — the
+	// state their abort verdict was derived from (e.g. a sibling
+	// admission's simulated effects) may have been unwound with the
+	// round, so the verdict must be re-derived, not persisted blind.
+	aborted []*txn.Txn
+	// cleanups counts staged result cleanups, whose deferred lock
+	// releases require a post-flush scheduling pass.
+	cleanups int
+}
+
+func (r *round) stage(ops []store.Op, after func(), fallback func() error) {
+	r.ops = append(r.ops, ops...)
+	if after != nil {
+		r.after = append(r.after, after)
+	}
+	if fallback != nil {
+		r.fallback = append(r.fallback, fallback)
+	}
+}
+
+// handleRound processes one drained batch of input messages into the
+// round. Submit and result notices are staged for the grouped commit;
+// signal and reconciliation requests (rare, and with their own write
+// patterns) are handled directly after flushing whatever is staged,
+// preserving queue order. The returned error, if any, is the first
+// retryable failure — session and quorum losses short-circuit
+// immediately.
+func (c *Controller) handleRound(r *round, items []queue.Item) error {
+	var firstErr error
+	note := func(kind proto.MsgKind, err error) {
+		if err != nil {
+			c.cfg.Logf("controller %s: handle %s: %v", c.cfg.Name, kind, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, it := range items {
+		msg, err := proto.DecodeInputMsg(it.Data)
+		if err != nil {
+			c.cfg.Logf("controller %s: dropping bad input item: %v", c.cfg.Name, err)
+			itemPath := it.Path
+			r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+				func() error { return c.inputQ.Remove(itemPath) })
+			continue
+		}
+		switch msg.Kind {
+		case proto.KindSubmit:
+			err = c.stageAccept(r, msg, it.Path)
+		case proto.KindResult:
+			err = c.stageCleanup(r, msg, it.Path)
+		default:
+			// Flush staged work first so this item observes (and its own
+			// writes serialize after) everything ahead of it in the queue.
+			if ferr := c.flushRound(r); ferr != nil {
+				if errFatal(ferr) {
+					return ferr
+				}
+				note(msg.Kind, ferr)
+			}
+			err = c.handle(msg, it.Path)
+		}
+		if err != nil {
+			if errFatal(err) {
+				return err
+			}
+			note(msg.Kind, err)
+		}
+	}
+	return firstErr
+}
+
+// errFatal reports errors that must tear the leader loop down.
+func errFatal(err error) bool {
+	return errors.Is(err, store.ErrSessionExpired) || errors.Is(err, store.ErrNoQuorum)
+}
+
+// flushRound group-commits everything staged. On success the deferred
+// in-memory effects run in staging order (matching what sequential
+// per-item processing would have done). On a validation failure (e.g. a
+// record's version moved under a staged write) the round is unwound —
+// staged admissions roll their simulations, locks, and transitions back,
+// optimistic todoQ appends are removed — and every item is replayed
+// through its per-item fallback, which re-reads current state and
+// applies the legacy path; a final legacy scheduling pass then re-admits
+// whatever can run, so a failed flush never strands runnable work
+// waiting for an event that already happened.
+func (c *Controller) flushRound(r *round) error {
+	if len(r.ops) == 0 {
+		return nil
+	}
+	ops, after, fallback := r.ops, r.after, r.fallback
+	accepted, admitted, aborted := r.accepted, r.admitted, r.aborted
+	r.ops, r.after, r.fallback = nil, nil, nil
+	r.accepted, r.admitted, r.aborted = nil, nil, nil
+	r.staged = make(map[string]bool)
+
+	start := time.Now()
+	err := c.cli.Multi(ops...)
+	c.noteFlush(len(ops), time.Since(start))
+	if err == nil {
+		for _, f := range after {
+			f()
+		}
+		return nil
+	}
+	if errFatal(err) {
+		return err
+	}
+	c.cfg.Logf("controller %s: grouped flush of %d ops failed, replaying per item: %v",
+		c.cfg.Name, len(ops), err)
+
+	// Unwind staged admissions in reverse admission order. Transactions
+	// whose accept rode this same round are dropped entirely — their
+	// accept fallback below re-reads the record and requeues a fresh
+	// copy; re-admitting the stale copy too would double-execute them.
+	acceptedSet := make(map[*txn.Txn]bool, len(accepted))
+	for _, t := range accepted {
+		acceptedSet[t] = true
+	}
+	var requeue []*txn.Txn
+	for i := len(admitted) - 1; i >= 0; i-- {
+		t := admitted[i]
+		if rbErr := rollbackLog(c.ltree, c.cfg.Schema, t.Log); rbErr != nil {
+			c.cfg.Logf("controller %s: unwind %s: %v", c.cfg.Name, t.ID, rbErr)
+			c.locks.ReleaseAll(t.ID)
+			c.abortQueued(t, err, nil)
+			continue
+		}
+		c.locks.ReleaseAll(t.ID)
+		if n := len(t.History); n > 0 && t.History[n-1].State == txn.StateStarted {
+			t.History = t.History[:n-1]
+		}
+		t.State = txn.StateAccepted
+		t.Log = nil
+		if !acceptedSet[t] {
+			requeue = append([]*txn.Txn{t}, requeue...)
+		}
+	}
+	// Staged aborts revert to accepted and requeue for re-evaluation by
+	// the final scheduling pass: their verdicts may have been derived
+	// from sibling effects that were just unwound. State-independent
+	// verdicts (signals, unknown procedures) simply re-abort there.
+	for i := len(aborted) - 1; i >= 0; i-- {
+		t := aborted[i]
+		if n := len(t.History); n > 0 && t.History[n-1].State == txn.StateAborted {
+			t.History = t.History[:n-1]
+		}
+		t.State = txn.StateAccepted
+		t.Error, t.Code = "", ""
+		if !acceptedSet[t] {
+			requeue = append([]*txn.Txn{t}, requeue...)
+		}
+	}
+	// Remove this round's optimistic todoQ appends; their fallbacks
+	// re-accept from the store.
+	if len(accepted) > 0 {
+		kept := c.todo[:0]
+		for _, t := range c.todo {
+			if !acceptedSet[t] {
+				kept = append(kept, t)
+			}
+		}
+		c.todo = kept
+	}
+	c.todo = append(requeue, c.todo...)
+
+	var firstErr error
+	for _, f := range fallback {
+		if ferr := f(); ferr != nil {
+			if errFatal(ferr) {
+				return ferr
+			}
+			if firstErr == nil {
+				firstErr = ferr
+			}
+		}
+	}
+	// Re-schedule through the legacy per-admission path: the unwound and
+	// re-accepted transactions must not wait for the next input event.
+	c.schedule()
+	return firstErr
+}
+
+// scheduleInto runs a scheduling pass whose admissions are staged into
+// the round instead of committed on their own — the group commit of
+// transaction admission.
+func (c *Controller) scheduleInto(r *round) {
+	c.scheduleWalk(r)
+	pending := c.admitPending
+	c.admitPending = nil
+	for _, t := range pending {
+		t := t
+		r.ops = append(r.ops, c.admissionOps(t)...)
+		r.admitted = append(r.admitted, t)
+		r.after = append(r.after, func() { c.inFlight[t.ID] = t })
 	}
 }
 
@@ -413,6 +760,58 @@ func (c *Controller) accept(msg proto.InputMsg, itemPath string) error {
 	return nil
 }
 
+// stageAccept is the batched form of accept: it validates the submitted
+// record now but defers both the persistent transition (staged into the
+// round's grouped Multi) and the in-memory todoQ append (run only after
+// the group commits).
+func (c *Controller) stageAccept(r *round, msg proto.InputMsg, itemPath string) error {
+	if r.staged[msg.TxnPath] {
+		// Another message already staged effects on this record this
+		// round; leave the item queued — the next drain re-reads it
+		// against the flushed state.
+		return nil
+	}
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+				func() error { return c.inputQ.Remove(itemPath) })
+			return nil
+		}
+		return err
+	}
+	if rec.State != txn.StateInitialized {
+		// Duplicate submit notice (e.g. the record was already accepted
+		// by recovery); drop it.
+		r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+			func() error { return c.inputQ.Remove(itemPath) })
+		return nil
+	}
+	if err := rec.Transition(txn.StateAccepted); err != nil {
+		return err
+	}
+	r.staged[msg.TxnPath] = true
+	// The todoQ append is optimistic — this round's own scheduling pass
+	// may admit the transaction, putting accept and admission in the
+	// same grouped commit. flushRound undoes the append before running
+	// the per-item fallback if the group fails.
+	c.todo = append(c.todo, rec)
+	r.accepted = append(r.accepted, rec)
+	r.stage(
+		[]store.Op{
+			c.inputQ.RemoveOp(itemPath),
+			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+		},
+		func() {
+			c.mu.Lock()
+			c.stats.Accepted++
+			c.mu.Unlock()
+		},
+		func() error { return c.accept(msg, itemPath) },
+	)
+	return nil
+}
+
 // scheduleOutcome classifies one scheduling attempt.
 type scheduleOutcome int
 
@@ -428,15 +827,27 @@ const (
 // next event); under the aggressive policy it continues past deferred
 // transactions so independent work behind them proceeds (§3.1.1).
 func (c *Controller) schedule() {
+	c.scheduleWalk(nil)
+	c.flushAdmissions()
+	c.todoDepth.Set(int64(len(c.todo)))
+}
+
+// scheduleWalk works through todoQ, leaving any staged admissions in
+// admitPending for the caller to commit (grouped or per-item). With a
+// non-nil round, terminal writes for aborted transactions are staged
+// into it instead of committed on their own — an unstaged write would
+// bump a record version under the round's staged accept and fail the
+// whole grouped flush.
+func (c *Controller) scheduleWalk(r *round) {
 	i := 0
 	for i < len(c.todo) {
 		t := c.todo[i]
 		if t.Signal == txn.SignalTerm || t.Signal == txn.SignalKill {
 			c.todo = append(c.todo[:i], c.todo[i+1:]...)
-			c.abortQueued(t, trerr.New(trerr.TxnTerminated, "terminated by operator signal"))
+			c.abortQueued(t, trerr.New(trerr.TxnTerminated, "terminated by operator signal"), r)
 			continue
 		}
-		switch c.trySchedule(t) {
+		switch c.trySchedule(t, r) {
 		case outcomeRunnable, outcomeAborted:
 			c.todo = append(c.todo[:i], c.todo[i+1:]...)
 		case outcomeConflict:
@@ -452,9 +863,13 @@ func (c *Controller) schedule() {
 	}
 }
 
+// TodoDepth reports the current todoQ length (a gauge updated by the
+// leader at the end of every scheduling round).
+func (c *Controller) TodoDepth() int64 { return c.todoDepth.Load() }
+
 // trySchedule simulates t against the logical model, checks constraints,
 // and attempts to acquire its locks (Figure 2, ③A-③C).
-func (c *Controller) trySchedule(t *txn.Txn) scheduleOutcome {
+func (c *Controller) trySchedule(t *txn.Txn, r *round) scheduleOutcome {
 	t.State = txn.StateAccepted
 	t.Log = nil
 	cctx := newCtx(c.ltree, c.cfg.Schema, t)
@@ -474,7 +889,7 @@ func (c *Controller) trySchedule(t *txn.Txn) scheduleOutcome {
 			c.stats.Violations++
 			c.mu.Unlock()
 		}
-		c.abortQueued(t, simErr)
+		c.abortQueued(t, simErr, r)
 		return outcomeAborted
 	}
 	reqs := cctx.lockRequests()
@@ -486,17 +901,40 @@ func (c *Controller) trySchedule(t *txn.Txn) scheduleOutcome {
 	}
 	// Runnable (③C): persist state+log and enqueue to phyQ atomically,
 	// so a leader crash cannot strand a started transaction outside
-	// phyQ or double-enqueue it.
+	// phyQ or double-enqueue it. With batching the admission is staged
+	// and the whole scheduling round's admissions ride one grouped Multi
+	// (group commit of transaction admission); the atomicity guarantee
+	// is unchanged — the group either commits in full or not at all.
 	if err := t.Transition(txn.StateStarted); err != nil {
 		c.locks.ReleaseAll(t.ID)
-		c.abortQueued(t, err)
+		c.abortQueued(t, err, r)
 		return outcomeAborted
 	}
+	if c.batching() {
+		c.admitPending = append(c.admitPending, t)
+		return outcomeRunnable
+	}
+	return c.admitNow(t)
+}
+
+// admissionOps builds the persistent half of one transaction's
+// admission: the started-state record write and the phyQ enqueue. Every
+// admission path — per-item, grouped, and fallback — commits exactly
+// these ops, so the paths cannot diverge.
+func (c *Controller) admissionOps(t *txn.Txn) []store.Op {
 	txnPath := c.txnPath(t.ID)
-	err := c.cli.Multi(
+	return []store.Op{
 		store.SetOp(txnPath, t.Encode(), -1),
 		c.phyQ.PutOp(proto.PhyMsg{TxnPath: txnPath}.Encode()),
-	)
+	}
+}
+
+// admitNow persists one runnable transaction's admission (state+log and
+// phyQ enqueue, atomically) and tracks it in flight — the unbatched
+// admission path, also serving as the per-transaction fallback when a
+// grouped admission flush fails.
+func (c *Controller) admitNow(t *txn.Txn) scheduleOutcome {
+	err := c.cli.Multi(c.admissionOps(t)...)
 	if err != nil {
 		c.cfg.Logf("controller %s: start %s: %v", c.cfg.Name, t.ID, err)
 		c.locks.ReleaseAll(t.ID)
@@ -512,11 +950,49 @@ func (c *Controller) trySchedule(t *txn.Txn) scheduleOutcome {
 			t.Log = nil
 			return outcomeConflict
 		}
-		c.abortQueued(t, err)
+		c.abortQueued(t, err, nil)
 		return outcomeAborted
 	}
 	c.inFlight[t.ID] = t
 	return outcomeRunnable
+}
+
+// flushAdmissions group-commits every admission the scheduling round
+// staged: all runnable transactions' state+log writes and phyQ enqueues
+// in a single Multi. On failure each transaction is replayed through the
+// per-item admission path; any that defer (store hiccup with a clean
+// simulation rollback) return to the front of todoQ in order, as if they
+// had never been popped.
+func (c *Controller) flushAdmissions() {
+	pending := c.admitPending
+	c.admitPending = nil
+	if len(pending) == 0 {
+		return
+	}
+	ops := make([]store.Op, 0, 2*len(pending))
+	for _, t := range pending {
+		ops = append(ops, c.admissionOps(t)...)
+	}
+	start := time.Now()
+	err := c.cli.Multi(ops...)
+	c.noteFlush(len(ops), time.Since(start))
+	if err == nil {
+		for _, t := range pending {
+			c.inFlight[t.ID] = t
+		}
+		return
+	}
+	c.cfg.Logf("controller %s: grouped admission of %d txns failed, replaying per txn: %v",
+		c.cfg.Name, len(pending), err)
+	var back []*txn.Txn
+	for _, t := range pending {
+		if c.admitNow(t) == outcomeConflict {
+			back = append(back, t)
+		}
+	}
+	if len(back) > 0 {
+		c.todo = append(back, c.todo...)
+	}
 }
 
 // rollbackTimed rolls the logical layer back via the execution log,
@@ -532,8 +1008,11 @@ func (c *Controller) rollbackTimed(id string, records []txn.LogRecord) {
 
 // abortQueued marks a not-yet-started transaction aborted and persists
 // the terminal state (③A), recording the failure's taxonomy code
-// alongside its message.
-func (c *Controller) abortQueued(t *txn.Txn, reason error) {
+// alongside its message. With a non-nil round the terminal write is
+// STAGED — appended after any same-round accept write on the record, so
+// the grouped flush's version checks stay intact — instead of committed
+// on its own.
+func (c *Controller) abortQueued(t *txn.Txn, reason error, r *round) {
 	t.Error = reason.Error()
 	t.Code = string(trerr.CodeOf(reason))
 	t.Log = nil
@@ -542,12 +1021,25 @@ func (c *Controller) abortQueued(t *txn.Txn, reason error) {
 		c.cfg.Logf("controller %s: abort %s: %v", c.cfg.Name, t.ID, err)
 		return
 	}
-	if err := c.cli.Set(c.txnPath(t.ID), t.Encode(), -1); err != nil {
+	path := c.txnPath(t.ID)
+	persist := func() error { return c.cli.Set(path, t.Encode(), -1) }
+	count := func() {
+		c.mu.Lock()
+		c.stats.Aborted++
+		c.mu.Unlock()
+	}
+	if r != nil {
+		// No per-item fallback: a failed flush reverts the transaction
+		// to accepted and requeues it (see flushRound) because the abort
+		// verdict may describe unwound state.
+		r.stage([]store.Op{store.SetOp(path, t.Encode(), -1)}, count, nil)
+		r.aborted = append(r.aborted, t)
+		return
+	}
+	if err := persist(); err != nil {
 		c.cfg.Logf("controller %s: persist abort %s: %v", c.cfg.Name, t.ID, err)
 	}
-	c.mu.Lock()
-	c.stats.Aborted++
-	c.mu.Unlock()
+	count()
 }
 
 // cleanup finishes a transaction whose physical execution completed
@@ -598,7 +1090,102 @@ func (c *Controller) cleanup(msg proto.InputMsg, itemPath string) error {
 	if err := c.cli.Multi(ops...); err != nil {
 		return err
 	}
+	c.finishCleanup(t, rec, outcome)
+	return nil
+}
 
+// stageCleanup is the batched form of cleanup: the terminal-state write,
+// notice consumption, and (for commits) commit-log entry are staged into
+// the round's grouped Multi, and the in-memory effects — lock release,
+// logical rollback, inconsistency marks, counters — run only after the
+// group commits, so a failed flush never rolls the logical layer back
+// for a transaction whose record still says started.
+func (c *Controller) stageCleanup(r *round, msg proto.InputMsg, itemPath string) error {
+	if r.staged[msg.TxnPath] {
+		return nil // defer to the next round; see stageAccept
+	}
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+				func() error { return c.inputQ.Remove(itemPath) })
+			return nil
+		}
+		return err
+	}
+	t, tracked := c.inFlight[rec.ID]
+	if !tracked || rec.State.Terminal() {
+		// A transaction this leader does not own (already finalized —
+		// e.g. KILLed — or cleaned up before a failover): drop the
+		// notice.
+		r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+			func() error { return c.inputQ.Remove(itemPath) })
+		return nil
+	}
+	outcome := txn.State(msg.Outcome)
+	switch outcome {
+	case txn.StateCommitted, txn.StateAborted, txn.StateFailed:
+	default:
+		r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+			func() error { return c.inputQ.Remove(itemPath) })
+		return fmt.Errorf("result notice for %s with outcome %q", rec.ID, msg.Outcome)
+	}
+
+	rec.Error = msg.Error
+	rec.Code = msg.Code
+	rec.UndoneThrough = msg.UndoneThrough
+	if err := rec.Transition(outcome); err != nil {
+		return err
+	}
+	ops := []store.Op{
+		c.inputQ.RemoveOp(itemPath),
+		store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+	}
+	if outcome == txn.StateCommitted {
+		ops = append(ops, store.CreateOp(proto.CommitLogPrefix,
+			proto.CommitLogEntry{TxnPath: msg.TxnPath}.Encode(), store.FlagSequence))
+	}
+	r.staged[msg.TxnPath] = true
+	if outcome == txn.StateCommitted {
+		// Early lock handoff (⑤A): a committed transaction's logical
+		// effects are already final in ltree and its physical execution
+		// has finished, so nothing the locks protect can still change.
+		// Releasing before this round's scheduling pass lets a waiting
+		// transaction's admission ride the SAME grouped commit as this
+		// terminal write — the lock handoff costs zero extra store
+		// rounds. If the flush fails, the per-item fallback re-persists
+		// and re-releases (idempotent); admissions that used the freed
+		// locks were in the same failed Multi and are unwound with it.
+		c.locks.ReleaseAll(rec.ID)
+		r.stage(ops,
+			func() {
+				delete(c.inFlight, rec.ID)
+				c.mu.Lock()
+				c.stats.Committed++
+				c.mu.Unlock()
+				c.maybeCheckpoint()
+			},
+			func() error { return c.cleanup(msg, itemPath) },
+		)
+		return nil
+	}
+	// Aborted/failed outcomes roll the logical layer back, which must
+	// not happen before the terminal state is persisted; their lock
+	// releases therefore land post-flush, and the round schedules once
+	// more afterwards (r.cleanups) so freed locks are claimable without
+	// waiting for another input event.
+	r.cleanups++
+	r.stage(ops,
+		func() { c.finishCleanup(t, rec, outcome) },
+		func() error { return c.cleanup(msg, itemPath) },
+	)
+	return nil
+}
+
+// finishCleanup applies the in-memory half of a persisted terminal
+// transition (Figure 2, ⑤A/⑤B), shared by the per-item and batched
+// cleanup paths.
+func (c *Controller) finishCleanup(t, rec *txn.Txn, outcome txn.State) {
 	delete(c.inFlight, rec.ID)
 	switch outcome {
 	case txn.StateCommitted:
@@ -628,7 +1215,6 @@ func (c *Controller) cleanup(msg proto.InputMsg, itemPath string) error {
 		c.mu.Unlock()
 		c.locks.ReleaseAll(rec.ID)
 	}
-	return nil
 }
 
 // signal applies a TERM/KILL operator signal (§4).

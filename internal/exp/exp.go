@@ -46,6 +46,15 @@ type PlatformParams struct {
 	SessionTimeout time.Duration
 	// CheckpointEvery enables snapshot compaction.
 	CheckpointEvery int
+	// BatchMaxOps sizes the pipeline's group commits (tropic.Config
+	// semantics). The experiment default is 1 — UNBATCHED — because the
+	// paper's figures measure the per-item pipeline; the pipeline
+	// experiments opt in explicitly to measure the batching win.
+	BatchMaxOps int
+	// BatchMaxDelay bounds asynchronous batch flushes.
+	BatchMaxDelay time.Duration
+	// WorkerClaimBatch is the per-thread phyQ claim size.
+	WorkerClaimBatch int
 }
 
 func (p PlatformParams) withDefaults() PlatformParams {
@@ -54,6 +63,9 @@ func (p PlatformParams) withDefaults() PlatformParams {
 	}
 	if p.WorkerThreads <= 0 {
 		p.WorkerThreads = 4
+	}
+	if p.BatchMaxOps == 0 {
+		p.BatchMaxOps = 1
 	}
 	return p
 }
@@ -70,12 +82,15 @@ func Start(ctx context.Context, p PlatformParams) (*Env, error) {
 	p = p.withDefaults()
 	env := &Env{Params: p}
 	cfg := tropic.Config{
-		Schema:          tcloud.NewSchema(),
-		Procedures:      tcloud.Procedures(),
-		CommitLatency:   p.CommitLatency,
-		SessionTimeout:  p.SessionTimeout,
-		WorkerThreads:   p.WorkerThreads,
-		CheckpointEvery: p.CheckpointEvery,
+		Schema:           tcloud.NewSchema(),
+		Procedures:       tcloud.Procedures(),
+		CommitLatency:    p.CommitLatency,
+		SessionTimeout:   p.SessionTimeout,
+		WorkerThreads:    p.WorkerThreads,
+		CheckpointEvery:  p.CheckpointEvery,
+		BatchMaxOps:      p.BatchMaxOps,
+		BatchMaxDelay:    p.BatchMaxDelay,
+		WorkerClaimBatch: p.WorkerClaimBatch,
 	}
 	if p.LogicalOnly {
 		cfg.Bootstrap = p.Topology.BuildModel()

@@ -41,6 +41,34 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Load returns the most recently set value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
+// QueueGauges tracks the depths of the orchestration pipeline's three
+// queues: inputQ (client submissions and worker results awaiting the
+// lead controller), todoQ (accepted transactions awaiting scheduling,
+// leader-memory only), and phyQ (admitted transactions awaiting a
+// worker). Depths are the canonical back-pressure signal — a growing
+// gauge names the stage that is saturating.
+type QueueGauges struct {
+	InQ   Gauge
+	TodoQ Gauge
+	PhyQ  Gauge
+}
+
+// QueueDepths is a point-in-time, JSON-friendly snapshot of QueueGauges.
+type QueueDepths struct {
+	InQ   int64 `json:"inQ"`
+	TodoQ int64 `json:"todoQ"`
+	PhyQ  int64 `json:"phyQ"`
+}
+
+// Snapshot reads all three gauges.
+func (g *QueueGauges) Snapshot() QueueDepths {
+	return QueueDepths{
+		InQ:   g.InQ.Load(),
+		TodoQ: g.TodoQ.Load(),
+		PhyQ:  g.PhyQ.Load(),
+	}
+}
+
 // Histogram collects float64 samples and answers distribution queries.
 // It retains raw samples, which is appropriate for the tens of
 // thousands of transactions per experiment run here.

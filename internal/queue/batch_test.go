@@ -1,0 +1,234 @@
+package queue
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// TestPutAllTakeBatch: a batched put lands atomically in order; a
+// batched take drains up to max without waiting for more.
+func TestPutAllTakeBatch(t *testing.T) {
+	e := store.NewEnsemble(store.Config{})
+	defer e.Close()
+	cli := e.Connect()
+	defer cli.Close()
+	q, err := New(cli, "/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items [][]byte
+	for i := 0; i < 10; i++ {
+		items = append(items, []byte(fmt.Sprintf("m%02d", i)))
+	}
+	if err := q.PutAll(items); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	got, err := q.TakeBatch(ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || string(got[0]) != "m00" || string(got[3]) != "m03" {
+		t.Fatalf("first batch = %q", got)
+	}
+	got, err = q.TakeBatch(ctx, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 || string(got[0]) != "m04" {
+		t.Fatalf("drain = %q", got)
+	}
+	if n, _ := q.Len(); n != 0 {
+		t.Fatalf("len = %d after drain", n)
+	}
+}
+
+// TestTakeBatchBlocksUntilPut: an empty queue's batched take waits on
+// the child watch (no polling) and wakes on the first put.
+func TestTakeBatchBlocksUntilPut(t *testing.T) {
+	e := store.NewEnsemble(store.Config{})
+	defer e.Close()
+	cli := e.Connect()
+	defer cli.Close()
+	q, err := New(cli, "/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		batch [][]byte
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		b, err := q.TakeBatch(context.Background(), 8)
+		ch <- res{b, err}
+	}()
+	select {
+	case r := <-ch:
+		t.Fatalf("take returned early: %v %v", r.batch, r.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := q.Put([]byte("wake")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil || len(r.batch) != 1 || string(r.batch[0]) != "wake" {
+			t.Fatalf("take = %q, %v", r.batch, r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("take never woke")
+	}
+}
+
+// TestTakeBatchContention: competing batch consumers never lose or
+// duplicate an item, even when their atomic claims collide and fall
+// back to item-by-item claiming.
+func TestTakeBatchContention(t *testing.T) {
+	e := store.NewEnsemble(store.Config{})
+	defer e.Close()
+	producer := e.Connect()
+	defer producer.Close()
+	pq, err := New(producer, "/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 60
+	for i := 0; i < total; i++ {
+		if _, err := pq.Put([]byte(fmt.Sprintf("i%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const consumers = 4
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli := e.Connect()
+			defer cli.Close()
+			q, err := New(cli, "/q")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				mu.Lock()
+				done := len(seen) >= total
+				mu.Unlock()
+				if done {
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+				batch, err := q.TakeBatch(ctx, 5)
+				cancel()
+				if err != nil {
+					return // timeout: queue drained
+				}
+				mu.Lock()
+				for _, item := range batch {
+					seen[string(item)]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != total {
+		t.Fatalf("consumed %d distinct items, want %d", len(seen), total)
+	}
+	for item, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %s consumed %d times", item, n)
+		}
+	}
+}
+
+// TestTakeHeadBatchOrderAndNonRemoval: the controller-side drain returns
+// head items in order without consuming them.
+func TestTakeHeadBatchOrderAndNonRemoval(t *testing.T) {
+	e := store.NewEnsemble(store.Config{})
+	defer e.Close()
+	cli := e.Connect()
+	defer cli.Close()
+	q, err := New(cli, "/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := q.Put([]byte(fmt.Sprintf("h%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, err := q.TakeHeadBatch(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || string(items[0].Data) != "h0" || string(items[2].Data) != "h2" {
+		t.Fatalf("items = %v", items)
+	}
+	if n, _ := q.Len(); n != 5 {
+		t.Fatalf("len = %d, TakeHeadBatch must not remove", n)
+	}
+	// Consuming the heads exposes the tail on the next drain.
+	for _, it := range items {
+		if err := q.Remove(it.Path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, err = q.TakeHeadBatch(context.Background(), 10)
+	if err != nil || len(items) != 2 || string(items[0].Data) != "h3" {
+		t.Fatalf("tail = %v (%v)", items, err)
+	}
+}
+
+// TestBlockingTakeLeaksNoWatches: every blocking take path arms exactly
+// one reusable watch and releases it on return — the ensemble's watch
+// table returns to its baseline, even for takes that raced competitors
+// or were cancelled.
+func TestBlockingTakeLeaksNoWatches(t *testing.T) {
+	e := store.NewEnsemble(store.Config{})
+	defer e.Close()
+	cli := e.Connect()
+	defer cli.Close()
+	q, err := New(cli, "/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseNode, baseChild := e.WatchCounts()
+	for i := 0; i < 10; i++ {
+		if _, err := q.Put([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Take(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Put([]byte("y")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := q.TakeHead(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := q.TryTake(); !ok {
+			t.Fatal("TryTake found nothing")
+		}
+	}
+	// Cancelled waits release their watch too.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	_, err = q.Take(ctx)
+	cancel()
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	node, child := e.WatchCounts()
+	if node != baseNode || child != baseChild {
+		t.Fatalf("watch counts = (%d, %d), want baseline (%d, %d)", node, child, baseNode, baseChild)
+	}
+}

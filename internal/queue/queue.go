@@ -4,6 +4,11 @@
 // queue path, consumers take the lowest-numbered child, and a successful
 // delete is what claims the item, so every item is consumed exactly once
 // even with many competing consumers.
+//
+// The batched entry points (PutAll, TakeBatch, TakeHeadBatch) move many
+// items per store round trip, and every blocking take waits on one
+// reusable child watch instead of polling — the two halves of the
+// pipeline's event-driven redesign.
 package queue
 
 import (
@@ -15,13 +20,24 @@ import (
 	"repro/internal/store"
 )
 
-const itemPrefix = "item-"
+// ItemPrefix names queue entries under a queue path. Exported so depth
+// gauges counting a queue's children recognize its items without
+// duplicating the constant.
+const ItemPrefix = "item-"
+
+const itemPrefix = ItemPrefix
 
 // Queue is a handle to one distributed FIFO queue. Multiple Queue values
 // (across clients) may point at the same path and safely compete.
 type Queue struct {
 	cli  *store.Client
 	path string
+}
+
+// Item is one queued entry, addressed by its znode path.
+type Item struct {
+	Path string
+	Data []byte
 }
 
 // New opens (creating if needed) the queue rooted at path.
@@ -42,6 +58,22 @@ func (q *Queue) Put(data []byte) (string, error) {
 		return "", fmt.Errorf("queue: put on %s: %w", q.path, err)
 	}
 	return p, nil
+}
+
+// PutAll appends several items atomically, in order, in one store round
+// trip. Either every item enqueues or none does.
+func (q *Queue) PutAll(items [][]byte) error {
+	if len(items) == 0 {
+		return nil
+	}
+	ops := make([]store.Op, len(items))
+	for i, data := range items {
+		ops[i] = q.PutOp(data)
+	}
+	if err := q.cli.Multi(ops...); err != nil {
+		return fmt.Errorf("queue: put %d items on %s: %w", len(items), q.path, err)
+	}
+	return nil
 }
 
 // PutOp returns the store operation that appends an item, for inclusion
@@ -75,31 +107,134 @@ func (q *Queue) TryTake() (data []byte, ok bool, err error) {
 
 // Take blocks until an item is available or ctx is done.
 func (q *Queue) Take(ctx context.Context) ([]byte, error) {
+	batch, err := q.TakeBatch(ctx, 1)
+	if err != nil {
+		return nil, err
+	}
+	return batch[0], nil
+}
+
+// TakeBatch blocks until at least one item is available and claims up to
+// max of them (it never waits for a full batch — it drains what is there
+// and returns). The wait is watch-driven: one reusable child watch is
+// armed for the whole call and released on return, so there is neither a
+// poll loop nor a leaked one-shot watch per wakeup, even when competing
+// consumers win every claim (their deletions re-fire the same watch).
+func (q *Queue) TakeBatch(ctx context.Context, max int) ([][]byte, error) {
+	return q.takeBatch(ctx, max, q.cli.Multi)
+}
+
+// TakeBatchVia is TakeBatch with the claim commit routed through the
+// caller's batcher, so the claim can share a group commit with whatever
+// the batcher's other users have pending (e.g. a worker thread's claim
+// riding alongside its siblings' outcome reports).
+func (q *Queue) TakeBatchVia(ctx context.Context, max int, b *store.Batcher) ([][]byte, error) {
+	return q.takeBatch(ctx, max, b.Multi)
+}
+
+func (q *Queue) takeBatch(ctx context.Context, max int, commit func(...store.Op) error) ([][]byte, error) {
+	if max <= 0 {
+		max = 1
+	}
+	w, err := q.cli.ChildWatch(q.path)
+	if err != nil {
+		return nil, fmt.Errorf("queue: watch %s: %w", q.path, err)
+	}
+	defer w.Close()
 	for {
-		names, watch, err := q.cli.ChildrenW(q.path)
+		names, err := q.cli.Children(q.path)
 		if err != nil {
 			return nil, fmt.Errorf("queue: list %s: %w", q.path, err)
 		}
-		claimed, data, err := q.claimFirst(names)
+		claimed, err := q.claimBatch(names, max, commit)
 		if err != nil {
 			return nil, err
 		}
-		if claimed {
-			return data, nil
+		if len(claimed) > 0 {
+			return claimed, nil
 		}
-		if len(names) > 0 {
-			// Lost every race; spin again without waiting.
-			continue
-		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case ev := <-watch:
-			if ev.Type == store.EventSessionExpired {
-				return nil, store.ErrSessionExpired
-			}
+		// Nothing claimable right now — either the queue is empty or
+		// competitors won every race. Both cases end with a committed
+		// mutation under q.path that fires the armed watch, so waiting
+		// (rather than spinning) is lossless.
+		if err := q.wait(ctx, w); err != nil {
+			return nil, err
 		}
 	}
+}
+
+// wait blocks on the armed child watch until a membership change, ctx
+// cancellation, or session expiry.
+func (q *Queue) wait(ctx context.Context, w *store.ChildWatch) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case ev, ok := <-w.C():
+		if !ok || ev.Type == store.EventSessionExpired {
+			return store.ErrSessionExpired
+		}
+		return nil
+	}
+}
+
+// claimBatch claims up to max prefix-matching items from the listed
+// names. It reads the candidates, then tries to claim them all in one
+// atomic delete batch (one store round trip, or one shared group-commit
+// slot when routed through a batcher); if a competitor stole any
+// candidate first, it falls back to claiming item by item.
+func (q *Queue) claimBatch(names []string, max int, commit func(...store.Op) error) ([][]byte, error) {
+	type candidate struct {
+		path string
+		data []byte
+	}
+	var cands []candidate
+	for _, name := range names {
+		if len(cands) >= max {
+			break
+		}
+		if !strings.HasPrefix(name, itemPrefix) {
+			continue
+		}
+		itemPath := q.path + "/" + name
+		data, _, err := q.cli.Get(itemPath)
+		if errors.Is(err, store.ErrNoNode) {
+			continue // another consumer won
+		}
+		if err != nil {
+			return nil, fmt.Errorf("queue: get %s: %w", itemPath, err)
+		}
+		cands = append(cands, candidate{path: itemPath, data: data})
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	ops := make([]store.Op, len(cands))
+	for i, c := range cands {
+		ops[i] = store.DeleteOp(c.path, -1)
+	}
+	if err := commit(ops...); err == nil {
+		out := make([][]byte, len(cands))
+		for i, c := range cands {
+			out[i] = c.data
+		}
+		return out, nil
+	} else if !errors.Is(err, store.ErrNoNode) {
+		return nil, fmt.Errorf("queue: claim batch on %s: %w", q.path, err)
+	}
+	// At least one candidate was claimed by a competitor, which fails
+	// the whole atomic delete; claim the survivors one by one.
+	var out [][]byte
+	for _, c := range cands {
+		err := q.cli.Delete(c.path, -1)
+		if errors.Is(err, store.ErrNoNode) {
+			continue // lost this one
+		}
+		if err != nil {
+			return nil, fmt.Errorf("queue: claim %s: %w", c.path, err)
+		}
+		out = append(out, c.data)
+	}
+	return out, nil
 }
 
 // claimFirst walks the sorted item names and attempts to claim each in
@@ -135,12 +270,39 @@ func (q *Queue) claimFirst(names []string) (bool, []byte, error) {
 // consumer deletes the item atomically with the effects of processing
 // it, so a crash between read and processing loses nothing.
 func (q *Queue) TakeHead(ctx context.Context) (data []byte, itemPath string, err error) {
+	items, err := q.TakeHeadBatch(ctx, 1)
+	if err != nil {
+		return nil, "", err
+	}
+	return items[0].Data, items[0].Path, nil
+}
+
+// TakeHeadBatch blocks until at least one item is available and returns
+// up to max head items WITHOUT removing them, in queue order. It is the
+// batched drain of the lead controller's event loop: the controller
+// processes the run and deletes each item atomically with the persistent
+// effects of handling it, so a crash at any point neither loses nor
+// double-applies a message. Like TakeBatch, the wait is watch-driven
+// through one reusable child watch.
+func (q *Queue) TakeHeadBatch(ctx context.Context, max int) ([]Item, error) {
+	if max <= 0 {
+		max = 1
+	}
+	w, err := q.cli.ChildWatch(q.path)
+	if err != nil {
+		return nil, fmt.Errorf("queue: watch %s: %w", q.path, err)
+	}
+	defer w.Close()
 	for {
-		names, watch, err := q.cli.ChildrenW(q.path)
+		names, err := q.cli.Children(q.path)
 		if err != nil {
-			return nil, "", fmt.Errorf("queue: list %s: %w", q.path, err)
+			return nil, fmt.Errorf("queue: list %s: %w", q.path, err)
 		}
+		var items []Item
 		for _, name := range names {
+			if len(items) >= max {
+				break
+			}
 			if !strings.HasPrefix(name, itemPrefix) {
 				continue
 			}
@@ -150,17 +312,15 @@ func (q *Queue) TakeHead(ctx context.Context) (data []byte, itemPath string, err
 				continue
 			}
 			if err != nil {
-				return nil, "", err
+				return nil, err
 			}
-			return data, p, nil
+			items = append(items, Item{Path: p, Data: data})
 		}
-		select {
-		case <-ctx.Done():
-			return nil, "", ctx.Err()
-		case ev := <-watch:
-			if ev.Type == store.EventSessionExpired {
-				return nil, "", store.ErrSessionExpired
-			}
+		if len(items) > 0 {
+			return items, nil
+		}
+		if err := q.wait(ctx, w); err != nil {
+			return nil, err
 		}
 	}
 }

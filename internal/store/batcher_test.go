@@ -1,0 +1,288 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMultiAllResolvedDemux: independent groups commit in one round with
+// per-group error demultiplexing — a failing group affects neither its
+// siblings nor the ordering of later groups' effects.
+func TestMultiAllResolvedDemux(t *testing.T) {
+	e := NewEnsemble(Config{})
+	defer e.Close()
+	cli := e.Connect()
+	defer cli.Close()
+	if _, err := cli.Create("/q", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	results := cli.MultiAllResolved(
+		[]Op{CreateOp("/q/a-", []byte("1"), FlagSequence)},
+		[]Op{CreateOp("/missing/child", nil, 0)}, // parent does not exist
+		[]Op{CreateOp("/q/a-", []byte("2"), FlagSequence)},
+	)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("sibling groups failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if !errors.Is(results[1].Err, ErrNoNode) {
+		t.Fatalf("bad group error = %v, want ErrNoNode", results[1].Err)
+	}
+	if results[0].Paths[0] == results[2].Paths[0] {
+		t.Fatalf("sequence collision: %q", results[0].Paths[0])
+	}
+	// Later group saw the earlier group's sequence bump.
+	if results[0].Paths[0] != "/q/a-0000000000" || results[2].Paths[0] != "/q/a-0000000001" {
+		t.Fatalf("resolved paths = %q, %q", results[0].Paths[0], results[2].Paths[0])
+	}
+	names, err := cli.Children("/q")
+	if err != nil || len(names) != 2 {
+		t.Fatalf("children = %v (%v)", names, err)
+	}
+}
+
+// TestGroupCommitSingleFsync: one MultiAll round over K groups costs one
+// WAL fsync under SyncAlways — the group-commit amortization.
+func TestGroupCommitSingleFsync(t *testing.T) {
+	e, err := OpenEnsemble(Config{DataDir: t.TempDir(), SyncPolicy: SyncAlways, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	cli := e.Connect()
+	defer cli.Close()
+	if _, err := cli.Create("/n", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	base := e.PersistStats().Fsyncs
+	var groups [][]Op
+	for i := 0; i < 16; i++ {
+		groups = append(groups, []Op{SetOp("/n", []byte{byte(i)}, -1)})
+	}
+	for i, err := range cli.MultiAll(groups...) {
+		if err != nil {
+			t.Fatalf("group %d: %v", i, err)
+		}
+	}
+	if d := e.PersistStats().Fsyncs - base; d != 1 {
+		t.Fatalf("fsyncs = %d for 16 groups, want 1", d)
+	}
+	if got := e.PersistStats().WALAppends; got < 16 {
+		t.Fatalf("wal appends = %d, want ≥ 16 (one record per group)", got)
+	}
+}
+
+// TestGroupCommitSurvivesRestart: records written by the group-commit
+// path (AppendNoSync + SyncGroup) recover exactly like per-op appends.
+func TestGroupCommitSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenEnsemble(Config{DataDir: dir, SyncPolicy: SyncAlways, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := e.Connect()
+	if _, err := cli.Create("/g", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	var groups [][]Op
+	for i := 0; i < 8; i++ {
+		groups = append(groups, []Op{CreateOp(fmt.Sprintf("/g/n%d", i), []byte("x"), 0)})
+	}
+	for _, err := range cli.MultiAll(groups...) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli.Kill() // crash, no graceful close
+	e.Close()
+	e2, err := OpenEnsemble(Config{DataDir: dir, SyncPolicy: SyncAlways, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	cli2 := e2.Connect()
+	defer cli2.Close()
+	names, err := cli2.Children("/g")
+	if err != nil || len(names) != 8 {
+		t.Fatalf("recovered children = %v (%v), want 8", names, err)
+	}
+}
+
+// TestBatcherCoalesces: concurrent submissions through one batcher land
+// in fewer commits than callers, and every one applies.
+func TestBatcherCoalesces(t *testing.T) {
+	e := NewEnsemble(Config{CommitLatency: 200 * time.Microsecond})
+	defer e.Close()
+	cli := e.Connect()
+	defer cli.Close()
+	if _, err := cli.Create("/q", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	b := cli.NewBatcher(BatcherConfig{MaxOps: 64})
+	defer b.Close()
+	const callers = 48
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = b.Multi(CreateOp("/q/item-", []byte{byte(i)}, FlagSequence))
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	names, err := cli.Children("/q")
+	if err != nil || len(names) != callers {
+		t.Fatalf("children = %d (%v), want %d", len(names), err, callers)
+	}
+	st := b.Stats()
+	if st.Groups != callers || st.Ops != callers {
+		t.Fatalf("stats = %+v, want %d groups", st, callers)
+	}
+	if st.Flushes >= callers {
+		t.Fatalf("no coalescing: %d flushes for %d callers", st.Flushes, callers)
+	}
+	if st.MaxGroupOps < 2 {
+		t.Fatalf("max flush carried %d ops, want ≥ 2", st.MaxGroupOps)
+	}
+}
+
+// TestBatcherCreateAsyncResolvesPath: the async create learns its
+// sequence-resolved path, and concurrent creates get distinct ones.
+func TestBatcherCreateAsyncResolvesPath(t *testing.T) {
+	e := NewEnsemble(Config{})
+	defer e.Close()
+	cli := e.Connect()
+	defer cli.Close()
+	if _, err := cli.Create("/q", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	a := cli.CreateAsync("/q/n-", []byte("a"), FlagSequence)
+	b := cli.CreateAsync("/q/n-", []byte("b"), FlagSequence)
+	ra, rb := <-a, <-b
+	if ra.Err != nil || rb.Err != nil {
+		t.Fatalf("errs: %v / %v", ra.Err, rb.Err)
+	}
+	if ra.Path == rb.Path {
+		t.Fatalf("duplicate resolved path %q", ra.Path)
+	}
+	for _, r := range []CreateResult{ra, rb} {
+		if ok, _, _ := cli.Exists(r.Path); !ok {
+			t.Fatalf("resolved path %q does not exist", r.Path)
+		}
+	}
+}
+
+// TestBatcherCloseFlushesPending: Close delivers every pending result.
+func TestBatcherCloseFlushesPending(t *testing.T) {
+	e := NewEnsemble(Config{})
+	defer e.Close()
+	cli := e.Connect()
+	defer cli.Close()
+	if _, err := cli.Create("/q", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A huge MaxDelay: only Close (or a kick-driven drain) can flush.
+	b := cli.NewBatcher(BatcherConfig{MaxOps: 1 << 20, MaxDelay: time.Hour})
+	ch := b.MultiAsync(CreateOp("/q/x", nil, 0))
+	b.Close()
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-b.MultiAsync(CreateOp("/q/y", nil, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit = %v, want ErrClosed", err)
+	}
+}
+
+// TestChildWatchReusable: one registration observes many membership
+// changes, coalesces bursts instead of blocking the committer, and Close
+// releases it.
+func TestChildWatchReusable(t *testing.T) {
+	e := NewEnsemble(Config{})
+	defer e.Close()
+	cli := e.Connect()
+	defer cli.Close()
+	if _, err := cli.Create("/q", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, baseChild := e.WatchCounts()
+	w, err := cli.ChildWatch("/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiple rounds of change → wakeup → consume, with NO re-arming.
+	for round := 0; round < 3; round++ {
+		if _, err := cli.Create(fmt.Sprintf("/q/c%d", round), nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case ev, ok := <-w.C():
+			if !ok || ev.Type != EventChildrenChanged {
+				t.Fatalf("round %d: event %v ok=%v", round, ev, ok)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("round %d: no wakeup", round)
+		}
+	}
+	// A burst while nobody reads coalesces into one pending wakeup and
+	// never blocks the committing writer.
+	for i := 0; i < 5; i++ {
+		if err := cli.Delete(fmt.Sprintf("/q/c%d", i%3), -1); err != nil && !errors.Is(err, ErrNoNode) {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-w.C():
+	case <-time.After(time.Second):
+		t.Fatal("burst produced no wakeup")
+	}
+	w.Close()
+	w.Close() // idempotent
+	if _, child := e.WatchCounts(); child != baseChild {
+		t.Fatalf("child watches = %d after Close, want %d", child, baseChild)
+	}
+	// Closed watch delivers no further events; channel reads see closed.
+	if _, err := cli.Create("/q/after", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev, ok := <-w.C():
+		if ok {
+			t.Fatalf("event %v after Close", ev)
+		}
+	case <-time.After(100 * time.Millisecond):
+		t.Fatal("channel not closed after Close")
+	}
+}
+
+// TestChildWatchSessionExpiry: expiring the session closes the watch so
+// blocked consumers wake with a session-expired signal.
+func TestChildWatchSessionExpiry(t *testing.T) {
+	e := NewEnsemble(Config{})
+	defer e.Close()
+	cli := e.Connect()
+	if _, err := cli.Create("/q", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	w, err := cli.ChildWatch("/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ExpireSession(cli.SessionID())
+	select {
+	case ev, ok := <-w.C():
+		if ok && ev.Type != EventSessionExpired {
+			t.Fatalf("event = %v, want session expiry or closed channel", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no expiry signal")
+	}
+}

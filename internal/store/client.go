@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -16,6 +17,13 @@ type Client struct {
 	stopBeat  chan struct{}
 	beatDone  chan struct{}
 	killed    atomic.Bool
+
+	// batcher backs MultiAsync/CreateAsync; created lazily (with
+	// batcherCfg when set, package defaults otherwise) and torn down
+	// with the session.
+	batcherMu  sync.Mutex
+	batcher    *Batcher
+	batcherCfg BatcherConfig
 }
 
 // Connect opens a new session against the ensemble with the ensemble's
@@ -91,9 +99,43 @@ func (c *Client) ExpiredCh() <-chan struct{} {
 	return s.expiredCh
 }
 
+// ConfigureBatcher sets the bounds the default batcher (behind
+// MultiAsync/CreateAsync) is created with. It must be called before the
+// first async submission; afterwards it is a no-op — the running
+// batcher keeps its bounds.
+func (c *Client) ConfigureBatcher(cfg BatcherConfig) {
+	c.batcherMu.Lock()
+	defer c.batcherMu.Unlock()
+	if c.batcher == nil {
+		c.batcherCfg = cfg
+	}
+}
+
+// defaultBatcher lazily creates the batcher behind MultiAsync.
+func (c *Client) defaultBatcher() *Batcher {
+	c.batcherMu.Lock()
+	defer c.batcherMu.Unlock()
+	if c.batcher == nil {
+		c.batcher = c.NewBatcher(c.batcherCfg)
+	}
+	return c.batcher
+}
+
+// closeBatcher flushes and stops the default batcher, if one was made.
+func (c *Client) closeBatcher() {
+	c.batcherMu.Lock()
+	b := c.batcher
+	c.batcher = nil
+	c.batcherMu.Unlock()
+	if b != nil {
+		b.Close()
+	}
+}
+
 // Close ends the session gracefully: ephemeral nodes are reaped
 // immediately and the heartbeat loop stops.
 func (c *Client) Close() {
+	c.closeBatcher()
 	c.ens.ExpireSession(c.sessionID)
 	select {
 	case <-c.stopBeat:
@@ -110,6 +152,7 @@ func (c *Client) Close() {
 // that dominates TROPIC's controller recovery time (§6.4).
 func (c *Client) Kill() {
 	c.killed.Store(true)
+	c.closeBatcher()
 	select {
 	case <-c.stopBeat:
 	default:
@@ -188,6 +231,63 @@ func (c *Client) Multi(ops ...Op) error {
 		}
 	}
 	return e.commitLocked(Op{kind: opMulti, ops: ops})
+}
+
+// MultiAllResolved commits several independent Multi batches in one
+// ensemble proposal round, returning one result per batch (position-
+// matched): the demultiplexed error, or the resolved final path of every
+// create in the batch. Each batch is atomic on its own; a failed batch
+// does not affect its siblings, and later batches see the effects of
+// earlier successful ones. This is the group-commit primitive behind
+// MultiAsync and the Batcher: one quorum round and one WAL fsync
+// amortized over every batch in the group.
+func (c *Client) MultiAllResolved(groups ...[]Op) []GroupResult {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		results := make([]GroupResult, len(groups))
+		for i := range results {
+			results[i] = GroupResult{Err: err}
+		}
+		return results
+	}
+	for _, ops := range groups {
+		for i := range ops {
+			if ops[i].kind == opCreate && ops[i].Flags&FlagEphemeral != 0 {
+				ops[i].session = c.sessionID
+			}
+		}
+	}
+	return e.commitAllLocked(groups)
+}
+
+// MultiAll is MultiAllResolved reduced to the per-batch errors.
+func (c *Client) MultiAll(groups ...[]Op) []error {
+	results := c.MultiAllResolved(groups...)
+	errs := make([]error, len(results))
+	for i, r := range results {
+		errs[i] = r.Err
+	}
+	return errs
+}
+
+// MultiAsync submits a Multi batch through the client's default batcher
+// and returns a channel that delivers the batch's outcome once it has
+// been group-committed (buffered: the result never blocks on the
+// caller). Concurrent MultiAsync calls — from any goroutine sharing the
+// client — coalesce into one ensemble proposal. Callers needing
+// different bounds create their own Batcher with NewBatcher.
+func (c *Client) MultiAsync(ops ...Op) <-chan error {
+	return c.defaultBatcher().MultiAsync(ops...)
+}
+
+// CreateAsync creates a znode through the client's default batcher,
+// delivering the resolved final path (sequence suffixes included) once
+// the group commit lands. Concurrent submitters sharing the client pay
+// one proposal round between them instead of one each.
+func (c *Client) CreateAsync(path string, data []byte, flags int) <-chan CreateResult {
+	return c.defaultBatcher().CreateAsync(path, data, flags)
 }
 
 // Get returns a znode's data and stat.
@@ -276,6 +376,20 @@ func (c *Client) WatchChildren(path string) (<-chan Event, error) {
 	w := &watcher{ch: make(chan Event, 1), session: c.sessionID}
 	c.ens.watches.addChild(path, w)
 	return w.ch, nil
+}
+
+// ChildWatch registers a REUSABLE watch on membership changes of path's
+// children: it stays armed across events (coalescing back-to-back
+// changes into one pending wakeup) until Close. This is the queue-wakeup
+// primitive — a blocking take arms one ChildWatch for its whole wait
+// instead of burning a fresh one-shot watch per poll round.
+func (c *Client) ChildWatch(path string) (*ChildWatch, error) {
+	if _, err := splitPath(path); err != nil {
+		return nil, err
+	}
+	w := &watcher{ch: make(chan Event, 1), session: c.sessionID, persistent: true}
+	c.ens.watches.addChild(path, w)
+	return &ChildWatch{path: path, w: w, wt: c.ens.watches}, nil
 }
 
 // ChildrenW returns the children of path and a one-shot watch armed

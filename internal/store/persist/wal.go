@@ -130,6 +130,51 @@ func (s *Store) Append(zxid int64, payload []byte) error {
 	return nil
 }
 
+// AppendNoSync frames payload under zxid and writes it to the active
+// segment WITHOUT fsyncing, regardless of policy. It is the group-commit
+// half of Append: the caller writes a run of records and then makes the
+// whole run durable with one SyncGroup call, amortizing the fsync that
+// dominates SyncAlways throughput. Failure semantics are identical to
+// Append (fail-stop: a torn frame may sit in front of later records).
+func (s *Store) AppendNoSync(zxid int64, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failErr != nil {
+		return s.failErr
+	}
+	if s.active == nil {
+		return ErrNotAppending
+	}
+	frame := appendFrame(make([]byte, 0, 16+len(payload)), zxid, payload)
+	if _, err := s.active.Write(frame); err != nil {
+		return s.fail(fmt.Errorf("persist: wal append: %w", err))
+	}
+	s.appends.Inc()
+	s.bytes.Add(int64(len(frame)))
+	return nil
+}
+
+// SyncGroup completes a run of AppendNoSync records: under SyncAlways it
+// fsyncs the active segment once for the whole run; under SyncNone it is
+// a no-op (the OS flushes on its own schedule, as for Append). A failed
+// sync is fail-stop — the run's durability is indeterminate and nothing
+// may be appended behind it.
+func (s *Store) SyncGroup() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failErr != nil {
+		return s.failErr
+	}
+	if s.policy != SyncAlways || s.active == nil {
+		return nil
+	}
+	s.fsyncs.Inc()
+	if err := s.active.Sync(); err != nil {
+		return s.fail(fmt.Errorf("persist: wal group fsync: %w", err))
+	}
+	return nil
+}
+
 func appendFrame(b []byte, zxid int64, payload []byte) []byte {
 	body := make([]byte, 8+len(payload))
 	binary.BigEndian.PutUint64(body, uint64(zxid))

@@ -44,12 +44,17 @@ type Event struct {
 	Path string
 }
 
-// watcher is a one-shot watch registration. The channel has capacity 1
-// and is closed after delivery, matching ZooKeeper's one-shot watch
-// semantics.
+// watcher is a watch registration. One-shot watchers (the default,
+// matching ZooKeeper semantics) have a capacity-1 channel that delivers
+// exactly one event and is then closed. Persistent watchers stay
+// registered across events: deliveries are non-blocking into the same
+// capacity-1 channel, so back-to-back changes coalesce into one pending
+// wakeup — exactly the level-triggered semantics a queue consumer needs
+// (one pending event means "re-list", however many changes produced it).
 type watcher struct {
-	ch      chan Event
-	session int64
+	ch         chan Event
+	session    int64
+	persistent bool
 }
 
 // watchTable indexes outstanding watches by path. Node watches observe
@@ -128,8 +133,12 @@ func (f *firedWatches) addChild(path string) {
 	}
 }
 
-// fire delivers accumulated events to matching watchers and removes them
-// (one-shot).
+// fire delivers accumulated events. One-shot watchers are detached under
+// the mutex and finalized (delivered + closed) after it, so exactly one
+// path ever touches their channel. Persistent watchers are delivered
+// non-blockingly while the mutex is held — they stay in the table, and
+// holding the mutex means a concurrent cancel cannot close the channel
+// mid-send.
 func (wt *watchTable) fire(f *firedWatches) {
 	if f == nil {
 		return
@@ -139,28 +148,37 @@ func (wt *watchTable) fire(f *firedWatches) {
 		w  *watcher
 		ev Event
 	}
-	for _, ev := range f.node {
-		if ws := wt.node[ev.Path]; len(ws) > 0 {
-			for _, w := range ws {
-				deliveries = append(deliveries, struct {
-					w  *watcher
-					ev Event
-				}{w, ev})
+	deliver := func(m map[string][]*watcher, path string, ev Event) {
+		ws := m[path]
+		if len(ws) == 0 {
+			return
+		}
+		var keep []*watcher
+		for _, w := range ws {
+			if w.persistent {
+				select {
+				case w.ch <- ev:
+				default: // coalesce: a wakeup is already pending
+				}
+				keep = append(keep, w)
+				continue
 			}
-			delete(wt.node, ev.Path)
+			deliveries = append(deliveries, struct {
+				w  *watcher
+				ev Event
+			}{w, ev})
+		}
+		if len(keep) == 0 {
+			delete(m, path)
+		} else {
+			m[path] = keep
 		}
 	}
+	for _, ev := range f.node {
+		deliver(wt.node, ev.Path, ev)
+	}
 	for _, path := range f.child {
-		if ws := wt.child[path]; len(ws) > 0 {
-			ev := Event{Type: EventChildrenChanged, Path: path}
-			for _, w := range ws {
-				deliveries = append(deliveries, struct {
-					w  *watcher
-					ev Event
-				}{w, ev})
-			}
-			delete(wt.child, path)
-		}
+		deliver(wt.child, path, Event{Type: EventChildrenChanged, Path: path})
 	}
 	wt.mu.Unlock()
 	for _, d := range deliveries {
@@ -206,7 +224,76 @@ func (wt *watchTable) expireSession(session int64) {
 	}
 	wt.mu.Unlock()
 	for _, w := range victims {
-		w.ch <- Event{Type: EventSessionExpired}
+		if w.persistent {
+			// The slot may hold a coalesced event; the closed channel
+			// itself signals expiry to the consumer either way.
+			select {
+			case w.ch <- Event{Type: EventSessionExpired}:
+			default:
+			}
+		} else {
+			w.ch <- Event{Type: EventSessionExpired}
+		}
 		close(w.ch)
 	}
 }
+
+// cancelChild removes a child watcher (persistent or one-shot) that will
+// not be consumed further and closes its channel. Safe against
+// concurrent fire: the watcher is detached under the mutex before the
+// channel is touched, and persistent deliveries happen under the same
+// mutex, so exactly one path finalizes it.
+func (wt *watchTable) cancelChild(path string, w *watcher) {
+	wt.mu.Lock()
+	ws := wt.child[path]
+	found := false
+	for i, x := range ws {
+		if x == w {
+			found = true
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(wt.child, path)
+	} else if found {
+		wt.child[path] = ws
+	}
+	wt.mu.Unlock()
+	if found {
+		close(w.ch)
+	}
+}
+
+// counts reports outstanding watch registrations, for leak tests and the
+// stats surface.
+func (wt *watchTable) counts() (node, child int) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	for _, ws := range wt.node {
+		node += len(ws)
+	}
+	for _, ws := range wt.child {
+		child += len(ws)
+	}
+	return node, child
+}
+
+// ChildWatch is a reusable child watch: unlike the one-shot
+// WatchChildren, it stays armed across events, with back-to-back
+// membership changes coalescing into one pending wakeup. A closed
+// channel means the session expired (an EventSessionExpired may precede
+// the close when the slot was free). Close releases the registration;
+// queue consumers arm one ChildWatch per blocking take instead of
+// leaking a fresh one-shot watch per poll round.
+type ChildWatch struct {
+	path string
+	w    *watcher
+	wt   *watchTable
+}
+
+// C returns the event channel.
+func (cw *ChildWatch) C() <-chan Event { return cw.w.ch }
+
+// Close releases the watch and closes its channel. Idempotent.
+func (cw *ChildWatch) Close() { cw.wt.cancelChild(cw.path, cw.w) }

@@ -57,6 +57,20 @@ type Config struct {
 	// Threads is the number of concurrent execution goroutines
 	// (TROPIC runs one worker with multiple threads, §6). Default 1.
 	Threads int
+	// ClaimBatch is how many phyQ items one thread claims per store
+	// round trip (default 1). Claims above 1 amortize the queue's
+	// claim-delete commit across the batch; the claimed items execute
+	// sequentially on the claiming thread.
+	ClaimBatch int
+	// BatchMaxOps > 1 routes outcome reports through a store batcher, so
+	// concurrent threads' result notices coalesce into group commits
+	// (bounded by BatchMaxOps operations or BatchMaxDelay of waiting).
+	// ≤ 1 reports each outcome with its own store round trip.
+	BatchMaxOps int
+	// BatchMaxDelay bounds how long a report waits for company
+	// (default store.DefaultBatchMaxDelay). Ignored unless BatchMaxOps
+	// enables the batcher.
+	BatchMaxDelay time.Duration
 	// Logf receives diagnostics; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -72,11 +86,12 @@ type Stats struct {
 
 // Worker executes transactions physically.
 type Worker struct {
-	cfg   Config
-	cli   *store.Client
-	phyQ  *queue.Queue
-	inQ   *queue.Queue
-	stats Stats
+	cfg     Config
+	cli     *store.Client
+	phyQ    *queue.Queue
+	inQ     *queue.Queue
+	batcher *store.Batcher // nil when report batching is off
+	stats   Stats
 }
 
 // New connects a worker to the ensemble.
@@ -107,7 +122,14 @@ func New(cfg Config) (*Worker, error) {
 		cli.Close()
 		return nil, err
 	}
-	return &Worker{cfg: cfg, cli: cli, phyQ: phyQ, inQ: inQ}, nil
+	w := &Worker{cfg: cfg, cli: cli, phyQ: phyQ, inQ: inQ}
+	if cfg.BatchMaxOps > 1 {
+		w.batcher = cli.NewBatcher(store.BatcherConfig{
+			MaxOps:   cfg.BatchMaxOps,
+			MaxDelay: cfg.BatchMaxDelay,
+		})
+	}
+	return w, nil
 }
 
 // Run serves phyQ with the configured number of threads until ctx is
@@ -132,8 +154,14 @@ func (w *Worker) Run(ctx context.Context) error {
 	return ctx.Err()
 }
 
-// Close releases the worker's store session.
-func (w *Worker) Close() { w.cli.Close() }
+// Close releases the worker's store session, flushing any batched
+// reports first.
+func (w *Worker) Close() {
+	if w.batcher != nil {
+		w.batcher.Close()
+	}
+	w.cli.Close()
+}
 
 // Stats returns a copy of the counters.
 func (w *Worker) Stats() Stats {
@@ -147,38 +175,72 @@ func (w *Worker) Stats() Stats {
 }
 
 func (w *Worker) serve(ctx context.Context, thread int) error {
+	claim := w.cfg.ClaimBatch
+	if claim < 1 {
+		claim = 1
+	}
 	for {
-		data, err := w.phyQ.Take(ctx)
+		var batch [][]byte
+		var err error
+		if w.batcher != nil {
+			// The claim commit rides the shared batcher, grouping with
+			// sibling threads' claims and outcome reports.
+			batch, err = w.phyQ.TakeBatchVia(ctx, claim, w.batcher)
+		} else {
+			batch, err = w.phyQ.TakeBatch(ctx, claim)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
 			return err
 		}
-		msg, err := proto.DecodePhyMsg(data)
-		if err != nil {
-			w.cfg.Logf("worker %s/%d: bad phyQ item: %v", w.cfg.Name, thread, err)
-			continue
-		}
-		if err := w.execute(msg.TxnPath); err != nil {
-			if errors.Is(err, store.ErrSessionExpired) || errors.Is(err, store.ErrNoQuorum) {
-				return err
+		// Execute the claimed run, then wait for its batched reports: the
+		// batcher coalesces this thread's notices with its siblings', and
+		// not claiming more work before the acks land bounds how much a
+		// crashed worker can leave unreported.
+		var acks []<-chan error
+		for _, data := range batch {
+			msg, err := proto.DecodePhyMsg(data)
+			if err != nil {
+				w.cfg.Logf("worker %s/%d: bad phyQ item: %v", w.cfg.Name, thread, err)
+				continue
 			}
-			w.cfg.Logf("worker %s/%d: execute %s: %v", w.cfg.Name, thread, msg.TxnPath, err)
+			ack, err := w.execute(msg.TxnPath)
+			if err != nil {
+				if errors.Is(err, store.ErrSessionExpired) || errors.Is(err, store.ErrNoQuorum) {
+					return err
+				}
+				w.cfg.Logf("worker %s/%d: execute %s: %v", w.cfg.Name, thread, msg.TxnPath, err)
+			}
+			if ack != nil {
+				acks = append(acks, ack)
+			}
+		}
+		for _, ack := range acks {
+			if err := <-ack; err != nil {
+				if errors.Is(err, store.ErrSessionExpired) || errors.Is(err, store.ErrNoQuorum) {
+					return err
+				}
+				w.cfg.Logf("worker %s/%d: report: %v", w.cfg.Name, thread, err)
+			}
 		}
 	}
 }
 
 // execute replays one transaction's log against the devices (Figure 2,
-// step 4) and reports the result to the controller via inputQ.
-func (w *Worker) execute(txnPath string) error {
+// step 4) and reports the result to the controller via inputQ. With
+// report batching, the returned channel delivers the report's group-
+// commit outcome (nil channel: nothing was reported, or the report
+// already completed synchronously).
+func (w *Worker) execute(txnPath string) (<-chan error, error) {
 	rec, _, err := w.loadTxn(txnPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if rec.State != txn.StateStarted {
 		// Already finalized (e.g. KILLed by the controller); drop.
-		return nil
+		return nil, nil
 	}
 
 	applied := 0
@@ -232,8 +294,11 @@ func (w *Worker) execute(txnPath string) error {
 // report notifies the controller of the physical outcome through
 // inputQ. Per Figure 2, the *controller* marks the record terminal
 // during cleanup — the worker only executes and reports; the failure's
-// taxonomy code rides along so it survives into the record.
-func (w *Worker) report(txnPath string, outcome txn.State, outcomeErr error, undone int) error {
+// taxonomy code rides along so it survives into the record. With the
+// batcher enabled the notice coalesces with other threads' reports into
+// one group commit and the returned channel carries its outcome;
+// without, the notice is committed synchronously before returning.
+func (w *Worker) report(txnPath string, outcome txn.State, outcomeErr error, undone int) (<-chan error, error) {
 	switch outcome {
 	case txn.StateCommitted:
 		atomic.AddInt64(&w.stats.Committed, 1)
@@ -252,8 +317,11 @@ func (w *Worker) report(txnPath string, outcome txn.State, outcomeErr error, und
 		msg.Error = outcomeErr.Error()
 		msg.Code = string(trerr.CodeOf(outcomeErr))
 	}
+	if w.batcher != nil {
+		return w.batcher.MultiAsync(w.inQ.PutOp(msg.Encode())), nil
+	}
 	_, err := w.inQ.Put(msg.Encode())
-	return err
+	return nil, err
 }
 
 func (w *Worker) currentSignal(txnPath string) (txn.Signal, error) {

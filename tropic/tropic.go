@@ -31,11 +31,14 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/controller"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/proto"
+	"repro/internal/queue"
 	"repro/internal/store"
 	"repro/internal/txn"
 	"repro/internal/worker"
@@ -175,6 +178,23 @@ type Config struct {
 	// paper's default) or ScheduleAggressive (§3.1.1's future-work
 	// alternative that schedules past conflicted transactions).
 	Policy controller.SchedulingPolicy
+	// BatchMaxOps sizes the pipeline's group commits: the lead
+	// controller drains up to this many inputQ items per event round and
+	// flushes their effects — and each scheduling round's admissions —
+	// in single grouped store commits, and workers coalesce up to this
+	// many report operations per commit. 0 selects the default (32);
+	// 1 disables batching entirely, restoring the per-item round-trip
+	// pipeline (kept runnable for the ablation benchmarks).
+	BatchMaxOps int
+	// BatchMaxDelay bounds how long an asynchronously batched store
+	// operation (worker outcome reports) waits for company before its
+	// batch flushes anyway (default 2ms). It is the pipeline's
+	// batching-latency ceiling: no report sits unflushed longer than
+	// this.
+	BatchMaxDelay time.Duration
+	// WorkerClaimBatch is how many phyQ entries one worker thread claims
+	// per store round trip (default 4 when batching, 1 otherwise).
+	WorkerClaimBatch int
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -191,6 +211,12 @@ type Platform struct {
 
 	mu      sync.Mutex
 	started bool
+
+	// depthCli lazily holds a store session for queue-depth sampling;
+	// gauges retain the latest sampled depths.
+	depthMu  sync.Mutex
+	depthCli *store.Client
+	gauges   metrics.QueueGauges
 }
 
 // New builds a platform. Call Start to elect a leader and begin serving.
@@ -212,6 +238,22 @@ func New(cfg Config) (*Platform, error) {
 	}
 	if cfg.Executor == nil {
 		cfg.Executor = NoopExecutor{}
+	}
+	if cfg.BatchMaxOps == 0 {
+		cfg.BatchMaxOps = store.DefaultBatchMaxOps
+	}
+	if cfg.BatchMaxOps < 1 {
+		cfg.BatchMaxOps = 1
+	}
+	if cfg.BatchMaxDelay <= 0 {
+		cfg.BatchMaxDelay = store.DefaultBatchMaxDelay
+	}
+	if cfg.WorkerClaimBatch <= 0 {
+		if cfg.BatchMaxOps > 1 {
+			cfg.WorkerClaimBatch = 4
+		} else {
+			cfg.WorkerClaimBatch = 1
+		}
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -238,6 +280,7 @@ func New(cfg Config) (*Platform, error) {
 			CheckpointEvery: cfg.CheckpointEvery,
 			Reconciler:      cfg.Reconciler,
 			Policy:          cfg.Policy,
+			BatchMaxOps:     cfg.BatchMaxOps,
 			Logf:            cfg.Logf,
 		})
 		if err != nil {
@@ -247,11 +290,14 @@ func New(cfg Config) (*Platform, error) {
 		p.ctrl = append(p.ctrl, c)
 	}
 	w, err := worker.New(worker.Config{
-		Name:     "worker-0",
-		Ensemble: ens,
-		Executor: cfg.Executor,
-		Threads:  cfg.WorkerThreads,
-		Logf:     cfg.Logf,
+		Name:          "worker-0",
+		Ensemble:      ens,
+		Executor:      cfg.Executor,
+		Threads:       cfg.WorkerThreads,
+		ClaimBatch:    cfg.WorkerClaimBatch,
+		BatchMaxOps:   cfg.BatchMaxOps,
+		BatchMaxDelay: cfg.BatchMaxDelay,
+		Logf:          cfg.Logf,
 	})
 	if err != nil {
 		ens.Close()
@@ -344,7 +390,64 @@ func (p *Platform) Stop() error {
 		c.Close()
 	}
 	p.wrk.Close()
+	p.depthMu.Lock()
+	if p.depthCli != nil {
+		p.depthCli.Close()
+		p.depthCli = nil
+	}
+	p.depthMu.Unlock()
 	return p.ens.Close()
+}
+
+// PipelineInfo is the batching configuration in effect, surfaced through
+// GET /v1/stats so operators can correlate throughput with the knobs.
+type PipelineInfo struct {
+	BatchMaxOps      int     `json:"batchMaxOps"`
+	BatchMaxDelayMs  float64 `json:"batchMaxDelayMs"`
+	WorkerClaimBatch int     `json:"workerClaimBatch"`
+	WorkerThreads    int     `json:"workerThreads"`
+}
+
+// PipelineInfo reports the resolved batching configuration.
+func (p *Platform) PipelineInfo() PipelineInfo {
+	return PipelineInfo{
+		BatchMaxOps:      p.cfg.BatchMaxOps,
+		BatchMaxDelayMs:  float64(p.cfg.BatchMaxDelay) / float64(time.Millisecond),
+		WorkerClaimBatch: p.cfg.WorkerClaimBatch,
+		WorkerThreads:    p.cfg.WorkerThreads,
+	}
+}
+
+// QueueDepths samples the depths of the three pipeline queues: inputQ
+// and phyQ are counted live from the store, todoQ from the leading
+// controller's gauge (0 while no leader is up). The canonical
+// back-pressure signal: a growing inQ means the controller is the
+// bottleneck, a growing phyQ means the workers are.
+func (p *Platform) QueueDepths() metrics.QueueDepths {
+	p.depthMu.Lock()
+	defer p.depthMu.Unlock()
+	if p.depthCli == nil {
+		p.depthCli = p.ens.Connect()
+	}
+	count := func(path string) int64 {
+		names, err := p.depthCli.Children(path)
+		if err != nil {
+			return 0
+		}
+		var n int64
+		for _, name := range names {
+			if strings.HasPrefix(name, queue.ItemPrefix) {
+				n++
+			}
+		}
+		return n
+	}
+	p.gauges.InQ.Set(count(proto.InputQPath))
+	p.gauges.PhyQ.Set(count(proto.PhyQPath))
+	if l := p.Leader(); l != nil {
+		p.gauges.TodoQ.Set(l.TodoDepth())
+	}
+	return p.gauges.Snapshot()
 }
 
 // Ensemble exposes the coordination store for fault-injection in tests
@@ -372,13 +475,31 @@ func (p *Platform) ControllerStats() controller.Stats {
 		total.ConstraintNanos += s.ConstraintNanos
 		total.RollbackNanos += s.RollbackNanos
 		total.Rollbacks += s.Rollbacks
+		total.InBatches += s.InBatches
+		total.InBatchItems += s.InBatchItems
+		total.Flushes += s.Flushes
+		total.FlushedOps += s.FlushedOps
+		total.FlushNanos += s.FlushNanos
+		if s.MaxInBatch > total.MaxInBatch {
+			total.MaxInBatch = s.MaxInBatch
+		}
+		if s.MaxFlushOps > total.MaxFlushOps {
+			total.MaxFlushOps = s.MaxFlushOps
+		}
 	}
 	return total
 }
 
 // Client opens a new client session against the platform.
 func (p *Platform) Client() *Client {
-	return &Client{cli: p.ens.Connect(), procs: p.cfg.Procedures}
+	cli := p.ens.Connect()
+	// The submit path's coalescing obeys the same knobs as the rest of
+	// the pipeline.
+	cli.ConfigureBatcher(store.BatcherConfig{
+		MaxOps:   p.cfg.BatchMaxOps,
+		MaxDelay: p.cfg.BatchMaxDelay,
+	})
+	return &Client{cli: cli, procs: p.cfg.Procedures, batched: p.cfg.BatchMaxOps > 1}
 }
 
 // Client submits transactional orchestrations and tracks their outcome,
@@ -389,6 +510,16 @@ type Client struct {
 	// unknown procedures synchronously at submit time (nil skips the
 	// check, for clients constructed without a registry).
 	procs map[string]Procedure
+	// batched routes submissions through the store client's group-commit
+	// batcher, so concurrent submitters sharing this Client coalesce
+	// their record and notice creations into shared proposal rounds.
+	// Set from the platform's BatchMaxOps; false preserves the per-item
+	// submission path.
+	batched bool
+	// seq numbers this client's batched submissions (their record ids
+	// are client-generated rather than sequence-allocated, so record and
+	// notice can ride one atomic commit).
+	seq atomic.Int64
 }
 
 // Close releases the client's store session.
@@ -425,6 +556,25 @@ func (c *Client) Submit(proc string, args ...string) (string, error) {
 		State:       txn.StateInitialized,
 		SubmittedAt: now,
 		History:     []txn.StateStamp{{State: txn.StateInitialized, At: now}},
+	}
+	if c.batched {
+		// Group-committed submission: record and notice ride ONE atomic
+		// batch (no orphaned records), coalesced with every concurrent
+		// submitter on this client into shared proposal rounds. The
+		// record id is client-generated — session id plus a local
+		// counter, unique ensemble-wide — because a sequence-allocated
+		// name would only be known after a first, separate commit.
+		id := fmt.Sprintf("t-s%xc%08d", c.cli.SessionID(), c.seq.Add(1))
+		path := proto.TxnsPath + "/" + id
+		err := <-c.cli.MultiAsync(
+			store.CreateOp(path, rec.Encode(), 0),
+			store.CreateOp(proto.InputQPath+"/item-",
+				proto.InputMsg{Kind: proto.KindSubmit, TxnPath: path}.Encode(), store.FlagSequence),
+		)
+		if err != nil {
+			return "", fmt.Errorf("tropic: submit: %w", err)
+		}
+		return id, nil
 	}
 	path, err := c.cli.Create(proto.TxnPrefix, rec.Encode(), store.FlagSequence)
 	if err != nil {
