@@ -312,6 +312,48 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 }
 
+// shardedBaselineTPS carries BenchmarkShardedThroughput's 1-shard
+// txns/s into the later sub-benchmarks so they can report their speedup
+// (sub-benchmarks run in declaration order within one invocation).
+var shardedBaselineTPS float64
+
+// BenchmarkShardedThroughput is the horizontal-scaling companion to
+// BenchmarkPipelineThroughput: committed transactions per second
+// through the batched submit→schedule→execute path as the platform is
+// partitioned into 1, 2, and 4 consistent-hash shards — N independent
+// ensembles, lead controllers, and worker pools behind one router,
+// fed an equal, shard-local workload. The acceptance bar is ≥2x txns/s
+// at 4 shards vs 1 (reported as speedup-vs-1shard; CI publishes the
+// full sweep as BENCH_shards.json).
+func BenchmarkShardedThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			ctx := context.Background()
+			var tps, p99 float64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Shards(ctx, exp.ShardsParams{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Committed != res.Txns {
+					b.Fatalf("committed %d of %d", res.Committed, res.Txns)
+				}
+				tps += res.PerSecond
+				p99 += res.P99LatencyMs
+			}
+			n := float64(b.N)
+			b.ReportMetric(tps/n, "txns/s")
+			b.ReportMetric(p99/n, "latency-p99-ms")
+			if shards == 1 {
+				shardedBaselineTPS = tps / n
+			} else if shardedBaselineTPS > 0 {
+				b.ReportMetric(tps/n/shardedBaselineTPS, "speedup-vs-1shard")
+			}
+		})
+	}
+}
+
 // BenchmarkGroupCommit isolates the store-layer win: concurrent Multi
 // batches committed directly (one proposal round and one WAL fsync
 // each) versus through a Batcher (rounds and fsyncs amortized across

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		expName     = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|pipeline|all")
+		expName     = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|pipeline|shards|all")
 		full        = flag.Bool("full", false, "paper-scale run (12,500 hosts, full 1-hour trace; takes many minutes)")
 		hosts       = flag.Int("hosts", 400, "compute hosts (logical-only experiments)")
 		mults       = flag.String("mult", "1,2,3,4,5", "comma-separated EC2 load multipliers")
@@ -43,7 +43,9 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Minute, "overall deadline")
 		pipeTxns    = flag.Int("pipeline-txns", 256, "transactions per pipeline ablation point")
 		pipeBatches = flag.String("pipeline-batches", "1,8,32", "comma-separated pipeline batch sizes")
-		jsonOut     = flag.String("json", "", "write pipeline results as JSON to this file (e.g. BENCH_pipeline.json)")
+		jsonOut     = flag.String("json", "", "write pipeline/shards results as JSON to this file (e.g. BENCH_pipeline.json)")
+		shardTxns   = flag.Int("shards-txns", 256, "transactions per sharded-throughput point")
+		shardCounts = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for -exp shards")
 	)
 	flag.Parse()
 
@@ -115,10 +117,64 @@ func main() {
 		run("§3.1.1 ablation: FIFO vs aggressive scheduling", runAblation)
 	}
 	if all || *expName == "pipeline" {
+		// In -exp all mode only the pipeline experiment writes -json (the
+		// two experiments would otherwise clobber one file).
+		pipeJSON := *jsonOut
 		run("Batched pipeline: group-commit throughput ablation", func(ctx context.Context) error {
-			return runPipeline(ctx, *pipeTxns, parseMults(*pipeBatches), *jsonOut)
+			return runPipeline(ctx, *pipeTxns, parseMults(*pipeBatches), pipeJSON)
 		})
 	}
+	if all || *expName == "shards" {
+		shardsJSON := *jsonOut
+		if all {
+			shardsJSON = ""
+		}
+		run("Sharded orchestration: committed throughput vs shard count", func(ctx context.Context) error {
+			return runShards(ctx, *shardTxns, parseMults(*shardCounts), shardsJSON)
+		})
+	}
+}
+
+// runShards sweeps the shard count over the end-to-end batched pipeline
+// and optionally writes the points as JSON (CI emits BENCH_shards.json
+// on every run — the horizontal-scaling trajectory).
+func runShards(ctx context.Context, txns int, counts []int, jsonPath string) error {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+	type jsonDoc struct {
+		Generated string             `json:"generated"`
+		Txns      int                `json:"txns"`
+		Results   []exp.ShardsResult `json:"results"`
+	}
+	doc := jsonDoc{Generated: time.Now().UTC().Format(time.RFC3339), Txns: txns}
+	fmt.Printf("%-8s %-12s %-12s %-12s %-14s %s\n",
+		"shards", "txns/s", "speedup", "p99 ms", "committed", "spawnable hosts")
+	var base float64
+	for _, n := range counts {
+		res, err := exp.Shards(ctx, exp.ShardsParams{Shards: n, Txns: txns})
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = res.PerSecond
+		}
+		fmt.Printf("%-8d %-12.0f %-12.2f %-12.0f %-14s %d\n",
+			n, res.PerSecond, res.PerSecond/base, res.P99LatencyMs,
+			fmt.Sprintf("%d/%d", res.Committed, res.Txns), res.SpawnableHosts)
+		doc.Results = append(doc.Results, res)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 // runPipeline sweeps the group-commit batch size over the end-to-end

@@ -5,10 +5,16 @@
 //
 //	tropicd -listen :7077 -hosts 16
 //	tropicd -listen :7077 -hosts 16 -data-dir /var/lib/tropic -sync always
+//	tropicd -listen :7077 -hosts 64 -shards 4
 //
 // With -data-dir the coordination store is durable: transactions,
 // queues, and counters survive a daemon restart (crash or SIGTERM) and
 // the platform resumes from its committed state.
+//
+// With -shards N the platform is partitioned into N independent
+// ensembles (each with its own WAL under -data-dir/shard-NN, leader
+// election, queues, and workers) behind a consistent-hash router; see
+// docs/sharding.md for the routing rules and cross-shard semantics.
 //
 // The HTTP surface is implemented by internal/api (see its package
 // documentation for the endpoint reference); failures are structured
@@ -48,6 +54,7 @@ func main() {
 		batchOps    = flag.Int("batch-max-ops", 32, "pipeline group-commit batch size (1 disables batching, 0 selects the default 32)")
 		batchDelay  = flag.Duration("batch-max-delay", 2*time.Millisecond, "async batch flush-latency ceiling")
 		workerClaim = flag.Int("worker-claim", 4, "phyQ items one worker thread claims per store round trip")
+		shards      = flag.Int("shards", 1, "consistent-hash store partitions, each with its own ensemble, controllers, and workers (see docs/sharding.md)")
 	)
 	flag.Parse()
 
@@ -68,6 +75,7 @@ func main() {
 		BatchMaxOps:      *batchOps,
 		BatchMaxDelay:    *batchDelay,
 		WorkerClaimBatch: *workerClaim,
+		Shards:           *shards,
 		Logf:             logger.Printf,
 	}
 	tp := tcloud.Topology{ComputeHosts: *hosts}
@@ -104,6 +112,9 @@ func main() {
 			info.BatchMaxOps, info.BatchMaxDelayMs, info.WorkerClaimBatch)
 	} else {
 		logger.Printf("pipeline: group commit OFF (per-item round trips)")
+	}
+	if n := p.NumShards(); n > 1 {
+		logger.Printf("sharding: %d consistent-hash partitions (per-shard ensembles, elections, queues, workers)", n)
 	}
 	if *dataDir != "" {
 		if ps := p.Ensemble().PersistStats(); ps.Recoveries > 0 {

@@ -16,9 +16,11 @@
 //	POST /v1/signal   send TERM/KILL to a transaction (§4)
 //	POST /v1/repair   logical→physical reconciliation (§4)
 //	POST /v1/reload   physical→logical reconciliation (§4)
-//	GET  /v1/stats    controller/worker/store counters, batch-pipeline
+//	GET  /v1/stats    controller/worker/store counters (aggregated across
+//	                  shards, plus a per-shard breakdown), batch-pipeline
 //	                  config, queue depth gauges, API latencies
-//	GET  /healthz     readiness: leader presence and store quorum
+//	GET  /healthz     readiness: leader presence and store quorum on
+//	                  EVERY shard (all-or-nothing)
 package api
 
 import (
@@ -34,6 +36,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/worker"
 	"repro/tropic"
 	"repro/tropic/trerr"
 )
@@ -399,49 +402,133 @@ func (g *Gateway) latencySummaries() map[string]LatencySummary {
 	return out
 }
 
+// ShardStats is one shard's slice of the GET /v1/stats response.
+type ShardStats struct {
+	Shard   int                 `json:"shard"`
+	Leader  string              `json:"leader"`
+	Store   store.Health        `json:"store"`
+	Persist store.PersistStats  `json:"persist"`
+	Worker  worker.Stats        `json:"worker"`
+	Queues  metrics.QueueDepths `json:"queues"`
+}
+
+func (g *Gateway) shardStats() []ShardStats {
+	out := make([]ShardStats, 0, g.p.NumShards())
+	for i := 0; i < g.p.NumShards(); i++ {
+		s := ShardStats{
+			Shard:   i,
+			Store:   g.p.ShardEnsemble(i).Health(),
+			Persist: g.p.ShardEnsemble(i).PersistStats(),
+			Worker:  g.p.ShardWorker(i).Stats(),
+			Queues:  g.p.ShardQueueDepths(i),
+		}
+		if l := g.p.ShardLeader(i); l != nil {
+			s.Leader = l.Name()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	leaderName := ""
 	if l := g.p.Leader(); l != nil {
 		leaderName = l.Name()
 	}
+	// Top-level sections aggregate across shards (controller/worker/
+	// persist counters and queue depths sum; store health sums replicas
+	// and sessions, with quorum true only when EVERY shard has quorum);
+	// the "shards" array carries each shard's own leader, store health,
+	// persist counters, and depths. Unsharded platforms report a
+	// one-element array, so dashboards can consume one shape.
+	shards := g.shardStats()
+	var persist store.PersistStats
+	health := store.Health{Quorum: true}
+	for _, s := range shards {
+		persist.WALAppends += s.Persist.WALAppends
+		persist.WALBytes += s.Persist.WALBytes
+		persist.Fsyncs += s.Persist.Fsyncs
+		persist.Snapshots += s.Persist.Snapshots
+		persist.Recoveries += s.Persist.Recoveries
+		if s.Persist.LastRecoveryNanos > persist.LastRecoveryNanos {
+			persist.LastRecoveryNanos = s.Persist.LastRecoveryNanos
+		}
+		health.Replicas += s.Store.Replicas
+		health.Alive += s.Store.Alive
+		health.Sessions += s.Store.Sessions
+		health.Quorum = health.Quorum && s.Store.Quorum
+	}
 	g.writeJSON(w, map[string]any{
 		"leader":     leaderName,
 		"controller": g.p.ControllerStats(),
-		"worker":     g.p.Worker().Stats(),
-		"persist":    g.p.Ensemble().PersistStats(),
-		"store":      g.p.Ensemble().Health(),
+		"worker":     g.p.WorkerStats(),
+		"persist":    persist,
+		"store":      health,
 		"pipeline":   g.p.PipelineInfo(),
 		"queues":     g.p.QueueDepths(),
+		"shards":     shards,
 		"api":        g.latencySummaries(),
 	})
 }
 
+// ShardHealth is one shard's readiness in the GET /healthz body.
+type ShardHealth struct {
+	Shard int `json:"shard"`
+	// Status is "ok" when this shard can serve, else "unavailable".
+	Status string `json:"status"`
+	// Leader names the shard's leading controller ("" while electing).
+	Leader string `json:"leader,omitempty"`
+	// Store summarizes the shard's coordination-store availability.
+	Store store.Health `json:"store"`
+}
+
 // HealthResponse is the GET /healthz body.
 type HealthResponse struct {
-	// Status is "ok" when the platform can serve, else "unavailable".
+	// Status is "ok" when EVERY shard can serve, else "unavailable" —
+	// a partially available platform routes some resource roots into a
+	// dead shard, so readiness is all-or-nothing.
 	Status string `json:"status"`
-	// Leader names the leading controller ("" while electing).
+	// Leader names shard 0's leading controller ("" while electing).
 	Leader string `json:"leader,omitempty"`
-	// Store summarizes coordination-store availability.
+	// Store summarizes shard 0's coordination-store availability.
 	Store store.Health `json:"store"`
+	// Shards reports every shard's readiness (one element unsharded).
+	Shards []ShardHealth `json:"shards"`
 	// Error classifies why the platform is unavailable.
 	Error *trerr.Error `json:"error,omitempty"`
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{Status: "ok", Store: g.p.Ensemble().Health()}
-	if l := g.p.Leader(); l != nil {
-		resp.Leader = l.Name()
+	resp := HealthResponse{Status: "ok"}
+	for i := 0; i < g.p.NumShards(); i++ {
+		sh := ShardHealth{Shard: i, Status: "ok", Store: g.p.ShardEnsemble(i).Health()}
+		if l := g.p.ShardLeader(i); l != nil {
+			sh.Leader = l.Name()
+		}
+		switch {
+		case !sh.Store.Quorum:
+			sh.Status = "unavailable"
+			if resp.Error == nil {
+				resp.Error = trerr.Newf(trerr.APIUnavailable,
+					"shard %d store quorum lost: %d/%d replicas alive",
+					i, sh.Store.Alive, sh.Store.Replicas)
+			}
+		case sh.Leader == "":
+			sh.Status = "unavailable"
+			if resp.Error == nil {
+				resp.Error = trerr.Newf(trerr.APIUnavailable,
+					"shard %d has no leading controller", i)
+			}
+		}
+		if sh.Status != "ok" {
+			resp.Status = "unavailable"
+		}
+		resp.Shards = append(resp.Shards, sh)
 	}
-	switch {
-	case !resp.Store.Quorum:
-		resp.Status = "unavailable"
-		resp.Error = trerr.Newf(trerr.APIUnavailable,
-			"store quorum lost: %d/%d replicas alive", resp.Store.Alive, resp.Store.Replicas)
-	case resp.Leader == "":
-		resp.Status = "unavailable"
-		resp.Error = trerr.New(trerr.APIUnavailable, "no controller is leading")
-	}
+	// Top-level Leader/Store mirror shard 0's probe (the pre-sharding
+	// response shape) rather than re-probing it.
+	resp.Leader = resp.Shards[0].Leader
+	resp.Store = resp.Shards[0].Store
 	w.Header().Set("Content-Type", "application/json")
 	if resp.Status != "ok" {
 		w.WriteHeader(http.StatusServiceUnavailable)

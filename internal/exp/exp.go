@@ -55,6 +55,11 @@ type PlatformParams struct {
 	BatchMaxDelay time.Duration
 	// WorkerClaimBatch is the per-thread phyQ claim size.
 	WorkerClaimBatch int
+	// Shards partitions the platform into independent consistent-hash
+	// shards (default 1, the paper's single-ensemble deployment).
+	Shards int
+	// Controllers is the per-shard controller replica count (default 3).
+	Controllers int
 }
 
 func (p PlatformParams) withDefaults() PlatformParams {
@@ -91,6 +96,8 @@ func Start(ctx context.Context, p PlatformParams) (*Env, error) {
 		BatchMaxOps:      p.BatchMaxOps,
 		BatchMaxDelay:    p.BatchMaxDelay,
 		WorkerClaimBatch: p.WorkerClaimBatch,
+		Shards:           p.Shards,
+		Controllers:      p.Controllers,
 	}
 	if p.LogicalOnly {
 		cfg.Bootstrap = p.Topology.BuildModel()

@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/workload"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// ShardsParams drives the horizontal-scaling experiment: end-to-end
+// committed throughput of the batched pipeline as the platform is
+// partitioned into 1, 2, 4, 8… consistent-hash shards. Where the
+// pipeline experiment amortizes the store round trip (one ensemble,
+// bigger batches), this one multiplies it (N independent ensembles,
+// N lead controllers, N worker pools).
+type ShardsParams struct {
+	// Shards is the partition count under test (1 = the unsharded
+	// baseline every other experiment measures).
+	Shards int
+	// Hosts sizes the logical-only topology (default 64). The topology
+	// uses one storage host per compute host so nearly every shard owns
+	// colocated spawn targets.
+	Hosts int
+	// Txns is how many single-shard spawnVM transactions to push
+	// through (default 256).
+	Txns int
+	// Inflight bounds submission concurrency (default 256 — the
+	// many-clients regime where per-shard pipelines stay saturated).
+	Inflight int
+	// CommitLatency simulates one store quorum round per shard ensemble
+	// (default 500µs) — the store-I/O-bound regime sharding multiplies.
+	CommitLatency time.Duration
+	// BatchMaxOps sizes each shard pipeline's group commits (default
+	// 32, the batched hot path; sharding composes with batching).
+	BatchMaxOps int
+}
+
+func (p ShardsParams) withDefaults() ShardsParams {
+	if p.Shards <= 0 {
+		p.Shards = 1
+	}
+	if p.Hosts <= 0 {
+		p.Hosts = 64
+	}
+	if p.Txns <= 0 {
+		p.Txns = 256
+	}
+	if p.Inflight <= 0 {
+		p.Inflight = 256
+	}
+	if p.CommitLatency == 0 {
+		p.CommitLatency = 500 * time.Microsecond
+	}
+	if p.BatchMaxOps <= 0 {
+		p.BatchMaxOps = 32
+	}
+	return p
+}
+
+// ShardsResult reports one sharded-throughput run.
+type ShardsResult struct {
+	// Shards echoes the partition count under test.
+	Shards int `json:"shards"`
+	// Txns and Committed count submitted and committed transactions.
+	Txns      int `json:"txns"`
+	Committed int `json:"committed"`
+	// SpawnableHosts is how many compute hosts had a same-shard storage
+	// host (the routable workload's spread).
+	SpawnableHosts int `json:"spawnableHosts"`
+	// Elapsed is the wall time from first submission to last commit.
+	Elapsed time.Duration `json:"elapsedNanos"`
+	// PerSecond is committed transactions per second — the number
+	// sharding exists to multiply.
+	PerSecond float64 `json:"perSecond"`
+	// MeanLatencyMs and P99LatencyMs are per-transaction
+	// submit→terminal latencies.
+	MeanLatencyMs float64 `json:"meanLatencyMs"`
+	P99LatencyMs  float64 `json:"p99LatencyMs"`
+}
+
+// Shards measures end-to-end committed throughput at the given shard
+// count. Every submission is shard-local (each compute host is paired
+// with a storage host owned by the same shard), so the run measures the
+// sharded hot path, not cross-shard rejections.
+func Shards(ctx context.Context, p ShardsParams) (ShardsResult, error) {
+	p = p.withDefaults()
+	env, err := Start(ctx, PlatformParams{
+		// One storage host per compute host, with storage and memory
+		// capacity far above what the run needs: shard-skewed pairings
+		// must never turn into capacity aborts — this experiment
+		// measures throughput, not placement.
+		Topology: tcloud.Topology{
+			ComputeHosts:      p.Hosts,
+			ComputePerStorage: 1,
+			StorageCapGB:      1 << 20,
+			HostMemMB:         1 << 20,
+		},
+		// Logical-only with per-shard simulated quorum latency: the
+		// §6.1 regime where the coordination store, not simulation CPU,
+		// bounds throughput.
+		LogicalOnly:    true,
+		SessionTimeout: 2 * time.Second,
+		CommitLatency:  p.CommitLatency,
+		BatchMaxOps:    p.BatchMaxOps,
+		Shards:         p.Shards,
+		// Throughput runs need no hot standbys; one controller per
+		// shard keeps the goroutine count proportional to shards.
+		Controllers: 1,
+	})
+	if err != nil {
+		return ShardsResult{}, err
+	}
+	defer env.Stop()
+
+	ops, spawnable, err := shardLocalSpawnOps(env.Platform, p.Hosts, p.Txns)
+	if err != nil {
+		return ShardsResult{}, err
+	}
+	start := time.Now()
+	lat, states, err := runOps(ctx, env.Platform, ops, p.Inflight)
+	if err != nil {
+		return ShardsResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	res := ShardsResult{
+		Shards:         p.Shards,
+		Txns:           len(ops),
+		Committed:      states[tropic.StateCommitted],
+		SpawnableHosts: spawnable,
+		Elapsed:        elapsed,
+		PerSecond:      float64(states[tropic.StateCommitted]) / elapsed.Seconds(),
+		MeanLatencyMs:  lat.Mean() * 1000,
+		P99LatencyMs:   lat.Quantile(0.99) * 1000,
+	}
+	return res, nil
+}
+
+// shardLocalSpawnOps builds n spawnVM submissions, each pairing a
+// compute host with a storage host the SAME shard owns. Load is dealt
+// EQUALLY across the shards that own spawnable pairs (shard-major
+// round-robin, then round-robin over the shard's hosts): the experiment
+// measures how throughput multiplies with per-shard pipelines, so every
+// pipeline gets the same work — how evenly consistent hashing spreads
+// an organic keyspace is pinned separately by the ShardMap balance
+// property test. Hosts whose shard owns no storage host are skipped
+// (consistent hashing cannot guarantee every shard a storage host; the
+// skipped fraction is tiny at one storage host per compute host).
+func shardLocalSpawnOps(pl *tropic.Platform, hosts, n int) ([]workload.Op, int, error) {
+	storageByShard := make(map[int][]string)
+	for i := 0; i < hosts; i++ {
+		sp := tcloud.StorageHostPath(i)
+		s, err := pl.ShardOf(tcloud.ProcSpawnVM, sp)
+		if err != nil {
+			return nil, 0, err
+		}
+		storageByShard[s] = append(storageByShard[s], sp)
+	}
+	type target struct{ storage, compute string }
+	targetsByShard := make(map[int][]target)
+	nextStorage := make(map[int]int) // per-shard round-robin over its storage pool
+	var shardOrder []int
+	spawnable := 0
+	for i := 0; i < hosts; i++ {
+		hp := tcloud.ComputeHostPath(i)
+		s, err := pl.ShardOf(tcloud.ProcSpawnVM, hp)
+		if err != nil {
+			return nil, 0, err
+		}
+		pool := storageByShard[s]
+		if len(pool) == 0 {
+			continue
+		}
+		if len(targetsByShard[s]) == 0 {
+			shardOrder = append(shardOrder, s)
+		}
+		targetsByShard[s] = append(targetsByShard[s], target{
+			storage: pool[nextStorage[s]%len(pool)], compute: hp,
+		})
+		nextStorage[s]++
+		spawnable++
+	}
+	if len(shardOrder) == 0 {
+		return nil, 0, fmt.Errorf("exp: no shard owns both a storage and a compute host")
+	}
+	ops := make([]workload.Op, 0, n)
+	nextTarget := make(map[int]int)
+	for i := 0; i < n; i++ {
+		s := shardOrder[i%len(shardOrder)]
+		pool := targetsByShard[s]
+		tg := pool[nextTarget[s]%len(pool)]
+		nextTarget[s]++
+		ops = append(ops, workload.Op{
+			Proc: tcloud.ProcSpawnVM,
+			Args: []string{tg.storage, tg.compute, fmt.Sprintf("shvm%06d", i), "1024"},
+		})
+	}
+	return ops, spawnable, nil
+}

@@ -1,0 +1,185 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/tropic/trerr"
+)
+
+// syntheticRoots generates n host-style resource roots, the key
+// population the map partitions in production.
+func syntheticRoots(n int) []string {
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, fmt.Sprintf("/vmRoot/vmHost%05d", i))
+	}
+	return keys
+}
+
+// TestMapBalance: with the default virtual-node count, keys spread
+// across shards within a bounded tolerance of perfect uniformity. The
+// property holds across shard counts and seeded random key sets, not
+// just the synthetic host naming.
+func TestMapBalance(t *testing.T) {
+	const keys = 20000
+	rng := rand.New(rand.NewSource(42))
+	populations := map[string][]string{
+		"host-roots": syntheticRoots(keys),
+		"random":     nil,
+	}
+	for i := 0; i < keys; i++ {
+		populations["random"] = append(populations["random"],
+			fmt.Sprintf("/r%d/n%d", rng.Intn(1000), rng.Int63()))
+	}
+	for name, pop := range populations {
+		for _, shards := range []int{2, 3, 4, 8, 16} {
+			m := NewMap(shards)
+			counts := make([]int, shards)
+			for _, k := range pop {
+				s := m.Shard(k)
+				if s < 0 || s >= shards {
+					t.Fatalf("%s/%d shards: Shard(%q) = %d out of range", name, shards, k, s)
+				}
+				counts[s]++
+			}
+			mean := float64(len(pop)) / float64(shards)
+			for s, c := range counts {
+				dev := (float64(c) - mean) / mean
+				if dev < -0.35 || dev > 0.35 {
+					t.Errorf("%s/%d shards: shard %d holds %d keys (%.0f mean, %+.0f%% deviation)",
+						name, shards, s, c, mean, 100*dev)
+				}
+			}
+		}
+	}
+}
+
+// TestMapDeterminism: two maps with identical parameters route every
+// key identically (ids and cursors embed shard indexes, so routing must
+// be a pure function of the configuration).
+func TestMapDeterminism(t *testing.T) {
+	a, b := NewMap(5), NewMap(5)
+	for _, k := range syntheticRoots(1000) {
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("Shard(%q) differs between identically configured maps", k)
+		}
+	}
+}
+
+// TestMapMinimalMovementOnResize: growing N→N+1 shards moves only the
+// keys the new shard captures — every moved key lands on the NEW shard,
+// and the moved fraction is close to the ideal 1/(N+1).
+func TestMapMinimalMovementOnResize(t *testing.T) {
+	keys := syntheticRoots(20000)
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		before, after := NewMap(n), NewMap(n+1)
+		moved := 0
+		for _, k := range keys {
+			b, a := before.Shard(k), after.Shard(k)
+			if b == a {
+				continue
+			}
+			moved++
+			if a != n {
+				t.Fatalf("%d→%d shards: key %q moved %d→%d, not to the new shard %d",
+					n, n+1, k, b, a, n)
+			}
+		}
+		ideal := float64(len(keys)) / float64(n+1)
+		frac := float64(moved) / float64(len(keys))
+		if float64(moved) > 1.6*ideal {
+			t.Errorf("%d→%d shards: %d keys moved (%.1f%%), ideal ≈ %.1f%% — movement is not minimal",
+				n, n+1, moved, 100*frac, 100/float64(n+1))
+		}
+		if moved == 0 {
+			t.Errorf("%d→%d shards: no key moved; the new shard owns nothing", n, n+1)
+		}
+	}
+}
+
+func TestRootOf(t *testing.T) {
+	cases := map[string]string{
+		"/vmRoot/vmHost00003/vm7":      "/vmRoot/vmHost00003",
+		"/vmRoot/vmHost00003/vm7/disk": "/vmRoot/vmHost00003",
+		"/vmRoot/vmHost00003":          "/vmRoot/vmHost00003",
+		"/vmRoot":                      "/vmRoot",
+		"/":                            "/",
+		"vm7":                          "vm7",
+		"":                             "",
+	}
+	for in, want := range cases {
+		if got := RootOf(in); got != want {
+			t.Errorf("RootOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRouteSingleAndCrossShard: all-same-shard args route cleanly;
+// mixed-shard args are rejected with the typed cross-shard code; no
+// path args fall back to hashing the procedure name.
+func TestRouteSingleAndCrossShard(t *testing.T) {
+	m := NewMap(4)
+	r := NewRouter(m)
+
+	// Find two roots on different shards and one more on the first's.
+	roots := syntheticRoots(64)
+	var a, b, a2 string
+	for _, k := range roots {
+		switch {
+		case a == "":
+			a = k
+		case m.Shard(k) == m.Shard(a) && a2 == "":
+			a2 = k
+		case m.Shard(k) != m.Shard(a) && b == "":
+			b = k
+		}
+	}
+	if a == "" || a2 == "" || b == "" {
+		t.Fatal("could not find suitable roots (degenerate hash distribution?)")
+	}
+
+	s, err := r.Route("spawnVM", []string{a, a2 + "/vm1", "vm1", "1024"})
+	if err != nil {
+		t.Fatalf("single-shard route: %v", err)
+	}
+	if s != m.Shard(a) {
+		t.Fatalf("routed to %d, want %d", s, m.Shard(a))
+	}
+
+	if _, err := r.Route("spawnVM", []string{a, b, "vm1"}); !errors.Is(err, trerr.ShardCrossShard) {
+		t.Fatalf("cross-shard route error = %v, want code %q", err, trerr.ShardCrossShard)
+	}
+
+	s1, err := r.Route("noPaths", []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Route("noPaths", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("path-less routing is not deterministic: %d vs %d", s1, s2)
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	const shards = 8
+	for _, local := range []string{"t-0000000042", "t-s3c00000007"} {
+		for s := 0; s < shards; s++ {
+			id := FormatID(s, local)
+			gs, gl, ok := ParseID(id, shards)
+			if !ok || gs != s || gl != local {
+				t.Fatalf("ParseID(FormatID(%d, %q)) = (%d, %q, %v)", s, local, gs, gl, ok)
+			}
+		}
+	}
+	for _, bad := range []string{"", "t-0000000042", "s-t-1", "s9-t-1", "sx-t-1", "s2-", "s2"} {
+		if _, _, ok := ParseID(bad, 8); ok {
+			t.Errorf("ParseID(%q) unexpectedly ok", bad)
+		}
+	}
+}

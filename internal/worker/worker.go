@@ -325,11 +325,13 @@ func (w *Worker) report(txnPath string, outcome txn.State, outcomeErr error, und
 }
 
 func (w *Worker) currentSignal(txnPath string) (txn.Signal, error) {
-	rec, _, err := w.loadTxn(txnPath)
+	data, _, err := w.cli.Get(txnPath)
 	if err != nil {
 		return txn.SignalNone, err
 	}
-	return rec.Signal, nil
+	// Signal-only decode: this runs before every physical action, and
+	// the full record (log, history) is irrelevant here.
+	return txn.DecodeSignal(data)
 }
 
 func (w *Worker) loadTxn(path string) (*txn.Txn, store.Stat, error) {

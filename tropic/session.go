@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/proto"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/tropic/trerr"
 )
@@ -90,7 +93,16 @@ const (
 // order, filtered by state and procedure. Per-request work is bounded:
 // at most listScanCap records are examined, so a filter that matches
 // nothing costs O(scan cap), not O(all records).
+//
+// On a sharded platform, listing walks the shards in index order:
+// all of shard 0's matching records (ascending local id), then shard
+// 1's, and so on. Cursors encode the shard being walked plus its local
+// cursor ("s<shard>:<local>"), so one iteration covers every shard
+// exactly once; ordering is per-shard, not global submission order.
 func (c *Client) List(opts ListOptions) (*TxnPage, error) {
+	if c.sharded() {
+		return c.listSharded(opts)
+	}
 	limit := opts.Limit
 	if limit <= 0 {
 		limit = listDefaultLimit
@@ -142,6 +154,62 @@ func (c *Client) List(opts ListOptions) (*TxnPage, error) {
 	return page, nil
 }
 
+// listSharded merges cursor pagination across shards: it serves each
+// page from one shard's sub-client and hands out a composite cursor
+// naming the next position — within the same shard while it has more
+// records, then the start of the next shard.
+func (c *Client) listSharded(opts ListOptions) (*TxnPage, error) {
+	s, local := 0, ""
+	if opts.Cursor != "" {
+		var ok bool
+		s, local, ok = parseShardCursor(opts.Cursor, len(c.subs))
+		if !ok {
+			return nil, trerr.Newf(trerr.APIBadRequest,
+				"tropic: list: malformed cursor %q", opts.Cursor).With("cursor", opts.Cursor)
+		}
+	}
+	lopts := opts
+	lopts.Cursor = local
+	page, err := c.subs[s].List(lopts)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range page.Txns {
+		rec.ID = shard.FormatID(s, rec.ID)
+	}
+	switch {
+	case page.NextCursor != "":
+		page.NextCursor = formatShardCursor(s, page.NextCursor)
+	case s+1 < len(c.subs):
+		// This shard is exhausted; resume at the next one. The page may
+		// be short (even empty) with a cursor still set — the documented
+		// TxnPage contract.
+		page.NextCursor = formatShardCursor(s+1, "")
+	}
+	return page, nil
+}
+
+// formatShardCursor and parseShardCursor encode a shard-qualified List
+// position. The format is opaque to callers (cursors round-trip).
+func formatShardCursor(shardIdx int, local string) string {
+	return fmt.Sprintf("s%d:%s", shardIdx, local)
+}
+
+func parseShardCursor(cursor string, shards int) (shardIdx int, local string, ok bool) {
+	if len(cursor) < 2 || cursor[0] != 's' {
+		return 0, "", false
+	}
+	colon := strings.IndexByte(cursor, ':')
+	if colon <= 1 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(cursor[1:colon])
+	if err != nil || n < 0 || n >= shards {
+		return 0, "", false
+	}
+	return n, cursor[colon+1:], true
+}
+
 // WatchTxn streams the transaction's state transitions: the current
 // state immediately, then every observed change, ending with the
 // terminal record, after which the channel closes. Transitions faster
@@ -149,6 +217,29 @@ func (c *Client) List(opts ListOptions) (*TxnPage, error) {
 // successor; the terminal state is always delivered. An unknown id
 // fails synchronously with trerr.TxnNotFound.
 func (c *Client) WatchTxn(ctx context.Context, id string) (<-chan *Txn, error) {
+	if c.sharded() {
+		sub, s, local, err := c.resolveID(id)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := sub.WatchTxn(ctx, local)
+		if err != nil {
+			return nil, err
+		}
+		out := make(chan *Txn, 8)
+		go func() {
+			defer close(out)
+			for rec := range ch {
+				rec.ID = shard.FormatID(s, rec.ID)
+				select {
+				case out <- rec:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return out, nil
+	}
 	path := proto.TxnsPath + "/" + id
 	watch, err := c.cli.WatchNode(path)
 	if err != nil {
@@ -310,6 +401,14 @@ func ValidIdempotencyKey(key string) bool {
 // (trerr.SubmitIdempotencyPending). An empty key degrades to a plain
 // Submit.
 //
+// On a sharded platform the key's registry lives on the shard the
+// submission's ARGUMENTS route to, so dedup and reuse detection hold
+// for resubmissions of the same key+args (and for mismatched args that
+// still route to the same shard). Reusing a key with arguments that
+// route to a DIFFERENT shard is outside the guard: it lands on a shard
+// that never saw the key and executes as a first submission. See
+// docs/sharding.md.
+//
 // The in-flight claim is an ephemeral node — a claimant that crashes
 // before recording its id releases the key with its session instead of
 // wedging it forever — while the recorded id entry is persistent, so
@@ -325,6 +424,22 @@ func (c *Client) SubmitIdempotent(ctx context.Context, key, proc string, args ..
 	}
 	if err := c.ValidateProc(proc); err != nil {
 		return "", false, err
+	}
+	if c.sharded() {
+		// The key lives on the shard the arguments route to, so
+		// resubmissions of the same (key, args) always consult the same
+		// shard's registry. A key reused with different arguments that
+		// route to a DIFFERENT shard cannot be detected as reuse — the
+		// dedup scope is per shard (see docs/sharding.md).
+		s, err := c.router.Route(proc, args)
+		if err != nil {
+			return "", false, err
+		}
+		id, deduped, err := c.subs[s].SubmitIdempotent(ctx, key, proc, args...)
+		if err != nil {
+			return "", false, err
+		}
+		return shard.FormatID(s, id), deduped, nil
 	}
 	if err := c.cli.EnsurePath(proto.IdempotencyPath); err != nil {
 		return "", false, err

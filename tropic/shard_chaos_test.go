@@ -1,0 +1,245 @@
+package tropic_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// countingExecutor wraps a device cloud and counts every Execute
+// invocation by its full (action, path, args) signature. The chaos
+// workload gives every transaction globally unique VM and image names,
+// so each signature belongs to exactly one transaction's log record —
+// a count above 1 means a phyQ entry was executed more than once.
+type countingExecutor struct {
+	inner tropic.Executor
+
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func newCountingExecutor(inner tropic.Executor) *countingExecutor {
+	return &countingExecutor{inner: inner, counts: make(map[string]int)}
+}
+
+func (e *countingExecutor) Execute(path, action string, args []string) error {
+	key := action + " " + path + " " + strings.Join(args, ",")
+	e.mu.Lock()
+	e.counts[key]++
+	e.mu.Unlock()
+	return e.inner.Execute(path, action, args)
+}
+
+// duplicates returns every signature executed more than once.
+func (e *countingExecutor) duplicates() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for k, n := range e.counts {
+		if n > 1 {
+			out = append(out, fmt.Sprintf("%s ×%d", k, n))
+		}
+	}
+	return out
+}
+
+func (e *countingExecutor) count(key string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counts[key]
+}
+
+// chaosFaultActions is the pool the per-shard schedules draw from:
+// forward spawn actions (clean aborts via successful undos) AND one
+// undo action (turning some aborts into failed + inconsistency marks),
+// the full §4 volatility menu.
+var chaosFaultActions = []string{"cloneImage", "importImage", "createVM", "startVM", "unimportImage"}
+
+// TestShardedChaos is the cross-shard chaos suite: a sharded platform
+// under per-shard seeded device-fault schedules plus a mid-run leader
+// kill on EVERY shard. Invariants checked per shard afterwards:
+//
+//   - every submitted transaction reaches a terminal state;
+//   - exactly-once phyQ execution: no device-action signature runs
+//     twice (no duplicated or replayed phyQ entries across failover);
+//   - committed transactions' effects are present in the recovered
+//     leader's logical model; aborted ones' are absent;
+//   - no orphaned locks on any shard's recovered lock table;
+//   - all queues drain to empty.
+func TestShardedChaos(t *testing.T) {
+	const (
+		shards = 3
+		hosts  = 12
+		rounds = 4
+		seed   = 2012
+	)
+	tp := tcloud.Topology{ComputeHosts: hosts, ComputePerStorage: 1}
+
+	// Per-shard device clouds with per-shard seeded fault schedules.
+	// Each shard's schedule is drawn independently: two probabilistic
+	// rules over the action pool plus one delay rule, so shards abort,
+	// fail, and stall differently but reproducibly.
+	rng := rand.New(rand.NewSource(seed))
+	execs := make([]tropic.Executor, shards)
+	counters := make([]*countingExecutor, shards)
+	for i := 0; i < shards; i++ {
+		cloud, err := tp.BuildCloud()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cloud.SetActionLatency(2 * time.Millisecond)
+		inj := device.NewInjector(rng.Int63())
+		for r := 0; r < 2; r++ {
+			inj.Add(device.FaultRule{
+				Action:      chaosFaultActions[rng.Intn(len(chaosFaultActions))],
+				Probability: 0.05 + 0.10*rng.Float64(),
+				Err:         fmt.Sprintf("chaos s%d r%d", i, r),
+			})
+		}
+		inj.Add(device.FaultRule{
+			Action: chaosFaultActions[rng.Intn(len(chaosFaultActions))],
+			Delay:  time.Duration(1+rng.Intn(4)) * time.Millisecond,
+		})
+		cloud.SetFaultInjector(inj)
+		counters[i] = newCountingExecutor(cloud)
+		execs[i] = counters[i]
+	}
+
+	p, err := tropic.New(tropic.Config{
+		Schema:         tcloud.NewSchema(),
+		Procedures:     tcloud.Procedures(),
+		Bootstrap:      tp.BuildModel(),
+		ShardExecutors: execs,
+		Shards:         shards,
+		Controllers:    3, // kills need hot standbys on every shard
+		SessionTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	cli := p.Client()
+	defer cli.Close()
+
+	// Shard-local spawn workload: rounds × (every spawnable host), each
+	// VM name globally unique.
+	storage, compute, covered := shardLocalSpawns(t, p, hosts)
+	if len(covered) < 2 {
+		t.Fatalf("workload covers %d shards, want ≥ 2", len(covered))
+	}
+	type spawn struct {
+		id, vm, host string
+		shard        int
+	}
+	var spawns []spawn
+	for r := 0; r < rounds; r++ {
+		for i := range compute {
+			vm := fmt.Sprintf("cvm%d_%d", r, i)
+			id, err := cli.Submit(tcloud.ProcSpawnVM, storage[i], compute[i], vm, "1024")
+			if err != nil {
+				t.Fatalf("submit round %d host %d: %v", r, i, err)
+			}
+			s, _ := p.ShardOf(tcloud.ProcSpawnVM, compute[i])
+			spawns = append(spawns, spawn{id: id, vm: vm, host: compute[i], shard: s})
+		}
+	}
+
+	// Mid-run: once the pipeline is demonstrably flowing, crash every
+	// shard's lead controller. The kills land between grouped flushes of
+	// live batch streams; each shard's followers must take over while
+	// the other shards are themselves failing over.
+	deadline := time.Now().Add(30 * time.Second)
+	for p.WorkerStats().Committed+p.WorkerStats().Aborted+p.WorkerStats().Failed < int64(len(spawns))/4 {
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline never got going")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i := 0; i < shards; i++ {
+		if name := p.KillShardLeader(i); name != "" {
+			t.Logf("killed shard %d leader %s", i, name)
+		}
+	}
+
+	// Every transaction reaches a terminal state on every shard.
+	states := make(map[tropic.State]int)
+	recs := make(map[string]*tropic.Txn, len(spawns))
+	for _, sp := range spawns {
+		rec, err := cli.Wait(ctx, sp.id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", sp.id, err)
+		}
+		if !rec.State.Terminal() {
+			t.Fatalf("txn %s non-terminal: %s", sp.id, rec.State)
+		}
+		states[rec.State]++
+		recs[sp.id] = rec
+	}
+	t.Logf("terminal states across %d txns on %d shards: %v", len(spawns), shards, states)
+	if states[tropic.StateCommitted] == 0 {
+		t.Fatal("chaos schedule committed nothing; faults are implausibly aggressive")
+	}
+
+	// Exactly-once phyQ execution: no action signature ran twice on any
+	// shard, despite the leader kills.
+	for i, ce := range counters {
+		if dups := ce.duplicates(); len(dups) != 0 {
+			t.Fatalf("shard %d executed %d signatures more than once (phyQ duplicated work):\n%s",
+				i, len(dups), strings.Join(dups, "\n"))
+		}
+	}
+
+	// Queues drain on every shard (result notices from the tail of the
+	// run are consumed asynchronously).
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		d := p.QueueDepths()
+		if d.InQ == 0 && d.PhyQ == 0 && d.TodoQ == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queues never drained: %+v", d)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Recovered leaders: correct committed effects, no orphaned locks.
+	for i := 0; i < shards; i++ {
+		lead := p.ShardLeader(i)
+		if lead == nil {
+			t.Fatalf("shard %d has no post-chaos leader", i)
+		}
+		if n := lead.LockManager().LockCount(); n != 0 {
+			t.Fatalf("shard %d leaked %d locks across chaos", i, n)
+		}
+	}
+	for _, sp := range spawns {
+		lead := p.ShardLeader(sp.shard)
+		got := lead.LogicalTree().Exists(sp.host + "/" + sp.vm)
+		want := recs[sp.id].State == tropic.StateCommitted
+		if got != want {
+			t.Fatalf("txn %s (%s): logical model Exists(%s/%s) = %v, want %v",
+				sp.id, recs[sp.id].State, sp.host, sp.vm, got, want)
+		}
+		// A committed spawn's five actions each ran exactly once.
+		if want {
+			key := "startVM " + sp.host + " " + sp.vm
+			if n := counters[sp.shard].count(key); n != 1 {
+				t.Fatalf("committed txn %s: startVM executed %d times", sp.id, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package tropic_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// TestShardedFailoverUnderBatching extends the batch-boundary
+// leader-crash test (internal/controller) to a sharded platform: kill
+// ONE shard's lead controller in the middle of a grouped-commit
+// workload. The other shards must keep committing throughout the
+// victim shard's failover window, the victim shard must finish every
+// transaction after its follower takes over, and no shard may lose or
+// duplicate phyQ work (per-shard device-action counts are exact).
+func TestShardedFailoverUnderBatching(t *testing.T) {
+	const (
+		shards = 2
+		hosts  = 12
+		rounds = 4
+	)
+	p, err := tropic.New(tropic.Config{
+		Schema:     tcloud.NewSchema(),
+		Procedures: tcloud.Procedures(),
+		// Generous storage/memory capacity: the failover window below
+		// hammers one shard-1 host with as many spawns as fit in the
+		// window, and capacity aborts would muddy the availability
+		// assertion.
+		Bootstrap: tcloud.Topology{
+			ComputeHosts: hosts, ComputePerStorage: 1,
+			StorageCapGB: 1 << 20, HostMemMB: 1 << 20,
+		}.BuildModel(),
+		Executor:    tropic.NoopExecutor{Latency: 3 * time.Millisecond},
+		Shards:      shards,
+		Controllers: 3,
+		// A wider failure-detection interval holds the victim shard
+		// leaderless long enough to demonstrate the other shard
+		// committing inside the window.
+		SessionTimeout: 400 * time.Millisecond,
+		BatchMaxOps:    32, // group commit ON — the regression under test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	cli := p.Client()
+	defer cli.Close()
+
+	storage, compute, covered := shardLocalSpawns(t, p, hosts)
+	if len(covered) < shards {
+		t.Fatalf("workload covers %d shards, want %d", len(covered), shards)
+	}
+
+	// Fire a grouped-commit stream at every shard.
+	spawnsPerShard := make(map[int]int)
+	var ids []string
+	for r := 0; r < rounds; r++ {
+		for i := range compute {
+			id, err := cli.Submit(tcloud.ProcSpawnVM, storage[i], compute[i],
+				fmt.Sprintf("fvm%d_%d", r, i), "1024")
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, _ := p.ShardOf(tcloud.ProcSpawnVM, compute[i])
+			spawnsPerShard[s]++
+			ids = append(ids, id)
+		}
+	}
+
+	// Let shard 0 get mid-flight, then crash its leader between grouped
+	// flushes.
+	deadline := time.Now().Add(30 * time.Second)
+	for p.ShardWorker(0).Stats().Committed < int64(spawnsPerShard[0])/4 {
+		if time.Now().After(deadline) {
+			t.Fatal("shard 0 pipeline never got going")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	killed := p.KillShardLeader(0)
+	if killed == "" {
+		t.Fatal("shard 0 has no leader to kill")
+	}
+
+	// While shard 0 is leaderless, the OTHER shard keeps serving: submit
+	// fresh shard-1 transactions end to end inside the failover window.
+	var shard1Storage, shard1Host string
+	for i := range compute {
+		if s, _ := p.ShardOf(tcloud.ProcSpawnVM, compute[i]); s == 1 {
+			shard1Storage, shard1Host = storage[i], compute[i]
+			break
+		}
+	}
+	if shard1Host == "" {
+		t.Fatal("no shard-1 spawn target")
+	}
+	progressed := 0
+	for i := 0; ; i++ {
+		if l := p.ShardLeader(0); l != nil && l.Name() != killed {
+			break // victim shard re-elected; window over
+		}
+		wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+		rec, err := cli.SubmitAndWait(wctx, tcloud.ProcSpawnVM,
+			shard1Storage, shard1Host, fmt.Sprintf("wvm%d", i), "1024")
+		wcancel()
+		if err != nil {
+			t.Fatalf("shard 1 submission during shard 0 failover: %v", err)
+		}
+		if rec.State != tropic.StateCommitted {
+			t.Fatalf("shard 1 txn during failover: %s (%s)", rec.State, rec.Error)
+		}
+		ids = append(ids, rec.ID)
+		spawnsPerShard[1]++
+		progressed++
+	}
+	if progressed == 0 {
+		t.Fatal("no shard-1 transaction completed during shard 0's failover window")
+	}
+	t.Logf("shard 1 committed %d transactions while shard 0 failed over (killed %s)", progressed, killed)
+
+	// Every transaction on every shard reaches committed.
+	for _, id := range ids {
+		rec, err := cli.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if rec.State != tropic.StateCommitted {
+			t.Fatalf("txn %s: %s (%s)", id, rec.State, rec.Error)
+		}
+	}
+
+	// Exactly-once phyQ execution per shard across the crash: spawnVM
+	// replays exactly 5 device actions per committed transaction, so a
+	// lost or duplicated phyQ entry shows up as a count mismatch.
+	for s := 0; s < shards; s++ {
+		want := int64(5 * spawnsPerShard[s])
+		if got := p.ShardWorker(s).Stats().Actions; got != want {
+			t.Fatalf("shard %d device actions = %d, want exactly %d", s, got, want)
+		}
+	}
+	// No orphaned locks anywhere after the dust settles.
+	for s := 0; s < shards; s++ {
+		lead := p.ShardLeader(s)
+		if lead == nil {
+			t.Fatalf("shard %d has no leader after failover", s)
+		}
+		if n := lead.LockManager().LockCount(); n != 0 {
+			t.Fatalf("shard %d leaked %d locks", s, n)
+		}
+	}
+}

@@ -8,7 +8,8 @@ import "net/http"
 //
 // Areas: "api" (gateway request handling), "submit" (submission
 // plumbing), "txn" (transaction lifecycle), "reconcile" (§4
-// reload/repair), "store" (coordination-store operations).
+// reload/repair), "shard" (cross-shard routing), "store"
+// (coordination-store operations).
 var (
 	// APIBadRequest: the request was malformed (bad JSON, missing or
 	// invalid parameter).
@@ -92,6 +93,12 @@ var (
 	// ReconcileUnsupported: the deployment has no reconciler configured.
 	ReconcileUnsupported = register("reconcile.unsupported", http.StatusNotImplemented,
 		"deployment has no reconciler configured")
+
+	// ShardCrossShard: the submission's resource roots map to more than
+	// one shard of a sharded platform. Each shard is an independent ACID
+	// domain; a transaction must address resources of a single shard.
+	ShardCrossShard = register("shard.cross_shard", http.StatusUnprocessableEntity,
+		"transaction addresses resources owned by different shards")
 
 	// StoreNoNode: the target znode does not exist.
 	StoreNoNode = register("store.no_node", http.StatusNotFound,

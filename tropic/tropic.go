@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/proto"
 	"repro/internal/queue"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/txn"
 	"repro/internal/worker"
@@ -195,22 +197,48 @@ type Config struct {
 	// WorkerClaimBatch is how many phyQ entries one worker thread claims
 	// per store round trip (default 4 when batching, 1 otherwise).
 	WorkerClaimBatch int
+	// Shards partitions the platform horizontally into this many
+	// independent shards (default 1: the paper's single-ensemble
+	// deployment). Each shard runs its own coordination-store ensemble
+	// (with its own WAL under DataDir/shard-NN when durable), controller
+	// replicas with their own leader election, queue namespaces, and
+	// worker pool; a consistent-hash router assigns every transaction to
+	// the shard owning its resource roots. Transactions spanning shards
+	// are rejected with trerr.ShardCrossShard — each shard is an
+	// independent ACID domain. See docs/sharding.md.
+	Shards int
+	// ShardExecutors optionally assigns one Executor per shard (length
+	// must equal the resolved shard count). Nil shares Executor across
+	// all shards — the usual deployment, where shards partition the
+	// control plane over one device substrate.
+	ShardExecutors []Executor
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
 
-// Platform is a running TROPIC deployment.
+// Platform is a running TROPIC deployment: one shard (the paper's
+// deployment) or several independent shards behind a consistent-hash
+// router (Config.Shards).
 type Platform struct {
-	cfg  Config
-	ens  *store.Ensemble
-	ctrl []*controller.Controller
-	wrk  *worker.Worker
+	cfg    Config
+	units  []*shardUnit
+	router *shard.Router // nil when Shards == 1
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
 	mu      sync.Mutex
 	started bool
+}
+
+// shardUnit is one shard's full pipeline: its own store ensemble,
+// controller replicas (with their own leader election), and worker
+// pool. Shards share nothing but the process.
+type shardUnit struct {
+	index int
+	ens   *store.Ensemble
+	ctrl  []*controller.Controller
+	wrk   *worker.Worker
 
 	// depthCli lazily holds a store session for queue-depth sampling;
 	// gauges retain the latest sampled depths.
@@ -255,24 +283,59 @@ func New(cfg Config) (*Platform, error) {
 			cfg.WorkerClaimBatch = 1
 		}
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.ShardExecutors != nil && len(cfg.ShardExecutors) != cfg.Shards {
+		return nil, fmt.Errorf("tropic: Config.ShardExecutors has %d entries for %d shards",
+			len(cfg.ShardExecutors), cfg.Shards)
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	p := &Platform{cfg: cfg}
+	if cfg.Shards > 1 {
+		p.router = shard.NewRouter(shard.NewMap(cfg.Shards))
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		u, err := p.newShardUnit(i)
+		if err != nil {
+			p.closeUnits()
+			return nil, err
+		}
+		p.units = append(p.units, u)
+	}
+	return p, nil
+}
+
+// newShardUnit assembles one shard's ensemble, controllers, and worker.
+func (p *Platform) newShardUnit(i int) (*shardUnit, error) {
+	cfg := p.cfg
+	dataDir := cfg.DataDir
+	namePrefix := ""
+	if cfg.Shards > 1 {
+		// Each shard gets its own WAL/snapshot directory and its own
+		// component names, so logs and on-disk state attribute cleanly.
+		if dataDir != "" {
+			dataDir = filepath.Join(dataDir, fmt.Sprintf("shard-%02d", i))
+		}
+		namePrefix = fmt.Sprintf("s%d-", i)
 	}
 	ens, err := store.OpenEnsemble(store.Config{
 		Replicas:       cfg.StoreReplicas,
 		SessionTimeout: cfg.SessionTimeout,
 		CommitLatency:  cfg.CommitLatency,
-		DataDir:        cfg.DataDir,
+		DataDir:        dataDir,
 		SyncPolicy:     cfg.SyncPolicy,
 		SnapshotEvery:  cfg.SnapshotEvery,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tropic: store: %w", err)
+		return nil, fmt.Errorf("tropic: store (shard %d): %w", i, err)
 	}
-	p := &Platform{cfg: cfg, ens: ens}
-	for i := 0; i < cfg.Controllers; i++ {
+	u := &shardUnit{index: i, ens: ens}
+	for j := 0; j < cfg.Controllers; j++ {
 		c, err := controller.New(controller.Config{
-			Name:            fmt.Sprintf("ctrl-%d", i),
+			Name:            fmt.Sprintf("%sctrl-%d", namePrefix, j),
 			Ensemble:        ens,
 			Schema:          cfg.Schema,
 			Procedures:      cfg.Procedures,
@@ -284,15 +347,19 @@ func New(cfg Config) (*Platform, error) {
 			Logf:            cfg.Logf,
 		})
 		if err != nil {
-			ens.Close()
+			u.close()
 			return nil, err
 		}
-		p.ctrl = append(p.ctrl, c)
+		u.ctrl = append(u.ctrl, c)
+	}
+	executor := cfg.Executor
+	if cfg.ShardExecutors != nil {
+		executor = cfg.ShardExecutors[i]
 	}
 	w, err := worker.New(worker.Config{
-		Name:          "worker-0",
+		Name:          namePrefix + "worker-0",
 		Ensemble:      ens,
-		Executor:      cfg.Executor,
+		Executor:      executor,
 		Threads:       cfg.WorkerThreads,
 		ClaimBatch:    cfg.WorkerClaimBatch,
 		BatchMaxOps:   cfg.BatchMaxOps,
@@ -300,11 +367,34 @@ func New(cfg Config) (*Platform, error) {
 		Logf:          cfg.Logf,
 	})
 	if err != nil {
-		ens.Close()
+		u.close()
 		return nil, err
 	}
-	p.wrk = w
-	return p, nil
+	u.wrk = w
+	return u, nil
+}
+
+// close releases a unit's components (tolerating partial construction).
+func (u *shardUnit) close() error {
+	for _, c := range u.ctrl {
+		c.Close()
+	}
+	if u.wrk != nil {
+		u.wrk.Close()
+	}
+	u.depthMu.Lock()
+	if u.depthCli != nil {
+		u.depthCli.Close()
+		u.depthCli = nil
+	}
+	u.depthMu.Unlock()
+	return u.ens.Close()
+}
+
+func (p *Platform) closeUnits() {
+	for _, u := range p.units {
+		_ = u.close()
+	}
 }
 
 // Start launches controllers and workers and returns once a leader is
@@ -320,30 +410,40 @@ func (p *Platform) Start(ctx context.Context) error {
 
 	runCtx, cancel := context.WithCancel(context.Background())
 	p.cancel = cancel
-	for _, c := range p.ctrl {
-		c := c
+	for _, u := range p.units {
+		u := u
+		for _, c := range u.ctrl {
+			c := c
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				if err := c.Run(runCtx); err != nil && !errors.Is(err, context.Canceled) {
+					p.cfg.Logf("tropic: controller exited: %v", err)
+				}
+			}()
+		}
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			if err := c.Run(runCtx); err != nil && !errors.Is(err, context.Canceled) {
-				p.cfg.Logf("tropic: controller exited: %v", err)
+			if err := u.wrk.Run(runCtx); err != nil && !errors.Is(err, context.Canceled) {
+				p.cfg.Logf("tropic: worker exited: %v", err)
 			}
 		}()
 	}
-	p.wg.Add(1)
-	go func() {
-		defer p.wg.Done()
-		if err := p.wrk.Run(runCtx); err != nil && !errors.Is(err, context.Canceled) {
-			p.cfg.Logf("tropic: worker exited: %v", err)
-		}
-	}()
 	return p.WaitLeader(ctx)
 }
 
-// WaitLeader blocks until some controller is leading.
+// WaitLeader blocks until every shard has a leading controller.
 func (p *Platform) WaitLeader(ctx context.Context) error {
 	for {
-		if p.Leader() != nil {
+		ready := true
+		for i := range p.units {
+			if p.ShardLeader(i) == nil {
+				ready = false
+				break
+			}
+		}
+		if ready {
 			return nil
 		}
 		select {
@@ -354,9 +454,16 @@ func (p *Platform) WaitLeader(ctx context.Context) error {
 	}
 }
 
-// Leader returns the currently leading controller, or nil.
-func (p *Platform) Leader() *controller.Controller {
-	for _, c := range p.ctrl {
+// Leader returns shard 0's currently leading controller, or nil. Use
+// ShardLeader for the other shards of a sharded platform.
+func (p *Platform) Leader() *controller.Controller { return p.ShardLeader(0) }
+
+// ShardLeader returns the leading controller of shard i, or nil.
+func (p *Platform) ShardLeader(i int) *controller.Controller {
+	if i < 0 || i >= len(p.units) {
+		return nil
+	}
+	for _, c := range p.units[i].ctrl {
 		if c.Leading() {
 			return c
 		}
@@ -364,12 +471,18 @@ func (p *Platform) Leader() *controller.Controller {
 	return nil
 }
 
-// KillLeader crashes the current leader (no graceful cleanup — its
-// election node lingers until the store's session timeout, as for a
-// real machine failure). Returns the killed controller's name, or ""
+// KillLeader crashes shard 0's current leader (no graceful cleanup —
+// its election node lingers until the store's session timeout, as for
+// a real machine failure). Returns the killed controller's name, or ""
 // when no leader is up.
-func (p *Platform) KillLeader() string {
-	c := p.Leader()
+func (p *Platform) KillLeader() string { return p.KillShardLeader(0) }
+
+// KillShardLeader crashes shard i's current leader; the shard's
+// followers take over after failure detection while every other shard
+// keeps serving undisturbed. Returns the killed controller's name, or
+// "" when the shard has no leader up.
+func (p *Platform) KillShardLeader(i int) string {
+	c := p.ShardLeader(i)
 	if c == nil {
 		return ""
 	}
@@ -378,25 +491,22 @@ func (p *Platform) KillLeader() string {
 	return name
 }
 
-// Stop shuts the platform down: controllers, workers, then the store.
-// The returned error reports a failed final WAL flush (only possible
-// with Config.DataDir); the shutdown itself always completes.
+// Stop shuts the platform down: every shard's controllers, workers,
+// then its store. The returned error reports the first failed final WAL
+// flush (only possible with Config.DataDir); the shutdown itself always
+// completes on every shard.
 func (p *Platform) Stop() error {
 	if p.cancel != nil {
 		p.cancel()
 	}
 	p.wg.Wait()
-	for _, c := range p.ctrl {
-		c.Close()
+	var firstErr error
+	for _, u := range p.units {
+		if err := u.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	p.wrk.Close()
-	p.depthMu.Lock()
-	if p.depthCli != nil {
-		p.depthCli.Close()
-		p.depthCli = nil
-	}
-	p.depthMu.Unlock()
-	return p.ens.Close()
+	return firstErr
 }
 
 // PipelineInfo is the batching configuration in effect, surfaced through
@@ -406,6 +516,9 @@ type PipelineInfo struct {
 	BatchMaxDelayMs  float64 `json:"batchMaxDelayMs"`
 	WorkerClaimBatch int     `json:"workerClaimBatch"`
 	WorkerThreads    int     `json:"workerThreads"`
+	// Shards is the number of independent shard pipelines (1 =
+	// unsharded); the per-pipeline knobs above apply to each shard.
+	Shards int `json:"shards"`
 }
 
 // PipelineInfo reports the resolved batching configuration.
@@ -415,22 +528,37 @@ func (p *Platform) PipelineInfo() PipelineInfo {
 		BatchMaxDelayMs:  float64(p.cfg.BatchMaxDelay) / float64(time.Millisecond),
 		WorkerClaimBatch: p.cfg.WorkerClaimBatch,
 		WorkerThreads:    p.cfg.WorkerThreads,
+		Shards:           p.cfg.Shards,
 	}
 }
 
-// QueueDepths samples the depths of the three pipeline queues: inputQ
-// and phyQ are counted live from the store, todoQ from the leading
-// controller's gauge (0 while no leader is up). The canonical
-// back-pressure signal: a growing inQ means the controller is the
-// bottleneck, a growing phyQ means the workers are.
+// QueueDepths samples the depths of the three pipeline queues, summed
+// across every shard: inputQ and phyQ are counted live from each
+// shard's store, todoQ from each shard's leading controller gauge (0
+// while no leader is up). The canonical back-pressure signal: a growing
+// inQ means the controllers are the bottleneck, a growing phyQ means
+// the workers are.
 func (p *Platform) QueueDepths() metrics.QueueDepths {
-	p.depthMu.Lock()
-	defer p.depthMu.Unlock()
-	if p.depthCli == nil {
-		p.depthCli = p.ens.Connect()
+	var total metrics.QueueDepths
+	for i := range p.units {
+		d := p.ShardQueueDepths(i)
+		total.InQ += d.InQ
+		total.TodoQ += d.TodoQ
+		total.PhyQ += d.PhyQ
+	}
+	return total
+}
+
+// ShardQueueDepths samples shard i's pipeline queue depths.
+func (p *Platform) ShardQueueDepths(i int) metrics.QueueDepths {
+	u := p.units[i]
+	u.depthMu.Lock()
+	defer u.depthMu.Unlock()
+	if u.depthCli == nil {
+		u.depthCli = u.ens.Connect()
 	}
 	count := func(path string) int64 {
-		names, err := p.depthCli.Children(path)
+		names, err := u.depthCli.Children(path)
 		if err != nil {
 			return 0
 		}
@@ -442,28 +570,74 @@ func (p *Platform) QueueDepths() metrics.QueueDepths {
 		}
 		return n
 	}
-	p.gauges.InQ.Set(count(proto.InputQPath))
-	p.gauges.PhyQ.Set(count(proto.PhyQPath))
-	if l := p.Leader(); l != nil {
-		p.gauges.TodoQ.Set(l.TodoDepth())
+	u.gauges.InQ.Set(count(proto.InputQPath))
+	u.gauges.PhyQ.Set(count(proto.PhyQPath))
+	if l := p.ShardLeader(i); l != nil {
+		u.gauges.TodoQ.Set(l.TodoDepth())
 	}
-	return p.gauges.Snapshot()
+	return u.gauges.Snapshot()
 }
 
-// Ensemble exposes the coordination store for fault-injection in tests
-// and benchmarks.
-func (p *Platform) Ensemble() *store.Ensemble { return p.ens }
+// NumShards returns the number of shards (1 when unsharded).
+func (p *Platform) NumShards() int { return len(p.units) }
 
-// Controllers exposes the controller replicas (for HA experiments).
-func (p *Platform) Controllers() []*controller.Controller { return p.ctrl }
+// ShardOf resolves which shard a submission with these arguments would
+// route to. Unsharded platforms always answer 0; sharded platforms
+// report trerr.ShardCrossShard for argument sets spanning shards. Used
+// by workload generators and tests to build shard-local work.
+func (p *Platform) ShardOf(proc string, args ...string) (int, error) {
+	if p.router == nil {
+		return 0, nil
+	}
+	return p.router.Route(proc, args)
+}
 
-// Worker exposes the physical worker (for stats).
-func (p *Platform) Worker() *worker.Worker { return p.wrk }
+// Ensemble exposes shard 0's coordination store for fault-injection in
+// tests and benchmarks. Use ShardEnsemble for the other shards.
+func (p *Platform) Ensemble() *store.Ensemble { return p.units[0].ens }
 
-// ControllerStats sums stats across all controller replicas.
+// ShardEnsemble exposes shard i's coordination store.
+func (p *Platform) ShardEnsemble(i int) *store.Ensemble { return p.units[i].ens }
+
+// Controllers exposes every controller replica across all shards (for
+// HA experiments and stats).
+func (p *Platform) Controllers() []*controller.Controller {
+	var out []*controller.Controller
+	for _, u := range p.units {
+		out = append(out, u.ctrl...)
+	}
+	return out
+}
+
+// ShardControllers exposes shard i's controller replicas.
+func (p *Platform) ShardControllers(i int) []*controller.Controller { return p.units[i].ctrl }
+
+// Worker exposes shard 0's physical worker. Use ShardWorker for the
+// other shards, or WorkerStats for the platform-wide aggregate.
+func (p *Platform) Worker() *worker.Worker { return p.units[0].wrk }
+
+// ShardWorker exposes shard i's physical worker.
+func (p *Platform) ShardWorker(i int) *worker.Worker { return p.units[i].wrk }
+
+// WorkerStats sums worker activity across every shard.
+func (p *Platform) WorkerStats() worker.Stats {
+	var total worker.Stats
+	for _, u := range p.units {
+		s := u.wrk.Stats()
+		total.Committed += s.Committed
+		total.Aborted += s.Aborted
+		total.Failed += s.Failed
+		total.Actions += s.Actions
+		total.Undos += s.Undos
+	}
+	return total
+}
+
+// ControllerStats sums stats across all controller replicas of every
+// shard.
 func (p *Platform) ControllerStats() controller.Stats {
 	var total controller.Stats
-	for _, c := range p.ctrl {
+	for _, c := range p.Controllers() {
 		s := c.Stats()
 		total.Accepted += s.Accepted
 		total.Committed += s.Committed
@@ -490,16 +664,28 @@ func (p *Platform) ControllerStats() controller.Stats {
 	return total
 }
 
-// Client opens a new client session against the platform.
+// Client opens a new client session against the platform. On a sharded
+// platform the client holds one store session per shard and routes
+// every call by resource root (submissions) or id prefix (lookups).
 func (p *Platform) Client() *Client {
-	cli := p.ens.Connect()
-	// The submit path's coalescing obeys the same knobs as the rest of
-	// the pipeline.
-	cli.ConfigureBatcher(store.BatcherConfig{
-		MaxOps:   p.cfg.BatchMaxOps,
-		MaxDelay: p.cfg.BatchMaxDelay,
-	})
-	return &Client{cli: cli, procs: p.cfg.Procedures, batched: p.cfg.BatchMaxOps > 1}
+	connect := func(u *shardUnit) *Client {
+		cli := u.ens.Connect()
+		// The submit path's coalescing obeys the same knobs as the rest
+		// of the pipeline.
+		cli.ConfigureBatcher(store.BatcherConfig{
+			MaxOps:   p.cfg.BatchMaxOps,
+			MaxDelay: p.cfg.BatchMaxDelay,
+		})
+		return &Client{cli: cli, procs: p.cfg.Procedures, batched: p.cfg.BatchMaxOps > 1}
+	}
+	if p.router == nil {
+		return connect(p.units[0])
+	}
+	c := &Client{router: p.router, procs: p.cfg.Procedures}
+	for _, u := range p.units {
+		c.subs = append(c.subs, connect(u))
+	}
+	return c
 }
 
 // Client submits transactional orchestrations and tracks their outcome,
@@ -520,10 +706,41 @@ type Client struct {
 	// are client-generated rather than sequence-allocated, so record and
 	// notice can ride one atomic commit).
 	seq atomic.Int64
+
+	// router and subs make this a sharded client: router derives the
+	// owning shard of every call and subs holds one single-shard client
+	// per shard. cli is nil in this mode; ids returned to callers are
+	// shard-qualified ("s<shard>-<local id>").
+	router *shard.Router
+	subs   []*Client
 }
 
-// Close releases the client's store session.
-func (c *Client) Close() { c.cli.Close() }
+// sharded reports whether this client fans out over shard sub-clients.
+func (c *Client) sharded() bool { return c.router != nil }
+
+// resolveID splits a shard-qualified id into its owning sub-client and
+// shard-local id. Ids without a well-formed shard prefix cannot name
+// any transaction on a sharded platform and are reported as
+// trerr.TxnNotFound.
+func (c *Client) resolveID(id string) (*Client, int, string, error) {
+	s, local, ok := shard.ParseID(id, len(c.subs))
+	if !ok {
+		return nil, 0, "", trerr.Newf(trerr.TxnNotFound,
+			"tropic: transaction %q not found (sharded ids carry an s<shard>- prefix)", id).With("id", id)
+	}
+	return c.subs[s], s, local, nil
+}
+
+// Close releases the client's store session(s).
+func (c *Client) Close() {
+	if c.sharded() {
+		for _, sub := range c.subs {
+			sub.Close()
+		}
+		return
+	}
+	c.cli.Close()
+}
 
 // ValidateProc rejects submissions that could never execute: an empty
 // procedure name (submit.invalid_args) or one missing from the registry
@@ -548,6 +765,20 @@ func (c *Client) ValidateProc(proc string) error {
 func (c *Client) Submit(proc string, args ...string) (string, error) {
 	if err := c.ValidateProc(proc); err != nil {
 		return "", err
+	}
+	if c.sharded() {
+		// Route by the submission's resource roots; a transaction
+		// spanning shards is rejected here (trerr.ShardCrossShard) —
+		// each shard is an independent ACID domain.
+		s, err := c.router.Route(proc, args)
+		if err != nil {
+			return "", err
+		}
+		id, err := c.subs[s].Submit(proc, args...)
+		if err != nil {
+			return "", err
+		}
+		return shard.FormatID(s, id), nil
 	}
 	now := time.Now()
 	rec := &txn.Txn{
@@ -594,6 +825,18 @@ func (c *Client) Get(id string) (*Txn, error) {
 	if id == "" {
 		return nil, trerr.New(trerr.APIBadRequest, "tropic: get: missing transaction id")
 	}
+	if c.sharded() {
+		sub, s, local, err := c.resolveID(id)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := sub.Get(local)
+		if err != nil {
+			return nil, err
+		}
+		rec.ID = shard.FormatID(s, rec.ID)
+		return rec, nil
+	}
 	data, _, err := c.cli.Get(proto.TxnsPath + "/" + id)
 	if err != nil {
 		if errors.Is(err, store.ErrNoNode) {
@@ -615,6 +858,18 @@ func (c *Client) Get(id string) (*Txn, error) {
 // trerr.TxnNotFound; an elapsed deadline as trerr.TxnWaitTimeout (with
 // context.DeadlineExceeded still in the chain).
 func (c *Client) Wait(ctx context.Context, id string) (*Txn, error) {
+	if c.sharded() {
+		sub, s, local, err := c.resolveID(id)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := sub.Wait(ctx, local)
+		if err != nil {
+			return nil, err
+		}
+		rec.ID = shard.FormatID(s, rec.ID)
+		return rec, nil
+	}
 	path := proto.TxnsPath + "/" + id
 	for {
 		watch, err := c.cli.WatchNode(path)
@@ -673,6 +928,12 @@ func (c *Client) Repair(ctx context.Context, target string) error {
 }
 
 func (c *Client) reconcileRequest(ctx context.Context, kind proto.MsgKind, target string) error {
+	if c.sharded() {
+		// Reconciliation is a per-shard operation: the target subtree's
+		// resource root names the shard whose logical layer must
+		// resynchronize.
+		return c.subs[c.router.RouteTarget(target)].reconcileRequest(ctx, kind, target)
+	}
 	if err := c.cli.EnsurePath(proto.RepliesPath); err != nil {
 		return err
 	}
@@ -726,6 +987,13 @@ func (c *Client) Signal(id string, sig txn.Signal) error {
 	if sig != txn.SignalTerm && sig != txn.SignalKill {
 		return trerr.Newf(trerr.TxnInvalidSignal,
 			"tropic: signal %q: signal must be TERM or KILL", sig)
+	}
+	if c.sharded() {
+		sub, _, local, err := c.resolveID(id)
+		if err != nil {
+			return err
+		}
+		return sub.Signal(local, sig)
 	}
 	if _, err := c.Get(id); err != nil {
 		return err
