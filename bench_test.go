@@ -354,6 +354,37 @@ func BenchmarkShardedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkCrossShardThroughput measures the cost of atomicity across
+// partitions: spanning submissions two-phase-committed over 2 shards
+// (split → prepare/vote → durable decision → per-shard execution →
+// ledger completion) against the same platform's same-shard fast path.
+// The reported overhead is how many single-shard transactions one
+// cross-shard transaction costs in steady state (~5x at defaults: the
+// 2PC exchange serializes several coordinator message rounds that the
+// fast path amortizes into its group commits).
+func BenchmarkCrossShardThroughput(b *testing.B) {
+	ctx := context.Background()
+	var cross, local float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.CrossShard(ctx, exp.CrossShardParams{Shards: 2, Txns: 96})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cross.Committed != res.Cross.Txns || res.Local.Committed != res.Local.Txns {
+			b.Fatalf("committed cross %d/%d local %d/%d",
+				res.Cross.Committed, res.Cross.Txns, res.Local.Committed, res.Local.Txns)
+		}
+		cross += res.Cross.PerSecond
+		local += res.Local.PerSecond
+	}
+	n := float64(b.N)
+	b.ReportMetric(cross/n, "cross-txns/s")
+	b.ReportMetric(local/n, "local-txns/s")
+	if cross > 0 {
+		b.ReportMetric(local/cross, "overhead-x")
+	}
+}
+
 // BenchmarkGroupCommit isolates the store-layer win: concurrent Multi
 // batches committed directly (one proposal round and one WAL fsync
 // each) versus through a Batcher (rounds and fsyncs amortized across

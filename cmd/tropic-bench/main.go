@@ -32,20 +32,22 @@ import (
 
 func main() {
 	var (
-		expName     = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|pipeline|shards|all")
-		full        = flag.Bool("full", false, "paper-scale run (12,500 hosts, full 1-hour trace; takes many minutes)")
-		hosts       = flag.Int("hosts", 400, "compute hosts (logical-only experiments)")
-		mults       = flag.String("mult", "1,2,3,4,5", "comma-separated EC2 load multipliers")
-		window      = flag.String("window", "2700:3000", "trace window seconds from:to")
-		compression = flag.Float64("compression", 10, "trace time compression factor")
-		commitLat   = flag.Duration("commit-latency", 50*time.Microsecond, "simulated store quorum latency")
-		seed        = flag.Int64("seed", 2011, "workload seed")
-		timeout     = flag.Duration("timeout", 30*time.Minute, "overall deadline")
-		pipeTxns    = flag.Int("pipeline-txns", 256, "transactions per pipeline ablation point")
-		pipeBatches = flag.String("pipeline-batches", "1,8,32", "comma-separated pipeline batch sizes")
-		jsonOut     = flag.String("json", "", "write pipeline/shards results as JSON to this file (e.g. BENCH_pipeline.json)")
-		shardTxns   = flag.Int("shards-txns", 256, "transactions per sharded-throughput point")
-		shardCounts = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for -exp shards")
+		expName      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|pipeline|shards|xshard|all")
+		full         = flag.Bool("full", false, "paper-scale run (12,500 hosts, full 1-hour trace; takes many minutes)")
+		hosts        = flag.Int("hosts", 400, "compute hosts (logical-only experiments)")
+		mults        = flag.String("mult", "1,2,3,4,5", "comma-separated EC2 load multipliers")
+		window       = flag.String("window", "2700:3000", "trace window seconds from:to")
+		compression  = flag.Float64("compression", 10, "trace time compression factor")
+		commitLat    = flag.Duration("commit-latency", 50*time.Microsecond, "simulated store quorum latency")
+		seed         = flag.Int64("seed", 2011, "workload seed")
+		timeout      = flag.Duration("timeout", 30*time.Minute, "overall deadline")
+		pipeTxns     = flag.Int("pipeline-txns", 256, "transactions per pipeline ablation point")
+		pipeBatches  = flag.String("pipeline-batches", "1,8,32", "comma-separated pipeline batch sizes")
+		jsonOut      = flag.String("json", "", "write pipeline/shards results as JSON to this file (e.g. BENCH_pipeline.json)")
+		shardTxns    = flag.Int("shards-txns", 256, "transactions per sharded-throughput point")
+		shardCounts  = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for -exp shards")
+		xshardTxns   = flag.Int("xshard-txns", 160, "transactions per workload per cross-shard point")
+		xshardCounts = flag.String("xshard-counts", "1,2,4", "comma-separated shard counts for -exp xshard")
 	)
 	flag.Parse()
 
@@ -133,6 +135,55 @@ func main() {
 			return runShards(ctx, *shardTxns, parseMults(*shardCounts), shardsJSON)
 		})
 	}
+	if all || *expName == "xshard" {
+		xshardJSON := *jsonOut
+		if all {
+			xshardJSON = ""
+		}
+		run("Cross-shard transactions: 2PC throughput/latency vs single-shard", func(ctx context.Context) error {
+			return runCrossShard(ctx, *xshardTxns, parseMults(*xshardCounts), xshardJSON)
+		})
+	}
+}
+
+// runCrossShard sweeps the shard count over the cross-shard 2PC path,
+// printing spanning vs same-shard throughput/latency side by side and
+// optionally writing the points as JSON (CI emits BENCH_xshard.json on
+// every run — the cross-shard overhead trajectory).
+func runCrossShard(ctx context.Context, txns int, counts []int, jsonPath string) error {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4}
+	}
+	type jsonDoc struct {
+		Generated string                 `json:"generated"`
+		Txns      int                    `json:"txns"`
+		Results   []exp.CrossShardResult `json:"results"`
+	}
+	doc := jsonDoc{Generated: time.Now().UTC().Format(time.RFC3339), Txns: txns}
+	fmt.Printf("%-8s %-14s %-14s %-12s %-12s %-12s %s\n",
+		"shards", "cross txns/s", "local txns/s", "overhead", "cross p99", "local p99", "committed (cross/local)")
+	for _, n := range counts {
+		res, err := exp.CrossShard(ctx, exp.CrossShardParams{Shards: n, Txns: txns})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %-14.0f %-14.0f %-12.2f %-12.0f %-12.0f %d/%d of %d\n",
+			n, res.Cross.PerSecond, res.Local.PerSecond, res.OverheadX,
+			res.Cross.P99LatencyMs, res.Local.P99LatencyMs,
+			res.Cross.Committed, res.Local.Committed, res.Cross.Txns)
+		doc.Results = append(doc.Results, res)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 // runShards sweeps the shard count over the end-to-end batched pipeline

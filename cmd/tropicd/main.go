@@ -37,6 +37,7 @@ import (
 	"repro/internal/reconcile"
 	"repro/tcloud"
 	"repro/tropic"
+	"repro/tropic/trerr"
 )
 
 func main() {
@@ -55,28 +56,42 @@ func main() {
 		batchDelay  = flag.Duration("batch-max-delay", 2*time.Millisecond, "async batch flush-latency ceiling")
 		workerClaim = flag.Int("worker-claim", 4, "phyQ items one worker thread claims per store round trip")
 		shards      = flag.Int("shards", 1, "consistent-hash store partitions, each with its own ensemble, controllers, and workers (see docs/sharding.md)")
+		crossShard  = flag.Bool("cross-shard", true, "execute submissions spanning shards as atomic two-phase-commit transactions; false rejects them with shard.cross_shard (see docs/cross-shard.md)")
+		xshardTO    = flag.Duration("xshard-prepare-timeout", 10*time.Second, "cross-shard vote-collection deadline before an in-doubt transaction aborts")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "tropicd ", log.LstdFlags|log.Lmicroseconds)
+	if *shards < 1 {
+		// Reject up front with the same typed code the gateway uses for
+		// malformed input, instead of a zero-value surprise at runtime.
+		logger.Fatalf("-shards: %v", trerr.Newf(trerr.APIBadRequest,
+			"shard count %d must be ≥ 1", *shards))
+	}
 	syncPolicy, err := tropic.ParseSyncPolicy(*syncFlag)
 	if err != nil {
 		logger.Fatalf("-sync: %v", err)
 	}
+	crossShardMode := tropic.CrossShardEnabled
+	if !*crossShard {
+		crossShardMode = tropic.CrossShardDisabled
+	}
 	cfg := tropic.Config{
-		Schema:           tcloud.NewSchema(),
-		Procedures:       tcloud.Procedures(),
-		Controllers:      *controllers,
-		CommitLatency:    *commitLat,
-		SessionTimeout:   *sessionTO,
-		DataDir:          *dataDir,
-		SyncPolicy:       syncPolicy,
-		SnapshotEvery:    *snapEvery,
-		BatchMaxOps:      *batchOps,
-		BatchMaxDelay:    *batchDelay,
-		WorkerClaimBatch: *workerClaim,
-		Shards:           *shards,
-		Logf:             logger.Printf,
+		Schema:               tcloud.NewSchema(),
+		Procedures:           tcloud.Procedures(),
+		Controllers:          *controllers,
+		CommitLatency:        *commitLat,
+		SessionTimeout:       *sessionTO,
+		DataDir:              *dataDir,
+		SyncPolicy:           syncPolicy,
+		SnapshotEvery:        *snapEvery,
+		BatchMaxOps:          *batchOps,
+		BatchMaxDelay:        *batchDelay,
+		WorkerClaimBatch:     *workerClaim,
+		Shards:               *shards,
+		CrossShard:           crossShardMode,
+		XShardPrepareTimeout: *xshardTO,
+		Logf:                 logger.Printf,
 	}
 	tp := tcloud.Topology{ComputeHosts: *hosts}
 	if *logicalOnly {
@@ -114,7 +129,12 @@ func main() {
 		logger.Printf("pipeline: group commit OFF (per-item round trips)")
 	}
 	if n := p.NumShards(); n > 1 {
-		logger.Printf("sharding: %d consistent-hash partitions (per-shard ensembles, elections, queues, workers)", n)
+		if p.PipelineInfo().CrossShard {
+			logger.Printf("sharding: %d consistent-hash partitions, cross-shard 2PC on (prepare timeout %s)",
+				n, *xshardTO)
+		} else {
+			logger.Printf("sharding: %d consistent-hash partitions, cross-shard transactions REJECTED (-cross-shard=false)", n)
+		}
 	}
 	if *dataDir != "" {
 		if ps := p.Ensemble().PersistStats(); ps.Recoveries > 0 {

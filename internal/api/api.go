@@ -21,6 +21,12 @@
 //	                  config, queue depth gauges, API latencies
 //	GET  /healthz     readiness: leader presence and store quorum on
 //	                  EVERY shard (all-or-nothing)
+//
+// On a sharded platform the surface is routing-transparent, including
+// cross-shard transactions (docs/cross-shard.md): submitting a spanning
+// invocation returns the parent id, whose record carries the per-shard
+// child ledger and the durable 2PC decision; children resolve through
+// /v1/txn and /v1/wait by their own "<parent>.c<k>" ids.
 package api
 
 import (
@@ -257,6 +263,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 		st := tropic.State(strings.ToLower(s))
 		switch st {
 		case tropic.StateInitialized, tropic.StateAccepted, tropic.StateStarted,
+			tropic.StatePrepared, tropic.StateDeciding,
 			tropic.StateCommitted, tropic.StateAborted, tropic.StateFailed:
 			opts.State = st
 		default:

@@ -19,7 +19,7 @@ import (
 // newShardedServer runs a logical-only sharded deployment behind the
 // gateway. One storage host per compute host so every shard (almost
 // surely) owns colocated spawn targets.
-func newShardedServer(t *testing.T, shards, hosts int) (*httptest.Server, *tropic.Platform) {
+func newShardedServer(t *testing.T, shards, hosts int, mode tropic.CrossShardMode) (*httptest.Server, *tropic.Platform) {
 	t.Helper()
 	p, err := tropic.New(tropic.Config{
 		Schema:      tcloud.NewSchema(),
@@ -28,6 +28,7 @@ func newShardedServer(t *testing.T, shards, hosts int) (*httptest.Server, *tropi
 		Executor:    tropic.NoopExecutor{},
 		Controllers: 1,
 		Shards:      shards,
+		CrossShard:  mode,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -77,14 +78,15 @@ func shardedSpawnArgs(t *testing.T, p *tropic.Platform, hosts int) [][]string {
 }
 
 // TestAPISharded drives the whole HTTP surface against a sharded
-// platform: submissions route by resource root and return
-// shard-qualified ids, waits and gets resolve through the prefix,
-// /v1/txns merges cursor pagination across shards, a cross-shard
-// submission is a typed 422, and stats/healthz report per-shard
-// sections.
+// platform in the single-shard-only ablation (CrossShardDisabled):
+// submissions route by resource root and return shard-qualified ids,
+// waits and gets resolve through the prefix, /v1/txns merges cursor
+// pagination across shards, a cross-shard submission is a typed 422,
+// and stats/healthz report per-shard sections. (The cross-shard
+// EXECUTION path over HTTP is TestAPICrossShard.)
 func TestAPISharded(t *testing.T) {
 	const shards, hosts = 3, 12
-	srv, p := newShardedServer(t, shards, hosts)
+	srv, p := newShardedServer(t, shards, hosts, tropic.CrossShardDisabled)
 
 	var ids []string
 	for _, args := range shardedSpawnArgs(t, p, hosts) {
@@ -218,13 +220,91 @@ func TestAPISharded(t *testing.T) {
 	}
 }
 
+// TestAPICrossShard drives a spanning submission over HTTP with
+// cross-shard execution enabled (the default): the submit returns a
+// parent id, wait resolves it to committed with a fully-committed child
+// ledger, the children are fetchable through /v1/txn by their own ids,
+// and /v1/stats reports the pipeline as cross-shard capable.
+func TestAPICrossShard(t *testing.T) {
+	const shards, hosts = 3, 12
+	srv, p := newShardedServer(t, shards, hosts, tropic.CrossShardAuto)
+
+	var crossArgs []string
+	for i := 0; i < hosts && crossArgs == nil; i++ {
+		for j := 0; j < hosts; j++ {
+			ss, _ := p.ShardOf(tcloud.ProcSpawnVM, tcloud.StorageHostPath(i))
+			hs, _ := p.ShardOf(tcloud.ProcSpawnVM, tcloud.ComputeHostPath(j))
+			if ss != hs {
+				crossArgs = []string{tcloud.StorageHostPath(i), tcloud.ComputeHostPath(j), "apixvm", "1024"}
+				break
+			}
+		}
+	}
+	if crossArgs == nil {
+		t.Fatal("no cross-shard pair found")
+	}
+	code, body := postJSON(t, srv.URL+"/v1/submit", map[string]any{"proc": "spawnVM", "args": crossArgs})
+	if code != http.StatusOK {
+		t.Fatalf("cross-shard submit: %d %s", code, body)
+	}
+	var res api.SubmitResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	code, body = getJSON(t, srv.URL+"/v1/wait?id="+res.ID)
+	if code != http.StatusOK {
+		t.Fatalf("wait %s: %d %s", res.ID, code, body)
+	}
+	var rec tropic.Txn
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != tropic.StateCommitted {
+		t.Fatalf("parent %s: %s (%s)", res.ID, rec.State, rec.Error)
+	}
+	if len(rec.Children) != 2 {
+		t.Fatalf("parent has %d children, want 2: %+v", len(rec.Children), rec.Children)
+	}
+	for _, ref := range rec.Children {
+		if ref.State != tropic.StateCommitted {
+			t.Fatalf("child %s: %s (%s)", ref.ID, ref.State, ref.Error)
+		}
+		code, body = getJSON(t, srv.URL+"/v1/txn?id="+ref.ID)
+		if code != http.StatusOK {
+			t.Fatalf("get child %s: %d %s", ref.ID, code, body)
+		}
+		var child tropic.Txn
+		if err := json.Unmarshal(body, &child); err != nil {
+			t.Fatal(err)
+		}
+		if child.State != tropic.StateCommitted || child.Parent != res.ID {
+			t.Fatalf("child record %s: state %s parent %q (want committed, %q)",
+				ref.ID, child.State, child.Parent, res.ID)
+		}
+	}
+
+	code, body = getJSON(t, srv.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var stats struct {
+		Pipeline tropic.PipelineInfo `json:"pipeline"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Pipeline.CrossShard {
+		t.Fatalf("pipeline info does not report cross-shard capability: %+v", stats.Pipeline)
+	}
+}
+
 // TestAPIShardedHealthzAllOrNothing: losing ONE shard's quorum flips
 // the whole platform to 503 while naming the sick shard — a partially
 // available platform silently black-holes that shard's resource roots,
 // so readiness must not claim ok.
 func TestAPIShardedHealthzAllOrNothing(t *testing.T) {
 	const shards = 3
-	srv, p := newShardedServer(t, shards, 6)
+	srv, p := newShardedServer(t, shards, 6, tropic.CrossShardAuto)
 
 	// Stop two of shard 1's three store replicas: quorum lost.
 	p.ShardEnsemble(1).StopReplica(0)

@@ -58,6 +58,11 @@ type Config struct {
 	// one store round trip per effect, exactly the pre-batching pipeline
 	// (kept runnable for the ablation benchmarks).
 	BatchMaxOps int
+	// XShard wires the controller into the cross-shard transaction
+	// layer: as coordinator for parents whose plan names this shard
+	// first, and as participant for child prepares. Nil (the default,
+	// and always on unsharded platforms) rejects cross-shard work.
+	XShard *XShardConfig
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -136,6 +141,10 @@ type Controller struct {
 	locks    *lock.Manager
 	todo     []*txn.Txn
 	inFlight map[string]*txn.Txn
+	// prepared tracks cross-shard children that voted yes and hold their
+	// locks awaiting the coordinator's 2PC decision. Like inFlight, it
+	// is leader-only state rebuilt by recover().
+	prepared map[string]*txn.Txn
 	// admitPending holds runnable transactions staged by the current
 	// scheduling round, group-committed by flushAdmissions.
 	admitPending []*txn.Txn
@@ -146,6 +155,11 @@ type Controller struct {
 
 	mu     sync.Mutex // guards stats snapshotting
 	killed atomic.Bool
+
+	// xmu guards the lazily-connected peer-shard sessions used by the
+	// cross-shard layer.
+	xmu    sync.Mutex
+	xpeers map[int]*store.Client
 }
 
 // New connects a controller to the ensemble and ensures the store
@@ -252,11 +266,15 @@ func (c *Controller) Name() string { return c.cfg.Name }
 func (c *Controller) Kill() {
 	c.killed.Store(true)
 	c.cli.Kill()
+	// The crash takes the controller's cross-shard reach with it: a dead
+	// coordinator must not keep delivering prepares or decisions.
+	c.xKillPeers()
 }
 
 // Close releases the controller's session gracefully.
 func (c *Controller) Close() {
 	_ = c.cand.Resign()
+	c.xClosePeers()
 	c.cli.Close()
 }
 
@@ -504,6 +522,24 @@ func (c *Controller) handleRound(r *round, items []queue.Item) error {
 		switch msg.Kind {
 		case proto.KindSubmit:
 			err = c.stageAccept(r, msg, it.Path)
+			if errors.Is(err, errHandleDirect) {
+				// Flush what is staged (preserving queue order), then drive
+				// the message directly.
+				if ferr := c.flushRound(r); ferr != nil {
+					if errFatal(ferr) {
+						return ferr
+					}
+					note(msg.Kind, ferr)
+				}
+				err = c.handle(msg, it.Path)
+			}
+		case proto.KindXVote:
+			// Coordinator ledger updates ride the grouped Multi like
+			// accepts and cleanups; only decide/timeout messages (rare,
+			// with cross-store side effects) are handled directly below.
+			err = c.stageXVote(r, msg, it.Path)
+		case proto.KindXChildDone:
+			err = c.stageXChildDone(r, msg, it.Path)
 		case proto.KindResult:
 			err = c.stageCleanup(r, msg, it.Path)
 		default:
@@ -585,7 +621,7 @@ func (c *Controller) flushRound(r *round) error {
 			continue
 		}
 		c.locks.ReleaseAll(t.ID)
-		if n := len(t.History); n > 0 && t.History[n-1].State == txn.StateStarted {
+		if n := len(t.History); n > 0 && admissionState(t.History[n-1].State) {
 			t.History = t.History[:n-1]
 		}
 		t.State = txn.StateAccepted
@@ -650,7 +686,7 @@ func (c *Controller) scheduleInto(r *round) {
 		t := t
 		r.ops = append(r.ops, c.admissionOps(t)...)
 		r.admitted = append(r.admitted, t)
-		r.after = append(r.after, func() { c.inFlight[t.ID] = t })
+		r.after = append(r.after, func() { c.admitApply(t) })
 	}
 }
 
@@ -668,6 +704,14 @@ func (c *Controller) handle(msg proto.InputMsg, itemPath string) error {
 		return c.accept(msg, itemPath)
 	case proto.KindResult:
 		return c.cleanup(msg, itemPath)
+	case proto.KindXVote:
+		return c.xVote(msg, itemPath)
+	case proto.KindXDecide:
+		return c.xDecide(msg, itemPath)
+	case proto.KindXChildDone:
+		return c.xChildDone(msg, itemPath)
+	case proto.KindXTimeout:
+		return c.xTimeout(msg, itemPath)
 	case proto.KindSignal:
 		if err := c.signal(msg.TxnPath, txn.Signal(msg.Signal)); err != nil {
 			// A signal for a record that does not exist can never
@@ -743,6 +787,11 @@ func (c *Controller) accept(msg proto.InputMsg, itemPath string) error {
 		// by recovery); drop it.
 		return c.inputQ.Remove(itemPath)
 	}
+	if rec.IsParent() {
+		// A cross-shard parent: accepted here, then coordinated via the
+		// 2PC protocol instead of todoQ.
+		return c.xAcceptParent(rec, stat, itemPath)
+	}
 	if err := rec.Transition(txn.StateAccepted); err != nil {
 		return err
 	}
@@ -786,6 +835,12 @@ func (c *Controller) stageAccept(r *round, msg proto.InputMsg, itemPath string) 
 		r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
 			func() error { return c.inputQ.Remove(itemPath) })
 		return nil
+	}
+	if rec.IsParent() {
+		// A cross-shard parent: its accepted write rides this round's
+		// grouped Multi; the prepare fan-out (writes to OTHER shards'
+		// stores, which cannot join this Multi) runs post-flush.
+		return c.stageXAcceptParent(r, rec, stat, msg, itemPath)
 	}
 	if err := rec.Transition(txn.StateAccepted); err != nil {
 		return err
@@ -905,7 +960,16 @@ func (c *Controller) trySchedule(t *txn.Txn, r *round) scheduleOutcome {
 	// and the whole scheduling round's admissions ride one grouped Multi
 	// (group commit of transaction admission); the atomicity guarantee
 	// is unchanged — the group either commits in full or not at all.
-	if err := t.Transition(txn.StateStarted); err != nil {
+	//
+	// A cross-shard CHILD stops at prepared instead: simulation and
+	// locks are its yes-vote, and it enters phyQ only when the
+	// coordinator's commit decision arrives.
+	next := txn.StateStarted
+	if t.IsChild() {
+		c.xMarkForeign(t)
+		next = txn.StatePrepared
+	}
+	if err := t.Transition(next); err != nil {
 		c.locks.ReleaseAll(t.ID)
 		c.abortQueued(t, err, r)
 		return outcomeAborted
@@ -920,13 +984,29 @@ func (c *Controller) trySchedule(t *txn.Txn, r *round) scheduleOutcome {
 // admissionOps builds the persistent half of one transaction's
 // admission: the started-state record write and the phyQ enqueue. Every
 // admission path — per-item, grouped, and fallback — commits exactly
-// these ops, so the paths cannot diverge.
+// these ops, so the paths cannot diverge. A prepared cross-shard child
+// persists only its record: it enters phyQ at decision time, not now.
 func (c *Controller) admissionOps(t *txn.Txn) []store.Op {
 	txnPath := c.txnPath(t.ID)
-	return []store.Op{
-		store.SetOp(txnPath, t.Encode(), -1),
-		c.phyQ.PutOp(proto.PhyMsg{TxnPath: txnPath}.Encode()),
+	ops := []store.Op{store.SetOp(txnPath, t.Encode(), -1)}
+	if t.State != txn.StatePrepared {
+		ops = append(ops, c.phyQ.PutOp(proto.PhyMsg{TxnPath: txnPath}.Encode()))
 	}
+	return ops
+}
+
+// admitApply applies the in-memory half of a persisted admission:
+// started transactions are tracked in flight; prepared cross-shard
+// children are tracked separately and their yes-vote goes out — only
+// after the prepared state is durable, so a vote always implies a
+// recoverable prepare.
+func (c *Controller) admitApply(t *txn.Txn) {
+	if t.State == txn.StatePrepared {
+		c.prepared[t.ID] = t
+		c.xSendVote(t)
+		return
+	}
+	c.inFlight[t.ID] = t
 }
 
 // admitNow persists one runnable transaction's admission (state+log and
@@ -938,9 +1018,9 @@ func (c *Controller) admitNow(t *txn.Txn) scheduleOutcome {
 	if err != nil {
 		c.cfg.Logf("controller %s: start %s: %v", c.cfg.Name, t.ID, err)
 		c.locks.ReleaseAll(t.ID)
-		// The started transition was never persisted; drop its history
-		// stamp so a retry doesn't record it twice.
-		if n := len(t.History); n > 0 && t.History[n-1].State == txn.StateStarted {
+		// The started/prepared transition was never persisted; drop its
+		// history stamp so a retry doesn't record it twice.
+		if n := len(t.History); n > 0 && admissionState(t.History[n-1].State) {
 			t.History = t.History[:n-1]
 		}
 		// Roll the simulation back; the transaction stays accepted and
@@ -953,8 +1033,14 @@ func (c *Controller) admitNow(t *txn.Txn) scheduleOutcome {
 		c.abortQueued(t, err, nil)
 		return outcomeAborted
 	}
-	c.inFlight[t.ID] = t
+	c.admitApply(t)
 	return outcomeRunnable
+}
+
+// admissionState reports states written by the admission paths
+// (unwound together on a failed flush).
+func admissionState(s txn.State) bool {
+	return s == txn.StateStarted || s == txn.StatePrepared
 }
 
 // flushAdmissions group-commits every admission the scheduling round
@@ -978,7 +1064,7 @@ func (c *Controller) flushAdmissions() {
 	c.noteFlush(len(ops), time.Since(start))
 	if err == nil {
 		for _, t := range pending {
-			c.inFlight[t.ID] = t
+			c.admitApply(t)
 		}
 		return
 	}
@@ -1027,6 +1113,11 @@ func (c *Controller) abortQueued(t *txn.Txn, reason error, r *round) {
 		c.mu.Lock()
 		c.stats.Aborted++
 		c.mu.Unlock()
+		// A cross-shard child aborted before it could prepare is a NO
+		// vote; it goes out only after the terminal state is durable.
+		if t.IsChild() {
+			c.xSendVote(t)
+		}
 	}
 	if r != nil {
 		// No per-item fallback: a failed flush reverts the transaction
@@ -1163,6 +1254,9 @@ func (c *Controller) stageCleanup(r *round, msg proto.InputMsg, itemPath string)
 				c.mu.Lock()
 				c.stats.Committed++
 				c.mu.Unlock()
+				if rec.IsChild() {
+					c.xSendChildDone(rec)
+				}
 				c.maybeCheckpoint()
 			},
 			func() error { return c.cleanup(msg, itemPath) },
@@ -1187,6 +1281,11 @@ func (c *Controller) stageCleanup(r *round, msg proto.InputMsg, itemPath string)
 // cleanup paths.
 func (c *Controller) finishCleanup(t, rec *txn.Txn, outcome txn.State) {
 	delete(c.inFlight, rec.ID)
+	// A cross-shard child's terminal outcome feeds the coordinator's
+	// ledger (the parent finalizes when every child has reported).
+	if rec.IsChild() {
+		defer c.xSendChildDone(rec)
+	}
 	switch outcome {
 	case txn.StateCommitted:
 		// ⑤A: logical effects are already in the tree from simulation.
@@ -1226,6 +1325,13 @@ func (c *Controller) signal(txnPath string, sig txn.Signal) error {
 	switch {
 	case rec.State.Terminal():
 		return nil
+	case rec.State == txn.StatePrepared:
+		// A prepared cross-shard child voted yes and may not abort
+		// unilaterally; the client rejects these signals synchronously,
+		// and one racing past that check (prepare landed in between) is
+		// dropped here — the 2PC decision resolves the child either way.
+		c.cfg.Logf("controller %s: dropping %s signal for prepared child %s", c.cfg.Name, sig, rec.ID)
+		return nil
 	case rec.State == txn.StateInitialized || rec.State == txn.StateAccepted:
 		// Not started yet: mark the in-memory copy so schedule() aborts
 		// it before simulation.
@@ -1242,6 +1348,16 @@ func (c *Controller) signal(txnPath string, sig txn.Signal) error {
 			return nil
 		})
 	case rec.State == txn.StateStarted:
+		if rec.IsChild() {
+			// Past the commit decision a cross-shard child MUST commit —
+			// honoring a TERM/KILL here would abort one participant while
+			// its siblings commit, silently breaking the transaction's
+			// atomicity. The client rejects these synchronously; drop the
+			// racer.
+			c.cfg.Logf("controller %s: dropping %s signal for executing cross-shard child %s",
+				c.cfg.Name, sig, rec.ID)
+			return nil
+		}
 		if sig == txn.SignalTerm {
 			// Graceful: ask the worker to stop and roll back; cleanup
 			// happens when its aborted result arrives.
@@ -1363,7 +1479,10 @@ func (c *Controller) ClearInconsistent(path string) {
 // enough commits accumulated and no transaction is in flight (the
 // logical tree then contains exactly the committed state).
 func (c *Controller) maybeCheckpoint() {
-	if c.cfg.CheckpointEvery <= 0 || len(c.inFlight) > 0 {
+	// Prepared cross-shard children block checkpointing like in-flight
+	// transactions: their (uncommitted) simulated effects are in the
+	// tree, and a snapshot must contain exactly the committed state.
+	if c.cfg.CheckpointEvery <= 0 || len(c.inFlight) > 0 || len(c.prepared) > 0 {
 		return
 	}
 	entries, err := c.cli.Children(proto.CommitLogPath)
@@ -1443,6 +1562,7 @@ func (c *Controller) gcTxnRecords() error {
 func (c *Controller) recover() error {
 	c.locks = lock.NewManager()
 	c.inFlight = make(map[string]*txn.Txn)
+	c.prepared = make(map[string]*txn.Txn)
 	c.todo = nil
 
 	// 1. Base snapshot.
@@ -1519,6 +1639,7 @@ func (c *Controller) recover() error {
 		return err
 	}
 	sort.Strings(ids)
+	var xParents, xInDoubt []*txn.Txn
 	for _, id := range ids {
 		path := proto.TxnsPath + "/" + id
 		rec, _, err := c.loadTxn(path)
@@ -1527,6 +1648,14 @@ func (c *Controller) recover() error {
 				continue
 			}
 			return err
+		}
+		if rec.IsParent() {
+			// Cross-shard parents never enter todoQ; the coordinator
+			// resumes them once local state is rebuilt.
+			if !rec.State.Terminal() {
+				xParents = append(xParents, rec)
+			}
+			continue
 		}
 		switch rec.State {
 		case txn.StateInitialized:
@@ -1556,11 +1685,33 @@ func (c *Controller) recover() error {
 				return fmt.Errorf("re-lock in-flight %s: %w", rec.ID, err)
 			}
 			c.inFlight[rec.ID] = rec
+		case txn.StatePrepared:
+			// An in-doubt cross-shard child: re-apply its simulation and
+			// re-take its locks exactly like a started transaction, then
+			// resolve it against the coordinator record below.
+			if err := replayLog(c.ltree, c.cfg.Schema, rec.Log); err != nil {
+				return fmt.Errorf("replay prepared %s: %w", rec.ID, err)
+			}
+			reqs := lockRequestsFromLog(c.ltree, c.cfg.Schema, rec.Log)
+			if err := c.locks.Acquire(rec.ID, reqs); err != nil {
+				return fmt.Errorf("re-lock prepared %s: %w", rec.ID, err)
+			}
+			c.prepared[rec.ID] = rec
+			xInDoubt = append(xInDoubt, rec)
 		}
 	}
+	// Resolve in-doubt prepares against their coordinator records BEFORE
+	// the scheduling pass, so locks released by abort decisions are
+	// immediately claimable; then resume coordination of local parents.
+	for _, rec := range xInDoubt {
+		c.xResolveInDoubt(rec)
+	}
+	for _, rec := range xParents {
+		c.xRecoverParent(rec)
+	}
 	c.schedule()
-	c.cfg.Logf("controller %s: recovered %d in-flight, %d queued, model %d nodes",
-		c.cfg.Name, len(c.inFlight), len(c.todo), c.ltree.Size())
+	c.cfg.Logf("controller %s: recovered %d in-flight, %d prepared, %d queued, model %d nodes",
+		c.cfg.Name, len(c.inFlight), len(c.prepared), len(c.todo), c.ltree.Size())
 	return nil
 }
 

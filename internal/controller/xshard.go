@@ -1,0 +1,1152 @@
+package controller
+
+// Cross-shard two-phase commit (2PC). A submission whose resource roots
+// hash to different shards is split by the client into one PARENT
+// record on the coordinator shard (the lowest-numbered participant)
+// plus one CHILD per participant shard. The coordinator shard's lead
+// controller drives the protocol over the shards' independent
+// coordination stores:
+//
+//	accept parent  → create child records + prepare notices on every
+//	                 participant (one grouped Multi per shard)
+//	participants   → simulate the full procedure, acquire locks, persist
+//	                 state "prepared" (vote yes) or abort (vote no), and
+//	                 report the vote to the coordinator's inputQ
+//	coordinator    → all votes in: write the durable COMMIT/ABORT
+//	                 decision into the parent record (state "deciding"),
+//	                 then deliver it to every prepared child
+//	participants   → commit: prepared → started + phyQ (physical
+//	                 execution of the child's own-shard actions);
+//	                 abort: roll back, release locks
+//	coordinator    → all children terminal: finalize the parent
+//	                 (committed iff every child committed)
+//
+// Crash safety: the decision lives in the parent record, which each
+// shard's store persists and replays like any znode, so a participant
+// leader elected after a crash resolves its in-doubt prepared children
+// by reading the coordinator record (xResolveInDoubt), and a
+// coordinator leader resumes undecided or undelivered parents from its
+// record scan (xRecoverParent). An undecided parent past its prepare
+// deadline is aborted with xshard.indoubt_timeout — the standard 2PC
+// presumed-abort escape hatch — so crashed participants can never
+// strand locks on the survivors.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/queue"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/tropic/trerr"
+)
+
+// XShardConfig wires a controller into the cross-shard transaction
+// layer. Nil disables it: parents and 2PC messages are then rejected
+// (the PR-4 single-shard-only ablation).
+type XShardConfig struct {
+	// Self is this controller's shard index.
+	Self int
+	// Router resolves which shard owns a resource root (foreign-action
+	// marking, parent id parsing).
+	Router *shard.Router
+	// Connect opens a store session on another shard's ensemble. The
+	// controller caches one session per peer shard and closes them with
+	// its own.
+	Connect func(shard int) *store.Client
+	// PrepareTimeout bounds how long an undecided parent may wait for
+	// participant votes before the coordinator aborts it
+	// (xshard.indoubt_timeout). It also paces re-delivery of decisions
+	// to children that have not reported terminal. 0 selects
+	// DefaultPrepareTimeout.
+	PrepareTimeout time.Duration
+	// Hook, when non-nil, observes coordinator protocol milestones
+	// ("prepare_sent" after the prepare fan-out, "decided" after the
+	// durable decision write). Chaos tests use it to crash the leader at
+	// exact protocol points; nil in production.
+	Hook func(event, parentID string)
+}
+
+// DefaultPrepareTimeout is the default vote-collection deadline.
+const DefaultPrepareTimeout = 10 * time.Second
+
+// Coordinator protocol events delivered to XShardConfig.Hook.
+const (
+	XEventPrepareSent = "prepare_sent"
+	XEventDecided     = "decided"
+)
+
+// errHandleDirect tells handleRound a message needs direct (unstaged)
+// handling: flush the round, then route it through handle().
+var errHandleDirect = errors.New("controller: handle message directly")
+
+// xEnabled reports whether this controller participates in cross-shard
+// transactions.
+func (c *Controller) xEnabled() bool { return c.cfg.XShard != nil }
+
+// xTimeoutDur returns the resolved prepare deadline.
+func (c *Controller) xTimeoutDur() time.Duration {
+	if c.cfg.XShard.PrepareTimeout > 0 {
+		return c.cfg.XShard.PrepareTimeout
+	}
+	return DefaultPrepareTimeout
+}
+
+// xHook fires a coordinator protocol event.
+func (c *Controller) xHook(event, parentID string) {
+	if c.cfg.XShard != nil && c.cfg.XShard.Hook != nil {
+		c.cfg.XShard.Hook(event, parentID)
+	}
+}
+
+// xPeer returns a (cached) store session on shard i's ensemble — the
+// controller's own session for its own shard, so a Kill()ed controller
+// loses its cross-shard reach exactly like its local one.
+func (c *Controller) xPeer(i int) (*store.Client, error) {
+	x := c.cfg.XShard
+	if x == nil {
+		return nil, errors.New("controller: cross-shard transactions not configured")
+	}
+	if i == x.Self {
+		return c.cli, nil
+	}
+	c.xmu.Lock()
+	defer c.xmu.Unlock()
+	if c.killed.Load() {
+		return nil, errors.New("controller: killed")
+	}
+	if cli, ok := c.xpeers[i]; ok {
+		return cli, nil
+	}
+	if x.Connect == nil {
+		return nil, fmt.Errorf("controller: no connector for peer shard %d", i)
+	}
+	cli := x.Connect(i)
+	if cli == nil {
+		return nil, fmt.Errorf("controller: cannot connect to peer shard %d", i)
+	}
+	if c.xpeers == nil {
+		c.xpeers = make(map[int]*store.Client)
+	}
+	c.xpeers[i] = cli
+	return cli, nil
+}
+
+// xKillPeers simulates the crash of this controller's cross-shard
+// sessions alongside its own.
+func (c *Controller) xKillPeers() {
+	c.xmu.Lock()
+	defer c.xmu.Unlock()
+	for _, cli := range c.xpeers {
+		cli.Kill()
+	}
+}
+
+// xClosePeers releases cached peer sessions.
+func (c *Controller) xClosePeers() {
+	c.xmu.Lock()
+	defer c.xmu.Unlock()
+	for i, cli := range c.xpeers {
+		cli.Close()
+		delete(c.xpeers, i)
+	}
+}
+
+// xEnqueue appends one inputQ item on the given session (a peer shard's
+// queue, or this shard's own for self-addressed deadline checks).
+func xEnqueue(cli *store.Client, msg proto.InputMsg) error {
+	_, err := cli.Create(proto.InputQPath+"/"+queue.ItemPrefix, msg.Encode(), store.FlagSequence)
+	return err
+}
+
+// xSendAsync appends one inputQ item through the session's batcher
+// without blocking the leader loop on the peer shard's quorum latency;
+// concurrent sends coalesce into grouped proposals. Failures are logged
+// rather than returned: every cross-shard message has a recovery
+// backstop (the coordinator's direct ledger sync, the prepare deadline,
+// and participant-side in-doubt resolution), so a lost message costs
+// latency, never correctness.
+func (c *Controller) xSendAsync(cli *store.Client, msg proto.InputMsg, what string) {
+	ch := cli.MultiAsync(store.CreateOp(proto.InputQPath+"/"+queue.ItemPrefix, msg.Encode(), store.FlagSequence))
+	go func() {
+		if err := <-ch; err != nil {
+			c.cfg.Logf("controller %s: %s: %v", c.cfg.Name, what, err)
+		}
+	}()
+}
+
+// --- Coordinator ------------------------------------------------------
+
+// xAcceptParent accepts a cross-shard parent submission and starts the
+// prepare phase: the accepted state is persisted atomically with
+// consuming the submit notice, then child records and prepare notices
+// fan out to every participant shard and the vote-collection deadline
+// is armed.
+func (c *Controller) xAcceptParent(rec *txn.Txn, stat store.Stat, itemPath string) error {
+	if !c.xEnabled() {
+		// A parent record on a platform without the cross-shard layer can
+		// never execute; abort it instead of wedging the queue head.
+		c.cfg.Logf("controller %s: parent %s without cross-shard config, aborting", c.cfg.Name, rec.ID)
+		rec.Error = "platform is not configured for cross-shard transactions"
+		rec.Code = string(trerr.XShardPrepareFailed)
+		if err := rec.Transition(txn.StateAccepted); err != nil {
+			return err
+		}
+		if err := rec.Transition(txn.StateAborted); err != nil {
+			return err
+		}
+		return c.cli.Multi(
+			c.inputQ.RemoveOp(itemPath),
+			store.SetOp(c.txnPath(rec.ID), rec.Encode(), stat.Version),
+		)
+	}
+	if err := rec.Transition(txn.StateAccepted); err != nil {
+		return err
+	}
+	if err := c.cli.Multi(
+		c.inputQ.RemoveOp(itemPath),
+		store.SetOp(c.txnPath(rec.ID), rec.Encode(), stat.Version),
+	); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Accepted++
+	c.mu.Unlock()
+	c.xStartPrepares(rec)
+	return nil
+}
+
+// stageXAcceptParent is the batched form of xAcceptParent: the accepted
+// transition and notice consumption ride the round's grouped Multi, and
+// the prepare fan-out (cross-store writes that cannot join this shard's
+// Multi) runs after the flush lands. A failed flush discards the
+// in-memory transition and replays through the direct path.
+func (c *Controller) stageXAcceptParent(r *round, rec *txn.Txn, stat store.Stat, msg proto.InputMsg, itemPath string) error {
+	if !c.xEnabled() {
+		return errHandleDirect // rare mis-config; the direct path aborts it
+	}
+	if err := rec.Transition(txn.StateAccepted); err != nil {
+		return err
+	}
+	r.staged[msg.TxnPath] = true
+	r.stage(
+		[]store.Op{
+			c.inputQ.RemoveOp(itemPath),
+			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+		},
+		func() {
+			c.mu.Lock()
+			c.stats.Accepted++
+			c.mu.Unlock()
+			c.xStartPrepares(rec)
+		},
+		func() error { return c.accept(msg, itemPath) },
+	)
+	return nil
+}
+
+// xStartPrepares fans the prepare phase out to every participant and
+// arms the vote-collection deadline. Called with the parent's accepted
+// state already durable.
+func (c *Controller) xStartPrepares(rec *txn.Txn) {
+	for k := range rec.Children {
+		if err := c.xSendPrepare(rec, k); err != nil {
+			// A participant that cannot be reached never votes; the
+			// prepare deadline resolves the parent (indoubt abort).
+			c.cfg.Logf("controller %s: prepare %s to shard %d: %v",
+				c.cfg.Name, rec.Children[k].ID, rec.Children[k].Shard, err)
+		}
+	}
+	c.xHook(XEventPrepareSent, rec.ID)
+	c.xArmTimeout(rec.ID)
+}
+
+// xBuildChild materializes the k'th child record of a parent: the full
+// procedure invocation (every child keeps a whole-transaction view and
+// simulates it all; foreign-action marking at prepare time restricts
+// what it executes physically), linked back to the parent and carrying
+// the participant set.
+func (c *Controller) xBuildChild(parent *txn.Txn, k int) *txn.Txn {
+	participants := make([]int, len(parent.Children))
+	for i, ref := range parent.Children {
+		participants[i] = ref.Shard
+	}
+	return &txn.Txn{
+		Proc:         parent.Proc,
+		Args:         parent.Args,
+		State:        txn.StateInitialized,
+		SubmittedAt:  parent.SubmittedAt,
+		History:      []txn.StateStamp{{State: txn.StateInitialized, At: time.Now()}},
+		Parent:       shard.FormatID(c.cfg.XShard.Self, parent.ID),
+		Participants: participants,
+	}
+}
+
+// xSendPrepare persists the k'th child record and its prepare notice on
+// the participant shard in one grouped Multi, asynchronously through
+// that shard's batcher (the leader never blocks on a peer's quorum
+// latency). Idempotent: if the child already exists (coordinator retry
+// or recovery resume), only a fresh notice is sent, which the
+// participant drops if the child has moved past initialized. A send
+// lost to a crash is re-driven by coordinator recovery or resolved by
+// the prepare deadline.
+func (c *Controller) xSendPrepare(parent *txn.Txn, k int) error {
+	ref := parent.Children[k]
+	cli, err := c.xPeer(ref.Shard)
+	if err != nil {
+		return err
+	}
+	childPath := proto.TxnsPath + "/" + ref.ID
+	notice := proto.InputMsg{Kind: proto.KindSubmit, TxnPath: childPath}
+	ch := cli.MultiAsync(
+		store.CreateOp(childPath, c.xBuildChild(parent, k).Encode(), 0),
+		store.CreateOp(proto.InputQPath+"/"+queue.ItemPrefix, notice.Encode(), store.FlagSequence),
+	)
+	go func() {
+		err := <-ch
+		if errors.Is(err, store.ErrNodeExists) {
+			err = xEnqueue(cli, notice)
+		}
+		if err != nil {
+			c.cfg.Logf("controller %s: prepare %s to shard %d: %v", c.cfg.Name, ref.ID, ref.Shard, err)
+		}
+	}()
+	return nil
+}
+
+// xArmTimeout schedules a deadline check for a parent into this shard's
+// own inputQ. The check is processed by whichever controller leads when
+// it fires (the enqueue is just a store write), so a deadline armed by
+// a leader that later crashed still protects the transaction.
+func (c *Controller) xArmTimeout(parentID string) {
+	path := c.txnPath(parentID)
+	time.AfterFunc(c.xTimeoutDur(), func() {
+		if c.killed.Load() {
+			return
+		}
+		if err := xEnqueue(c.cli, proto.InputMsg{Kind: proto.KindXTimeout, TxnPath: path}); err != nil {
+			c.cfg.Logf("controller %s: arm xshard timeout for %s: %v", c.cfg.Name, parentID, err)
+		}
+	})
+}
+
+// xAllVoted reports whether every child has a ledger entry (vote or
+// terminal outcome).
+func xAllVoted(rec *txn.Txn) bool {
+	for _, ref := range rec.Children {
+		if ref.State == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// xAllTerminal reports whether every child's ledger entry is terminal.
+func xAllTerminal(rec *txn.Txn) bool {
+	for _, ref := range rec.Children {
+		if !ref.State.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// xRecordDecision derives and records the 2PC decision from the
+// parent's ledger, transitioning it to deciding. The caller persists
+// the record — that write IS the durable decision. timeout marks a
+// deadline-driven decision: children that never voted abort the parent
+// with xshard.indoubt_timeout instead of xshard.prepare_failed.
+func (c *Controller) xRecordDecision(rec *txn.Txn, timeout bool) error {
+	noVote, abortVote := -1, -1
+	for k, ref := range rec.Children {
+		switch {
+		case ref.State == "":
+			if noVote == -1 {
+				noVote = k
+			}
+		case ref.State != txn.StatePrepared:
+			if abortVote == -1 {
+				abortVote = k
+			}
+		}
+	}
+	switch {
+	case noVote == -1 && abortVote == -1:
+		rec.Decision = txn.DecisionCommit
+	case abortVote >= 0:
+		ref := rec.Children[abortVote]
+		rec.Decision = txn.DecisionAbort
+		rec.Code = string(trerr.XShardPrepareFailed)
+		if ref.Code != "" {
+			// Keep the participant's own classification reachable.
+			rec.Error = fmt.Sprintf("child %s aborted during prepare (%s): %s", ref.ID, ref.Code, ref.Error)
+		} else {
+			rec.Error = fmt.Sprintf("child %s aborted during prepare: %s", ref.ID, ref.Error)
+		}
+	default:
+		if !timeout {
+			return fmt.Errorf("controller: decision for %s requested with child %s unvoted",
+				rec.ID, rec.Children[noVote].ID)
+		}
+		rec.Decision = txn.DecisionAbort
+		rec.Code = string(trerr.XShardInDoubtTimeout)
+		rec.Error = fmt.Sprintf("child %s did not vote before the prepare deadline", rec.Children[noVote].ID)
+	}
+	return rec.Transition(txn.StateDeciding)
+}
+
+// xFanOutDecides delivers the recorded decision to every child the
+// ledger shows prepared (aborted voters are already terminal; started
+// and terminal children have the decision already).
+func (c *Controller) xFanOutDecides(rec *txn.Txn) {
+	for k, ref := range rec.Children {
+		if ref.State != txn.StatePrepared {
+			continue
+		}
+		if err := c.xSendDecide(rec, k); err != nil {
+			c.cfg.Logf("controller %s: decide %s to shard %d: %v", c.cfg.Name, ref.ID, ref.Shard, err)
+		}
+	}
+}
+
+// xSendDecide delivers the decision for child k to its shard's inputQ.
+func (c *Controller) xSendDecide(rec *txn.Txn, k int) error {
+	ref := rec.Children[k]
+	cli, err := c.xPeer(ref.Shard)
+	if err != nil {
+		return err
+	}
+	msg := proto.InputMsg{
+		Kind:     proto.KindXDecide,
+		TxnPath:  proto.TxnsPath + "/" + ref.ID,
+		Decision: rec.Decision,
+	}
+	if rec.Decision == txn.DecisionAbort {
+		msg.Error, msg.Code = rec.Error, rec.Code
+	}
+	c.xSendAsync(cli, msg, "decide for "+ref.ID)
+	return nil
+}
+
+// xFinalizeParent folds the completed ledger into the parent's own
+// terminal state: committed iff every child committed; failed if any
+// child failed (a cross-layer inconsistency on that shard); aborted
+// otherwise. Decision-time Error/Code (prepare_failed, indoubt_timeout)
+// are preserved; a post-decision physical failure adopts the child's.
+func (c *Controller) xFinalizeParent(rec *txn.Txn) error {
+	outcome := txn.StateCommitted
+	carry := -1
+	for k, ref := range rec.Children {
+		switch ref.State {
+		case txn.StateFailed:
+			outcome = txn.StateFailed
+			carry = k
+		case txn.StateAborted:
+			if outcome == txn.StateCommitted {
+				outcome = txn.StateAborted
+				if carry == -1 {
+					carry = k
+				}
+			}
+		}
+	}
+	if outcome != txn.StateCommitted && rec.Error == "" && carry >= 0 {
+		ref := rec.Children[carry]
+		rec.Error = fmt.Sprintf("child %s: %s", ref.ID, ref.Error)
+		rec.Code = ref.Code
+		if rec.Code == "" {
+			rec.Code = string(trerr.XShardPrepareFailed)
+		}
+	}
+	// Stats are NOT counted here: finalization may be staged into a
+	// grouped Multi whose flush can fail and replay through the per-item
+	// fallback — the caller counts via xCountParent only after the
+	// terminal write is durable.
+	return rec.Transition(outcome)
+}
+
+// xCountParent tallies a parent's terminal outcome once its finalize
+// write committed.
+func (c *Controller) xCountParent(rec *txn.Txn) {
+	c.mu.Lock()
+	switch rec.State {
+	case txn.StateCommitted:
+		c.stats.Committed++
+	case txn.StateAborted:
+		c.stats.Aborted++
+	case txn.StateFailed:
+		c.stats.Failed++
+	}
+	c.mu.Unlock()
+}
+
+// xEffects describes what one ledger message (vote or child-done) did
+// to a parent record and what must happen after its write is durable.
+type xEffects struct {
+	// changed: the record was mutated (ledger entry, decision, or
+	// finalization) and must be persisted.
+	changed bool
+	// decided: THIS message completed the vote set; after the durable
+	// decision write, fan it out and re-arm the deadline.
+	decided bool
+	// finalized: THIS message completed the ledger and the parent's
+	// terminal transition rode the write; count it once durable.
+	finalized bool
+	// lateAbort: a prepared vote arrived at (or after) an abort
+	// decision; its shard holds locks nobody will release unless told —
+	// deliver the abort to child.
+	lateAbort bool
+	child     int
+}
+
+// xApplyVote folds one participant vote into the parent's ledger,
+// deciding when the last vote lands and finalizing when the decision's
+// children are already all terminal. ok=false consumes a malformed
+// message without touching the record.
+func (c *Controller) xApplyVote(rec *txn.Txn, msg proto.InputMsg) (eff xEffects, ok bool, err error) {
+	k := msg.ChildIndex
+	eff.child = k
+	if k < 0 || k >= len(rec.Children) {
+		c.cfg.Logf("controller %s: vote for %s with child index %d out of range", c.cfg.Name, rec.ID, k)
+		return eff, false, nil
+	}
+	vote := txn.State(msg.Outcome)
+	if vote != txn.StatePrepared && !vote.Terminal() {
+		c.cfg.Logf("controller %s: vote for %s/%d with outcome %q", c.cfg.Name, rec.ID, k, msg.Outcome)
+		return eff, false, nil
+	}
+	ref := &rec.Children[k]
+	if ref.State == "" || (ref.State == txn.StatePrepared && vote.Terminal()) {
+		ref.State, ref.Error, ref.Code = vote, msg.Error, msg.Code
+		eff.changed = true
+	}
+	if rec.State == txn.StateAccepted && xAllVoted(rec) {
+		if err := c.xRecordDecision(rec, false); err != nil {
+			return eff, false, err
+		}
+		eff.decided, eff.changed = true, true
+	}
+	if rec.State == txn.StateDeciding && xAllTerminal(rec) {
+		if err := c.xFinalizeParent(rec); err != nil {
+			return eff, false, err
+		}
+		eff.finalized, eff.changed = true, true
+	}
+	if !eff.decided && vote == txn.StatePrepared && rec.Decision == txn.DecisionAbort {
+		eff.lateAbort = true
+	}
+	return eff, true, nil
+}
+
+// xPostVote runs a vote's post-persist effects.
+func (c *Controller) xPostVote(rec *txn.Txn, eff xEffects) {
+	if eff.finalized {
+		c.xCountParent(rec)
+	}
+	if eff.decided {
+		c.xHook(XEventDecided, rec.ID)
+		c.xFanOutDecides(rec)
+		c.xArmTimeout(rec.ID)
+		return
+	}
+	if eff.lateAbort {
+		if err := c.xSendDecide(rec, eff.child); err != nil {
+			c.cfg.Logf("controller %s: late decide %s: %v", c.cfg.Name, rec.Children[eff.child].ID, err)
+		}
+	}
+}
+
+// xVote processes one participant vote on the coordinator directly:
+// record it in the parent's ledger atomically with consuming the
+// notice, decide once the last vote lands, and free latecomers prepared
+// after an abort decision. (The hot path is stageXVote, which commits
+// the same write inside the round's grouped Multi; this is its per-item
+// fallback and the unstaged path.)
+func (c *Controller) xVote(msg proto.InputMsg, itemPath string) error {
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			return c.inputQ.Remove(itemPath)
+		}
+		return err
+	}
+	eff, ok, err := c.xApplyVote(rec, msg)
+	if err != nil {
+		return err
+	}
+	if !ok || !eff.changed {
+		if err := c.inputQ.Remove(itemPath); err != nil {
+			return err
+		}
+		c.xPostVote(rec, eff)
+		return nil
+	}
+	if err := c.cli.Multi(
+		c.inputQ.RemoveOp(itemPath),
+		store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+	); err != nil {
+		return err
+	}
+	c.xPostVote(rec, eff)
+	return nil
+}
+
+// stageXVote is the batched vote path: the ledger write and notice
+// consumption join the round's grouped Multi; fan-outs run post-flush.
+// A second message touching the same parent this round stays queued for
+// the next drain (the staged-path discipline shared with stageAccept).
+func (c *Controller) stageXVote(r *round, msg proto.InputMsg, itemPath string) error {
+	if r.staged[msg.TxnPath] {
+		return nil
+	}
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+				func() error { return c.inputQ.Remove(itemPath) })
+			return nil
+		}
+		return err
+	}
+	eff, ok, err := c.xApplyVote(rec, msg)
+	if err != nil {
+		return err
+	}
+	if !ok || !eff.changed {
+		r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)},
+			func() { c.xPostVote(rec, eff) },
+			func() error { return c.inputQ.Remove(itemPath) })
+		return nil
+	}
+	r.staged[msg.TxnPath] = true
+	r.stage(
+		[]store.Op{
+			c.inputQ.RemoveOp(itemPath),
+			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+		},
+		func() { c.xPostVote(rec, eff) },
+		func() error { return c.xVote(msg, itemPath) },
+	)
+	return nil
+}
+
+// xApplyChildDone folds one terminal child outcome into the ledger and
+// finalizes the parent once every child has reported.
+func (c *Controller) xApplyChildDone(rec *txn.Txn, msg proto.InputMsg) (changed, finalized bool, err error) {
+	k := msg.ChildIndex
+	outcome := txn.State(msg.Outcome)
+	if k < 0 || k >= len(rec.Children) || !outcome.Terminal() {
+		c.cfg.Logf("controller %s: child-done for %s: index %d outcome %q", c.cfg.Name, rec.ID, k, msg.Outcome)
+		return false, false, nil
+	}
+	ref := &rec.Children[k]
+	if !ref.State.Terminal() {
+		ref.State, ref.Error, ref.Code = outcome, msg.Error, msg.Code
+		changed = true
+	}
+	if rec.State == txn.StateDeciding && xAllTerminal(rec) {
+		if err := c.xFinalizeParent(rec); err != nil {
+			return changed, false, err
+		}
+		changed, finalized = true, true
+	}
+	return changed, finalized, nil
+}
+
+// xChildDone records a child's terminal outcome on the coordinator
+// directly (stageXChildDone's per-item fallback and the unstaged path).
+func (c *Controller) xChildDone(msg proto.InputMsg, itemPath string) error {
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			return c.inputQ.Remove(itemPath)
+		}
+		return err
+	}
+	changed, finalized, err := c.xApplyChildDone(rec, msg)
+	if err != nil {
+		return err
+	}
+	if !changed {
+		return c.inputQ.Remove(itemPath)
+	}
+	if err := c.cli.Multi(
+		c.inputQ.RemoveOp(itemPath),
+		store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+	); err != nil {
+		return err
+	}
+	if finalized {
+		c.xCountParent(rec)
+	}
+	return nil
+}
+
+// stageXChildDone is the batched child-done path: ledger write (and,
+// when it completes the set, the parent's terminal transition) inside
+// the round's grouped Multi.
+func (c *Controller) stageXChildDone(r *round, msg proto.InputMsg, itemPath string) error {
+	if r.staged[msg.TxnPath] {
+		return nil
+	}
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+				func() error { return c.inputQ.Remove(itemPath) })
+			return nil
+		}
+		return err
+	}
+	changed, finalized, err := c.xApplyChildDone(rec, msg)
+	if err != nil {
+		return err
+	}
+	if !changed {
+		r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+			func() error { return c.inputQ.Remove(itemPath) })
+		return nil
+	}
+	r.staged[msg.TxnPath] = true
+	var after func()
+	if finalized {
+		after = func() { c.xCountParent(rec) }
+	}
+	r.stage(
+		[]store.Op{
+			c.inputQ.RemoveOp(itemPath),
+			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+		},
+		after,
+		func() error { return c.xChildDone(msg, itemPath) },
+	)
+	return nil
+}
+
+// xTimeout processes a parent deadline check: an undecided parent is
+// resolved — by its ledger if every vote is actually visible (direct
+// child reads cover votes whose notices were lost), by presumed abort
+// otherwise — and a decided parent re-delivers its decision to children
+// still outstanding, re-arming itself until the ledger completes.
+func (c *Controller) xTimeout(msg proto.InputMsg, itemPath string) error {
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			return c.inputQ.Remove(itemPath)
+		}
+		return err
+	}
+	if rec.State.Terminal() || !rec.IsParent() {
+		// Terminal (or not a parent): the deadline is moot.
+		return c.inputQ.Remove(itemPath)
+	}
+	return c.xAdvanceParent(rec, c.xSyncLedger(rec), true, func(changed bool) error {
+		if !changed {
+			return c.inputQ.Remove(itemPath)
+		}
+		return c.cli.Multi(
+			c.inputQ.RemoveOp(itemPath),
+			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+		)
+	})
+}
+
+// xAdvanceParent drives a non-terminal parent as far as its ledger
+// allows — decide (when every vote is in, or unconditionally on a
+// deadline), finalize when every child is terminal — persists through
+// the caller's closure, and runs the post-persist effects: outcome
+// counting, the decided hook, decision (re-)delivery, and the next
+// deadline. The single state machine behind the timeout and recovery
+// paths, so they cannot diverge.
+func (c *Controller) xAdvanceParent(rec *txn.Txn, changed, deadline bool, persist func(changed bool) error) error {
+	decided, finalized := false, false
+	if rec.State == txn.StateAccepted && (deadline || xAllVoted(rec)) {
+		if err := c.xRecordDecision(rec, deadline); err != nil {
+			return err
+		}
+		changed, decided = true, true
+	}
+	if rec.State == txn.StateDeciding && xAllTerminal(rec) {
+		if err := c.xFinalizeParent(rec); err != nil {
+			return err
+		}
+		changed, finalized = true, true
+	}
+	if err := persist(changed); err != nil {
+		return err
+	}
+	if finalized {
+		c.xCountParent(rec)
+	}
+	if rec.Decision != "" {
+		if decided {
+			c.xHook(XEventDecided, rec.ID)
+		}
+		// Re-delivery to children the ledger still shows prepared; a
+		// no-op once everything reported.
+		c.xFanOutDecides(rec)
+	}
+	if !rec.State.Terminal() {
+		c.xArmTimeout(rec.ID)
+	}
+	return nil
+}
+
+// xSyncLedger refreshes a parent's ledger by reading child records
+// directly from their shards, covering votes and outcomes whose notices
+// were lost in transit. Read failures leave entries untouched — the
+// message path and the next deadline remain as backstops.
+func (c *Controller) xSyncLedger(rec *txn.Txn) (changed bool) {
+	for k := range rec.Children {
+		ref := &rec.Children[k]
+		if ref.State.Terminal() {
+			continue
+		}
+		cli, err := c.xPeer(ref.Shard)
+		if err != nil {
+			continue
+		}
+		data, _, err := cli.Get(proto.TxnsPath + "/" + ref.ID)
+		if err != nil {
+			if errors.Is(err, store.ErrNoNode) && ref.State == "" &&
+				rec.State == txn.StateDeciding && rec.Decision == txn.DecisionAbort {
+				// The decision is abort and this child was never created
+				// (its prepare send was lost): it can never prepare, so
+				// record it aborted — otherwise the ledger never completes
+				// and the parent re-arms its deadline forever. If the
+				// prepare lands late after all, the child's vote meets the
+				// abort decision and is aborted through the late-vote path.
+				ref.State = txn.StateAborted
+				ref.Error = "never prepared before the abort decision"
+				ref.Code = string(trerr.XShardInDoubtTimeout)
+				changed = true
+			}
+			continue
+		}
+		child, err := txn.Decode(data)
+		if err != nil {
+			continue
+		}
+		if child.State != txn.StatePrepared && !child.State.Terminal() {
+			continue
+		}
+		if ref.State != child.State {
+			ref.State, ref.Error, ref.Code = child.State, child.Error, child.Code
+			changed = true
+		}
+	}
+	return changed
+}
+
+// --- Participant ------------------------------------------------------
+
+// xMarkForeign assigns each of a child's log records to exactly one
+// executing shard: the owner of the record's path, or the coordinator's
+// child for paths no participant owns (a procedure touching a path
+// outside its arguments' roots). Foreign records still simulate, lock,
+// and roll back here — only physical execution is elsewhere.
+func (c *Controller) xMarkForeign(t *txn.Txn) {
+	x := c.cfg.XShard
+	if x == nil || !t.IsChild() {
+		return
+	}
+	coordinator := x.Self
+	inPlan := make(map[int]bool, len(t.Participants))
+	for _, s := range t.Participants {
+		inPlan[s] = true
+	}
+	if len(t.Participants) > 0 {
+		coordinator = t.Participants[0]
+	}
+	for i := range t.Log {
+		owner := x.Router.RouteTarget(t.Log[i].Path)
+		executes := owner == x.Self || (!inPlan[owner] && x.Self == coordinator)
+		t.Log[i].Foreign = !executes
+	}
+}
+
+// xSendVote reports a child's vote — its prepared or aborted state — to
+// the coordinator's inputQ. Best-effort: a lost vote is recovered by
+// the coordinator's direct ledger sync or, failing that, the prepare
+// deadline.
+func (c *Controller) xSendVote(t *txn.Txn) {
+	x := c.cfg.XShard
+	if x == nil {
+		return
+	}
+	coord, parentLocal, ok := shard.ParseID(t.Parent, x.Router.Shards())
+	if !ok {
+		c.cfg.Logf("controller %s: child %s has malformed parent id %q", c.cfg.Name, t.ID, t.Parent)
+		return
+	}
+	_, k, ok := shard.ParseChildID(t.ID)
+	if !ok {
+		c.cfg.Logf("controller %s: malformed child id %q", c.cfg.Name, t.ID)
+		return
+	}
+	cli, err := c.xPeer(coord)
+	if err != nil {
+		c.cfg.Logf("controller %s: vote for %s: %v", c.cfg.Name, t.ID, err)
+		return
+	}
+	c.xSendAsync(cli, proto.InputMsg{
+		Kind:       proto.KindXVote,
+		TxnPath:    proto.TxnsPath + "/" + parentLocal,
+		ChildIndex: k,
+		Outcome:    string(t.State),
+		Error:      t.Error,
+		Code:       t.Code,
+	}, "vote for "+t.ID)
+}
+
+// xSendChildDone reports a child's terminal outcome to the coordinator.
+func (c *Controller) xSendChildDone(t *txn.Txn) {
+	x := c.cfg.XShard
+	if x == nil {
+		return
+	}
+	coord, parentLocal, ok := shard.ParseID(t.Parent, x.Router.Shards())
+	if !ok {
+		return
+	}
+	_, k, ok := shard.ParseChildID(t.ID)
+	if !ok {
+		return
+	}
+	cli, err := c.xPeer(coord)
+	if err != nil {
+		c.cfg.Logf("controller %s: child-done for %s: %v", c.cfg.Name, t.ID, err)
+		return
+	}
+	c.xSendAsync(cli, proto.InputMsg{
+		Kind:       proto.KindXChildDone,
+		TxnPath:    proto.TxnsPath + "/" + parentLocal,
+		ChildIndex: k,
+		Outcome:    string(t.State),
+		Error:      t.Error,
+		Code:       t.Code,
+	}, "child-done for "+t.ID)
+}
+
+// xDecide applies a coordinator decision to a prepared child: commit
+// promotes it to started and enqueues it to phyQ atomically with
+// consuming the notice (the only path by which a cross-shard child
+// enters phyQ, so physical execution stays exactly-once); abort rolls
+// its simulation back and releases its locks.
+func (c *Controller) xDecide(msg proto.InputMsg, itemPath string) error {
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			return c.inputQ.Remove(itemPath)
+		}
+		return err
+	}
+	if rec.State != txn.StatePrepared {
+		// Late or duplicate delivery: the child already moved on.
+		return c.inputQ.Remove(itemPath)
+	}
+	t, ok := c.prepared[rec.ID]
+	if !ok {
+		// Prepared on disk but untracked in memory can only mean a bug in
+		// recovery; refusing to act blind keeps the store consistent.
+		c.cfg.Logf("controller %s: decide for untracked prepared child %s", c.cfg.Name, rec.ID)
+		return c.inputQ.Remove(itemPath)
+	}
+	switch msg.Decision {
+	case txn.DecisionCommit:
+		return c.xPromotePrepared(t, stat.Version, c.inputQ.RemoveOp(itemPath))
+	case txn.DecisionAbort:
+		errStr, code := msg.Error, msg.Code
+		if errStr == "" {
+			errStr = "cross-shard transaction aborted"
+		}
+		if code == "" {
+			code = string(trerr.XShardPrepareFailed)
+		}
+		return c.xAbortPrepared(t, errStr, code, c.inputQ.RemoveOp(itemPath))
+	default:
+		c.cfg.Logf("controller %s: decide for %s with decision %q", c.cfg.Name, rec.ID, msg.Decision)
+		return c.inputQ.Remove(itemPath)
+	}
+}
+
+// xPromotePrepared moves a prepared child into physical execution:
+// started-state write and phyQ enqueue in one Multi (plus any extra
+// ops, e.g. the decide-notice removal). On failure the transition is
+// unwound in memory and the caller retries.
+func (c *Controller) xPromotePrepared(t *txn.Txn, version int32, extra ...store.Op) error {
+	if err := t.Transition(txn.StateStarted); err != nil {
+		return err
+	}
+	txnPath := c.txnPath(t.ID)
+	ops := append(extra,
+		store.SetOp(txnPath, t.Encode(), version),
+		c.phyQ.PutOp(proto.PhyMsg{TxnPath: txnPath}.Encode()),
+	)
+	if err := c.cli.Multi(ops...); err != nil {
+		if n := len(t.History); n > 0 && t.History[n-1].State == txn.StateStarted {
+			t.History = t.History[:n-1]
+		}
+		t.State = txn.StatePrepared
+		return err
+	}
+	delete(c.prepared, t.ID)
+	c.inFlight[t.ID] = t
+	return nil
+}
+
+// xAbortPrepared aborts a prepared child: the terminal state is
+// persisted first (with any extra ops), and only then are the logical
+// rollback and lock release applied — the same persist-before-rollback
+// discipline as cleanup. The coordinator is notified afterwards.
+func (c *Controller) xAbortPrepared(t *txn.Txn, errStr, code string, extra ...store.Op) error {
+	t.Error, t.Code = errStr, code
+	if err := t.Transition(txn.StateAborted); err != nil {
+		return err
+	}
+	ops := append(extra, store.SetOp(c.txnPath(t.ID), t.Encode(), -1))
+	if err := c.cli.Multi(ops...); err != nil {
+		if n := len(t.History); n > 0 && t.History[n-1].State == txn.StateAborted {
+			t.History = t.History[:n-1]
+		}
+		t.State = txn.StatePrepared
+		t.Error, t.Code = "", ""
+		return err
+	}
+	c.rollbackTimed(t.ID, t.Log)
+	c.locks.ReleaseAll(t.ID)
+	delete(c.prepared, t.ID)
+	c.mu.Lock()
+	c.stats.Aborted++
+	c.mu.Unlock()
+	c.xSendChildDone(t)
+	return nil
+}
+
+// --- Recovery ---------------------------------------------------------
+
+// xResolveInDoubt resolves one recovered prepared child by consulting
+// the coordinator record — the §2.3 recovery protocol extended across
+// shards. Commit decisions promote the child into phyQ (it was never
+// enqueued: prepared children enter phyQ only via promotion, so
+// execution stays exactly-once across the failover); abort decisions
+// roll it back; an undecided parent gets the vote re-sent and keeps the
+// child prepared, locks held, until the coordinator decides.
+func (c *Controller) xResolveInDoubt(t *txn.Txn) {
+	x := c.cfg.XShard
+	if x == nil {
+		c.cfg.Logf("controller %s: prepared child %s without cross-shard config", c.cfg.Name, t.ID)
+		return
+	}
+	coord, parentLocal, ok := shard.ParseID(t.Parent, x.Router.Shards())
+	if !ok {
+		c.cfg.Logf("controller %s: child %s has malformed parent id %q", c.cfg.Name, t.ID, t.Parent)
+		return
+	}
+	cli, err := c.xPeer(coord)
+	if err != nil {
+		c.cfg.Logf("controller %s: resolve in-doubt %s: %v", c.cfg.Name, t.ID, err)
+		return
+	}
+	data, _, err := cli.Get(proto.TxnsPath + "/" + parentLocal)
+	if errors.Is(err, store.ErrNoNode) {
+		// A prepared child always has a coordinator record (the parent is
+		// created before any child and outlives them all); a missing one
+		// is unreachable state — abort rather than hold locks forever.
+		c.cfg.Logf("controller %s: in-doubt child %s has no coordinator record %s; aborting",
+			c.cfg.Name, t.ID, t.Parent)
+		if aerr := c.xAbortPrepared(t, "coordinator record missing", string(trerr.XShardPrepareFailed)); aerr != nil {
+			c.cfg.Logf("controller %s: abort in-doubt %s: %v", c.cfg.Name, t.ID, aerr)
+		}
+		return
+	}
+	if err != nil {
+		// Coordinator shard unreachable: stay prepared, re-vote so a
+		// recovered coordinator sees us, and let its deadline decide.
+		c.cfg.Logf("controller %s: resolve in-doubt %s: %v", c.cfg.Name, t.ID, err)
+		c.xSendVote(t)
+		return
+	}
+	parent, err := txn.Decode(data)
+	if err != nil {
+		c.cfg.Logf("controller %s: decode coordinator record for %s: %v", c.cfg.Name, t.ID, err)
+		return
+	}
+	switch parent.Decision {
+	case txn.DecisionCommit:
+		if err := c.xPromotePrepared(t, -1); err != nil {
+			c.cfg.Logf("controller %s: promote in-doubt %s: %v", c.cfg.Name, t.ID, err)
+		}
+	case txn.DecisionAbort:
+		errStr, code := parent.Error, parent.Code
+		if errStr == "" {
+			errStr = "cross-shard transaction aborted"
+		}
+		if code == "" {
+			code = string(trerr.XShardPrepareFailed)
+		}
+		if err := c.xAbortPrepared(t, errStr, code); err != nil {
+			c.cfg.Logf("controller %s: abort in-doubt %s: %v", c.cfg.Name, t.ID, err)
+		}
+	default:
+		// Undecided: hold the prepare (locks and all) and re-vote — the
+		// old leader's vote may never have left this shard.
+		c.xSendVote(t)
+	}
+}
+
+// xRecoverParent resumes coordination of a non-terminal parent after a
+// leader change: re-sending prepares that may never have landed,
+// syncing the ledger from direct child reads, (re)recording the
+// decision when complete, re-delivering it, and re-arming the deadline.
+// Failures are logged, never fatal to recovery — the armed deadline
+// retries everything.
+func (c *Controller) xRecoverParent(rec *txn.Txn) {
+	if !c.xEnabled() {
+		c.cfg.Logf("controller %s: parent %s without cross-shard config", c.cfg.Name, rec.ID)
+		return
+	}
+	path := c.txnPath(rec.ID)
+	if rec.State == txn.StateInitialized {
+		// The old leader consumed (or never saw) the submit notice; a
+		// pending one becomes a harmless duplicate.
+		if err := rec.Transition(txn.StateAccepted); err != nil {
+			c.cfg.Logf("controller %s: recover parent %s: %v", c.cfg.Name, rec.ID, err)
+			return
+		}
+		if err := c.cli.Set(path, rec.Encode(), -1); err != nil {
+			c.cfg.Logf("controller %s: recover parent %s: %v", c.cfg.Name, rec.ID, err)
+			return
+		}
+		c.mu.Lock()
+		c.stats.Accepted++
+		c.mu.Unlock()
+	}
+	if rec.State.Terminal() {
+		return
+	}
+	changed := c.xSyncLedger(rec)
+	if rec.State == txn.StateAccepted {
+		// Re-send prepares that may never have landed; idempotent.
+		for k := range rec.Children {
+			if rec.Children[k].State != "" {
+				continue
+			}
+			if err := c.xSendPrepare(rec, k); err != nil {
+				c.cfg.Logf("controller %s: re-prepare %s: %v", c.cfg.Name, rec.Children[k].ID, err)
+			}
+		}
+	}
+	err := c.xAdvanceParent(rec, changed, false, func(changed bool) error {
+		if !changed {
+			return nil
+		}
+		return c.cli.Set(path, rec.Encode(), -1)
+	})
+	if err != nil {
+		c.cfg.Logf("controller %s: resume parent %s: %v", c.cfg.Name, rec.ID, err)
+	}
+}

@@ -91,6 +91,28 @@ const (
 	// KindRepair: an operator requested logical→physical reconciliation
 	// (§4).
 	KindRepair MsgKind = "repair"
+
+	// Cross-shard two-phase-commit messages. PREPARE requests reuse
+	// KindSubmit pointed at the child record (a child is accepted and
+	// scheduled like any submission; its Parent field makes the
+	// scheduler stop at prepared instead of started).
+
+	// KindXVote: a participant reports its child's vote to the
+	// coordinator (TxnPath = parent record, ChildIndex = which child,
+	// Outcome = "prepared" for yes / "aborted" for no).
+	KindXVote MsgKind = "xvote"
+	// KindXDecide: the coordinator delivers the durable COMMIT/ABORT
+	// decision to a prepared child (TxnPath = child record, Decision =
+	// commit|abort).
+	KindXDecide MsgKind = "xdecide"
+	// KindXChildDone: a participant reports a child's terminal outcome
+	// to the coordinator (TxnPath = parent record, ChildIndex, Outcome).
+	KindXChildDone MsgKind = "xchilddone"
+	// KindXTimeout: a coordinator-local deadline check for a cross-shard
+	// parent (TxnPath = parent record): an undecided parent past its
+	// prepare deadline is aborted; a decided one re-delivers its
+	// decision to children still outstanding.
+	KindXTimeout MsgKind = "xtimeout"
 )
 
 // InputMsg is one inputQ item.
@@ -118,6 +140,12 @@ type InputMsg struct {
 	// UndoneThrough counts the undo actions that succeeded during
 	// physical rollback.
 	UndoneThrough int `json:"undoneThrough,omitempty"`
+	// ChildIndex identifies which child of a cross-shard parent a
+	// KindXVote/KindXChildDone message concerns.
+	ChildIndex int `json:"childIndex,omitempty"`
+	// Decision carries the coordinator's 2PC decision for KindXDecide
+	// (txn.DecisionCommit or txn.DecisionAbort).
+	Decision string `json:"decision,omitempty"`
 }
 
 // Reply reports the outcome of a reload/repair request.

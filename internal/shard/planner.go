@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Planner turns a submission into a cross-shard execution plan: which
+// shards participate (the owners of the submission's resource roots),
+// which of them coordinates the two-phase commit (the lowest-numbered
+// participant), and how the per-shard sub-transactions — "children" —
+// are named. Where Router.Route answers "which single shard owns this
+// submission, if any", Planner.Split answers the general question and
+// never rejects: a single-shard submission yields a one-participant
+// plan, identical to Route's answer.
+type Planner struct {
+	m *Map
+}
+
+// NewPlanner wraps a Map.
+func NewPlanner(m *Map) *Planner { return &Planner{m: m} }
+
+// Split is a submission's placement plan.
+type Split struct {
+	// Shards are the participating shard indexes in ascending order.
+	// Shards[0] is the coordinator: the durable parent record (and the
+	// 2PC decision) live on it.
+	Shards []int
+	// Roots maps each participating shard to the resource roots it owns
+	// among the submission's path arguments, in first-appearance order.
+	Roots map[int][]string
+}
+
+// CrossShard reports whether the plan spans more than one shard.
+func (s Split) CrossShard() bool { return len(s.Shards) > 1 }
+
+// Coordinator returns the coordinating shard: the lowest-numbered
+// participant.
+func (s Split) Coordinator() int { return s.Shards[0] }
+
+// Split derives the plan of a submission from its path-shaped
+// arguments: every argument with a leading '/' contributes its resource
+// root, and each distinct root is assigned to the shard owning it. A
+// submission with no path arguments routes by its procedure name,
+// exactly like Router.Route, so repeated invocations land on one
+// deterministic shard.
+func (p *Planner) Split(proc string, args []string) Split {
+	roots := make(map[int][]string)
+	seen := make(map[string]bool)
+	var shards []int
+	add := func(key string) {
+		s := p.m.Shard(key)
+		if len(roots[s]) == 0 {
+			shards = append(shards, s)
+		}
+		roots[s] = append(roots[s], key)
+	}
+	for _, a := range args {
+		if len(a) == 0 || a[0] != '/' {
+			continue
+		}
+		root := RootOf(a)
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		add(root)
+	}
+	if len(shards) == 0 {
+		add(proc)
+	}
+	sort.Ints(shards)
+	return Split{Shards: shards, Roots: roots}
+}
+
+// ParentLocalPrefix prefixes the client-generated local id of every
+// cross-shard parent ("t-x<session>c<seq>"). Single-shard local ids are
+// store-sequence ("t-0000000042") or batched client-generated
+// ("t-s<session>c<seq>") and never start with it, so a parent is
+// recognizable from its id alone — no record read needed.
+const ParentLocalPrefix = "t-x"
+
+// IsParentLocal reports whether a shard-local id names a cross-shard
+// parent.
+func IsParentLocal(local string) bool {
+	return strings.HasPrefix(local, ParentLocalPrefix)
+}
+
+// childSep separates a parent transaction id from a child index. Parent
+// ids never contain a dot, so the rightmost ".c<digits>" suffix is
+// unambiguous.
+const childSep = ".c"
+
+// ChildID names the k'th child of a cross-shard parent. The parent id
+// is the shard-qualified id returned by Submit ("s0-t-ab12c00000001"),
+// so child ids are platform-unique and deterministic: every component —
+// client, coordinator, participants — derives the same names from the
+// plan without further coordination. The child's record is stored under
+// this full id on its PARTICIPANT shard (which the parent record's
+// child ledger names); the "s<coordinator>-" prefix locates the parent,
+// not the child.
+func ChildID(parent string, k int) string {
+	return parent + childSep + strconv.Itoa(k)
+}
+
+// ParseChildID splits a child id into its parent id and child index.
+// ok is false for ids without a well-formed ".c<digits>" suffix.
+func ParseChildID(id string) (parent string, k int, ok bool) {
+	i := strings.LastIndex(id, childSep)
+	if i <= 0 || i+len(childSep) >= len(id) {
+		return "", 0, false
+	}
+	digits := id[i+len(childSep):]
+	for j := 0; j < len(digits); j++ {
+		if digits[j] < '0' || digits[j] > '9' {
+			return "", 0, false
+		}
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil {
+		return "", 0, false
+	}
+	return id[:i], n, true
+}
+
+// IsChildID reports whether id names a cross-shard child.
+func IsChildID(id string) bool {
+	_, _, ok := ParseChildID(id)
+	return ok
+}

@@ -132,3 +132,103 @@ func indexOf(s, sub string) int {
 	}
 	return -1
 }
+
+// TestCrossShardLifecycles pins the 2PC extensions of the state
+// machine: children prepare out of accepted/deferred and resolve via
+// the decision; parents decide out of accepted and finalize.
+func TestCrossShardLifecycles(t *testing.T) {
+	paths := [][]State{
+		// Child: prepare → commit decision → physical execution.
+		{StateAccepted, StatePrepared, StateStarted, StateCommitted},
+		// Child: deferred retry, then prepare, then abort decision.
+		{StateAccepted, StateDeferred, StatePrepared, StateAborted},
+		// Child: commit decision but physical failure.
+		{StateAccepted, StatePrepared, StateStarted, StateFailed},
+		// Parent: decision recorded, all children committed.
+		{StateAccepted, StateDeciding, StateCommitted},
+		// Parent: abort decision (prepare failure or in-doubt timeout).
+		{StateAccepted, StateDeciding, StateAborted},
+		// Parent: a child failed physically after the commit decision.
+		{StateAccepted, StateDeciding, StateFailed},
+	}
+	for _, path := range paths {
+		tx := sampleTxn()
+		for _, next := range path {
+			if err := tx.Transition(next); err != nil {
+				t.Fatalf("path %v: %v", path, err)
+			}
+		}
+		if !tx.State.Terminal() {
+			t.Fatalf("path %v ended non-terminal", path)
+		}
+		// Every persisted transition is stamped, in order.
+		if len(tx.History) != len(path) {
+			t.Fatalf("path %v: %d history stamps", path, len(tx.History))
+		}
+		for i, stamp := range tx.History {
+			if stamp.State != path[i] || stamp.At.IsZero() {
+				t.Fatalf("path %v: stamp %d = %+v", path, i, stamp)
+			}
+		}
+	}
+}
+
+// TestCrossShardIllegalTransitions: the 2PC states stay constrained —
+// prepared children never commit or re-enter the queue directly, and
+// deciding parents never regress.
+func TestCrossShardIllegalTransitions(t *testing.T) {
+	cases := []struct {
+		from, to State
+	}{
+		{StatePrepared, StateCommitted},
+		{StatePrepared, StateDeferred},
+		{StatePrepared, StateAccepted},
+		{StatePrepared, StateDeciding},
+		{StateDeciding, StateStarted},
+		{StateDeciding, StatePrepared},
+		{StateDeciding, StateAccepted},
+		{StateInitialized, StatePrepared},
+		{StateInitialized, StateDeciding},
+		{StateStarted, StatePrepared},
+		{StateStarted, StateDeciding},
+	}
+	for _, c := range cases {
+		tx := sampleTxn()
+		tx.State = c.from
+		if err := tx.Transition(c.to); err == nil {
+			t.Errorf("%s -> %s allowed", c.from, c.to)
+		}
+	}
+	for s, want := range map[State]bool{StatePrepared: false, StateDeciding: false} {
+		if s.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v", s, !want)
+		}
+	}
+}
+
+// TestParentChildPredicates: record-shape helpers used across layers.
+func TestParentChildPredicates(t *testing.T) {
+	tx := sampleTxn()
+	if tx.IsParent() || tx.IsChild() {
+		t.Fatal("plain record classified as parent/child")
+	}
+	tx.Children = []ChildRef{{ID: "s0-t-1.c0", Shard: 0}, {ID: "s0-t-1.c1", Shard: 2}}
+	if !tx.IsParent() || tx.IsChild() {
+		t.Fatal("parent record misclassified")
+	}
+	child := sampleTxn()
+	child.Parent = "s0-t-1"
+	if !child.IsChild() || child.IsParent() {
+		t.Fatal("child record misclassified")
+	}
+	// Parent/child linkage and foreign marks survive the codec.
+	child.Participants = []int{0, 2}
+	child.Log = []LogRecord{{Seq: 1, Path: "/a/b", Action: "x", Foreign: true}}
+	out, err := Decode(child.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Parent != child.Parent || len(out.Participants) != 2 || !out.Log[0].Foreign {
+		t.Fatalf("codec lost cross-shard fields: %+v", out)
+	}
+}

@@ -243,22 +243,31 @@ func (w *Worker) execute(txnPath string) (<-chan error, error) {
 		return nil, nil
 	}
 
-	applied := 0
+	// attempted is the log index the forward pass stopped at (exclusive):
+	// everything before it that this worker owns was applied. Foreign
+	// records — actions another shard's child of the same cross-shard
+	// transaction executes — are skipped in both directions: each worker
+	// applies, and therefore undoes, only its own shard's actions.
+	attempted := len(rec.Log)
 	var actErr error
 	for i, r := range rec.Log {
+		if r.Foreign {
+			continue
+		}
 		// Honor operator TERM signals between actions (§4): stop and
 		// roll back gracefully.
 		if sig, err := w.currentSignal(txnPath); err == nil && sig == txn.SignalTerm {
 			actErr = trerr.New(trerr.TxnTerminated, "terminated by operator signal")
+			attempted = i
 			break
 		}
 		if err := w.cfg.Executor.Execute(r.Path, r.Action, r.Args); err != nil {
 			actErr = trerr.Newf(trerr.TxnPhysicalFailure,
 				"action %d (%s at %s): %w", i+1, r.Action, r.Path, err)
+			attempted = i
 			break
 		}
 		atomic.AddInt64(&w.stats.Actions, 1)
-		applied++
 	}
 
 	if actErr == nil {
@@ -270,8 +279,11 @@ func (w *Worker) execute(txnPath string) (<-chan error, error) {
 	// temporal dependencies (§3.2 footnote) — and report failed.
 	undone := 0
 	var undoErr error
-	for i := applied - 1; i >= 0; i-- {
+	for i := attempted - 1; i >= 0; i-- {
 		r := rec.Log[i]
+		if r.Foreign {
+			continue
+		}
 		if r.Undo == "" {
 			undoErr = fmt.Errorf("action %s at %s has no undo", r.Action, r.Path)
 			break

@@ -12,6 +12,12 @@
 //
 //	_, err := s.Get("t-bogus")
 //	errors.Is(err, trerr.TxnNotFound) // true
+//
+// Sharding — including cross-shard transactions — is transparent: a
+// spanning submission returns its parent id, Wait resolves when the
+// two-phase commit finalizes, and the decoded record carries the child
+// ledger and decision (docs/cross-shard.md); child ids
+// ("<parent>.c<k>") resolve through Get/Wait/WatchTxn like any other.
 package httpclient
 
 import (

@@ -295,3 +295,74 @@ func TestHTTPClientHealthzUnavailable(t *testing.T) {
 		t.Fatalf("health = %+v", h)
 	}
 }
+
+// TestHTTPClientCrossShard drives a cross-shard transaction end to end
+// through the remote SDK: the spanning submission returns a parent id,
+// Wait resolves when the two-phase commit finalizes, the decoded record
+// carries the fully-committed child ledger and the durable decision,
+// and the children resolve by their own ids.
+func TestHTTPClientCrossShard(t *testing.T) {
+	const shards, hosts = 3, 12
+	p, err := tropic.New(tropic.Config{
+		Schema:      tcloud.NewSchema(),
+		Procedures:  tcloud.Procedures(),
+		Bootstrap:   tcloud.Topology{ComputeHosts: hosts, ComputePerStorage: 1}.BuildModel(),
+		Controllers: 1,
+		Shards:      shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startCtx, startCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer startCancel()
+	if err := p.Start(startCtx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	gw := api.New(api.Config{Platform: p})
+	t.Cleanup(gw.Close)
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+
+	var storage, compute string
+	for i := 0; i < hosts && storage == ""; i++ {
+		for j := 0; j < hosts; j++ {
+			ss, _ := p.ShardOf(tcloud.ProcSpawnVM, tcloud.StorageHostPath(i))
+			hs, _ := p.ShardOf(tcloud.ProcSpawnVM, tcloud.ComputeHostPath(j))
+			if ss != hs {
+				storage, compute = tcloud.StorageHostPath(i), tcloud.ComputeHostPath(j)
+				break
+			}
+		}
+	}
+	if storage == "" {
+		t.Fatal("no cross-shard pair found")
+	}
+
+	var s tropic.Session = httpclient.New(srv.URL)
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rec, err := s.SubmitAndWait(ctx, tcloud.ProcSpawnVM, storage, compute, "httpxvm", "1024")
+	if err != nil {
+		t.Fatalf("cross-shard submit+wait over HTTP: %v", err)
+	}
+	if rec.State != tropic.StateCommitted || rec.Decision != "commit" {
+		t.Fatalf("parent = %s decision %q (%s)", rec.State, rec.Decision, rec.Error)
+	}
+	if len(rec.Children) != 2 {
+		t.Fatalf("decoded parent has %d children: %+v", len(rec.Children), rec.Children)
+	}
+	for _, ref := range rec.Children {
+		if ref.State != tropic.StateCommitted {
+			t.Fatalf("child ledger entry %s = %s (%s)", ref.ID, ref.State, ref.Error)
+		}
+		child, err := s.Get(ref.ID)
+		if err != nil {
+			t.Fatalf("get child %s over HTTP: %v", ref.ID, err)
+		}
+		if child.State != tropic.StateCommitted || child.Parent != rec.ID {
+			t.Fatalf("child %s = %s parent %q", ref.ID, child.State, child.Parent)
+		}
+	}
+}

@@ -175,6 +175,12 @@ func (c *Client) listSharded(opts ListOptions) (*TxnPage, error) {
 		return nil, err
 	}
 	for _, rec := range page.Txns {
+		if rec.IsChild() {
+			// A cross-shard child's record node name IS its full id
+			// (embedding its parent's shard prefix); re-qualifying it with
+			// the hosting shard would mangle it.
+			continue
+		}
 		rec.ID = shard.FormatID(s, rec.ID)
 	}
 	switch {
@@ -218,7 +224,7 @@ func parseShardCursor(cursor string, shards int) (shardIdx int, local string, ok
 // fails synchronously with trerr.TxnNotFound.
 func (c *Client) WatchTxn(ctx context.Context, id string) (<-chan *Txn, error) {
 	if c.sharded() {
-		sub, s, local, err := c.resolveID(id)
+		sub, local, qualify, err := c.locate(id)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +236,7 @@ func (c *Client) WatchTxn(ctx context.Context, id string) (<-chan *Txn, error) {
 		go func() {
 			defer close(out)
 			for rec := range ch {
-				rec.ID = shard.FormatID(s, rec.ID)
+				rec.ID = qualify(rec.ID)
 				select {
 				case out <- rec:
 				case <-ctx.Done():
@@ -430,17 +436,36 @@ func (c *Client) SubmitIdempotent(ctx context.Context, key, proc string, args ..
 		// resubmissions of the same (key, args) always consult the same
 		// shard's registry. A key reused with different arguments that
 		// route to a DIFFERENT shard cannot be detected as reuse — the
-		// dedup scope is per shard (see docs/sharding.md).
-		s, err := c.router.Route(proc, args)
-		if err != nil {
-			return "", false, err
+		// dedup scope is per shard (see docs/sharding.md). A cross-shard
+		// submission's key lives on its COORDINATOR shard (deterministic
+		// for a given key+args), guarding the whole parent.
+		split := c.planner.Split(proc, args)
+		if !split.CrossShard() {
+			s := split.Coordinator()
+			id, deduped, err := c.subs[s].SubmitIdempotent(ctx, key, proc, args...)
+			if err != nil {
+				return "", false, err
+			}
+			return shard.FormatID(s, id), deduped, nil
 		}
-		id, deduped, err := c.subs[s].SubmitIdempotent(ctx, key, proc, args...)
-		if err != nil {
-			return "", false, err
+		if !c.crossShard {
+			return "", false, c.rejectCrossShard(proc, args)
 		}
-		return shard.FormatID(s, id), deduped, nil
+		// The recorded id is the (already qualified) parent id, returned
+		// verbatim on dedup.
+		return c.subs[split.Coordinator()].submitIdempotentVia(ctx, key, proc, args,
+			func() (string, error) { return c.xSubmit(split, proc, args) })
 	}
+	return c.submitIdempotentVia(ctx, key, proc, args,
+		func() (string, error) { return c.Submit(proc, args...) })
+}
+
+// submitIdempotentVia runs the idempotency-key protocol on THIS
+// client's store session, submitting through submitFn — its own Submit
+// for single-shard work, or the sharded parent's xSubmit when a
+// cross-shard submission keys its registry on the coordinator shard.
+// key and proc are already validated.
+func (c *Client) submitIdempotentVia(ctx context.Context, key, proc string, args []string, submitFn func() (string, error)) (string, bool, error) {
 	if err := c.cli.EnsurePath(proto.IdempotencyPath); err != nil {
 		return "", false, err
 	}
@@ -455,9 +480,9 @@ func (c *Client) SubmitIdempotent(ctx context.Context, key, proc string, args ..
 		if !errors.Is(err, store.ErrNodeExists) {
 			return "", false, err
 		}
-		return c.awaitIdempotent(ctx, keyPath, key, proc, args)
+		return c.awaitIdempotent(ctx, keyPath, key, proc, args, submitFn)
 	}
-	id, err := c.Submit(proc, args...)
+	id, err := submitFn()
 	if err != nil {
 		// Release the claim so a corrected retry can reuse the key.
 		_ = c.cli.Delete(keyPath, -1)
@@ -480,7 +505,7 @@ func (c *Client) SubmitIdempotent(ctx context.Context, key, proc string, args ..
 // awaitIdempotent resolves a lost idempotency race: read the winner's
 // recorded id, waiting out the window between its key claim and its id
 // write.
-func (c *Client) awaitIdempotent(ctx context.Context, keyPath, key, proc string, args []string) (string, bool, error) {
+func (c *Client) awaitIdempotent(ctx context.Context, keyPath, key, proc string, args []string, submitFn func() (string, error)) (string, bool, error) {
 	for {
 		watch, err := c.cli.WatchNode(keyPath)
 		if err != nil {
@@ -492,7 +517,7 @@ func (c *Client) awaitIdempotent(ctx context.Context, keyPath, key, proc string,
 			if errors.Is(err, store.ErrNoNode) {
 				// The winner's submission failed (or its session died)
 				// and the claim is gone; take over.
-				return c.SubmitIdempotent(ctx, key, proc, args...)
+				return c.submitIdempotentVia(ctx, key, proc, args, submitFn)
 			}
 			return "", false, err
 		}
@@ -525,7 +550,7 @@ func (c *Client) awaitIdempotent(ctx context.Context, keyPath, key, proc string,
 			c.cli.Unwatch(keyPath, watch)
 			derr := c.cli.Delete(keyPath, stat.Version)
 			if derr == nil || errors.Is(derr, store.ErrNoNode) {
-				return c.SubmitIdempotent(ctx, key, proc, args...)
+				return c.submitIdempotentVia(ctx, key, proc, args, submitFn)
 			}
 			if errors.Is(derr, store.ErrBadVersion) {
 				continue // the claim just resolved; re-read it

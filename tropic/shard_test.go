@@ -187,12 +187,31 @@ func TestShardedLifecycle(t *testing.T) {
 	}
 }
 
-// TestShardedCrossShardRejected: a submission whose resource roots land
-// on different shards fails synchronously with shard.cross_shard, and
-// no transaction record is created anywhere.
+// TestShardedCrossShardRejected: with cross-shard execution DISABLED
+// (Config.CrossShard, the PR-4 single-shard-only ablation), a
+// submission whose resource roots land on different shards fails
+// synchronously with shard.cross_shard, and no transaction record is
+// created anywhere. (With it enabled — the default — the same
+// submission executes atomically; see xshard_test.go.)
 func TestShardedCrossShardRejected(t *testing.T) {
 	const shards, hosts = 4, 16
-	p := shardedPlatform(t, shards, hosts, 1)
+	p, err := tropic.New(tropic.Config{
+		Schema:      tcloud.NewSchema(),
+		Procedures:  tcloud.Procedures(),
+		Bootstrap:   tcloud.Topology{ComputeHosts: hosts, ComputePerStorage: 1}.BuildModel(),
+		Controllers: 1,
+		Shards:      shards,
+		CrossShard:  tropic.CrossShardDisabled,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startCtx, startCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer startCancel()
+	if err := p.Start(startCtx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
 	cli := p.Client()
 	defer cli.Close()
 
@@ -211,7 +230,7 @@ func TestShardedCrossShardRejected(t *testing.T) {
 	if storagePath == "" {
 		t.Fatal("no cross-shard pair found (degenerate layout)")
 	}
-	_, err := cli.Submit(tcloud.ProcSpawnVM, storagePath, hostPath, "xvm", "1024")
+	_, err = cli.Submit(tcloud.ProcSpawnVM, storagePath, hostPath, "xvm", "1024")
 	if !errors.Is(err, trerr.ShardCrossShard) {
 		t.Fatalf("cross-shard submit error = %v, want %s", err, trerr.ShardCrossShard)
 	}

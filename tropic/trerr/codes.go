@@ -8,8 +8,8 @@ import "net/http"
 //
 // Areas: "api" (gateway request handling), "submit" (submission
 // plumbing), "txn" (transaction lifecycle), "reconcile" (§4
-// reload/repair), "shard" (cross-shard routing), "store"
-// (coordination-store operations).
+// reload/repair), "shard" (cross-shard routing), "xshard" (cross-shard
+// two-phase commit), "store" (coordination-store operations).
 var (
 	// APIBadRequest: the request was malformed (bad JSON, missing or
 	// invalid parameter).
@@ -95,10 +95,26 @@ var (
 		"deployment has no reconciler configured")
 
 	// ShardCrossShard: the submission's resource roots map to more than
-	// one shard of a sharded platform. Each shard is an independent ACID
-	// domain; a transaction must address resources of a single shard.
+	// one shard of a sharded platform AND cross-shard transactions are
+	// disabled (Config.CrossShard, the ablation path). With cross-shard
+	// execution enabled — the default — spanning submissions run as
+	// atomic two-phase-commit transactions instead of being rejected.
 	ShardCrossShard = register("shard.cross_shard", http.StatusUnprocessableEntity,
-		"transaction addresses resources owned by different shards")
+		"transaction addresses resources owned by different shards and cross-shard execution is disabled")
+
+	// XShardPrepareFailed: a participant shard voted to abort a
+	// cross-shard transaction during its prepare phase (constraint
+	// violation, procedure abort, or lock acquisition failure on that
+	// shard); the coordinator recorded an ABORT decision and every
+	// prepared child rolled back.
+	XShardPrepareFailed = register("xshard.prepare_failed", http.StatusConflict,
+		"a participant shard voted to abort during the cross-shard prepare phase")
+	// XShardInDoubtTimeout: the coordinator's prepare deadline elapsed
+	// before every participant voted (participant crash, lost vote, or
+	// cross-shard lock wait); the coordinator resolved the in-doubt
+	// transaction by recording an ABORT decision.
+	XShardInDoubtTimeout = register("xshard.indoubt_timeout", http.StatusGatewayTimeout,
+		"cross-shard prepare deadline elapsed before every participant voted; transaction aborted")
 
 	// StoreNoNode: the target znode does not exist.
 	StoreNoNode = register("store.no_node", http.StatusNotFound,

@@ -68,6 +68,8 @@ type (
 	Procedure = controller.Procedure
 	// Txn is a transaction record.
 	Txn = txn.Txn
+	// ChildRef is one entry of a cross-shard parent's child ledger.
+	ChildRef = txn.ChildRef
 	// LogRecord is one execution-log entry (paper Table 1).
 	LogRecord = txn.LogRecord
 	// State is a transaction state (paper Figure 2).
@@ -105,6 +107,12 @@ const (
 	StateCommitted   = txn.StateCommitted
 	StateAborted     = txn.StateAborted
 	StateFailed      = txn.StateFailed
+	// StatePrepared: a cross-shard child holding its locks, awaiting the
+	// coordinator's two-phase-commit decision.
+	StatePrepared = txn.StatePrepared
+	// StateDeciding: a cross-shard parent whose COMMIT/ABORT decision is
+	// durably recorded, awaiting child outcomes.
+	StateDeciding = txn.StateDeciding
 )
 
 // Operator signals (§4).
@@ -121,6 +129,24 @@ const (
 
 // ErrAbort aborts a transaction from inside a stored procedure.
 var ErrAbort = controller.ErrAbort
+
+// CrossShardMode selects cross-shard transaction handling on a sharded
+// platform (Config.CrossShard).
+type CrossShardMode int
+
+const (
+	// CrossShardAuto (the zero value) resolves to enabled.
+	CrossShardAuto CrossShardMode = iota
+	// CrossShardEnabled runs submissions spanning shards as atomic
+	// two-phase-commit transactions.
+	CrossShardEnabled
+	// CrossShardDisabled rejects submissions spanning shards with
+	// trerr.ShardCrossShard — the single-shard-only ablation.
+	CrossShardDisabled
+)
+
+// enabled resolves the mode (Auto → enabled).
+func (m CrossShardMode) enabled() bool { return m != CrossShardDisabled }
 
 // NewSchema creates an empty schema.
 func NewSchema() *Schema { return model.NewSchema() }
@@ -212,6 +238,24 @@ type Config struct {
 	// all shards — the usual deployment, where shards partition the
 	// control plane over one device substrate.
 	ShardExecutors []Executor
+	// CrossShard selects how a sharded platform handles submissions
+	// whose resource roots span shards: CrossShardAuto (the zero value)
+	// and CrossShardEnabled execute them as atomic two-phase-commit
+	// transactions — split into per-shard children coordinated by the
+	// lowest-numbered participant shard; CrossShardDisabled restores the
+	// synchronous trerr.ShardCrossShard rejection (the single-shard-only
+	// ablation). See docs/cross-shard.md.
+	CrossShard CrossShardMode
+	// XShardPrepareTimeout bounds how long a cross-shard coordinator
+	// waits for participant votes before resolving the transaction as
+	// aborted (trerr.XShardInDoubtTimeout), and paces re-delivery of
+	// decisions to outstanding children. Default 10s.
+	XShardPrepareTimeout time.Duration
+	// CrossShardHook observes coordinator protocol milestones
+	// ("prepare_sent", "decided") per shard — chaos-test
+	// instrumentation for crashing leaders at exact protocol points.
+	// Nil (the default) in production.
+	CrossShardHook func(shard int, event, parentID string)
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -283,8 +327,20 @@ func New(cfg Config) (*Platform, error) {
 			cfg.WorkerClaimBatch = 1
 		}
 	}
-	if cfg.Shards <= 0 {
+	if cfg.Shards < 0 {
+		// A negative shard count is always a configuration bug; reject it
+		// with a typed error instead of surprising the caller with a
+		// silently-resolved single shard (0, the zero value, IS the
+		// documented "default to 1").
+		return nil, trerr.Newf(trerr.APIBadRequest,
+			"tropic: Config.Shards = %d: shard count must be ≥ 1 (0 selects the default of 1)",
+			cfg.Shards).With("shards", fmt.Sprint(cfg.Shards))
+	}
+	if cfg.Shards == 0 {
 		cfg.Shards = 1
+	}
+	if cfg.XShardPrepareTimeout <= 0 {
+		cfg.XShardPrepareTimeout = controller.DefaultPrepareTimeout
 	}
 	if cfg.ShardExecutors != nil && len(cfg.ShardExecutors) != cfg.Shards {
 		return nil, fmt.Errorf("tropic: Config.ShardExecutors has %d entries for %d shards",
@@ -333,6 +389,28 @@ func (p *Platform) newShardUnit(i int) (*shardUnit, error) {
 		return nil, fmt.Errorf("tropic: store (shard %d): %w", i, err)
 	}
 	u := &shardUnit{index: i, ens: ens}
+	var xs *controller.XShardConfig
+	if p.router != nil && cfg.CrossShard.enabled() {
+		// Cross-shard coordination: each controller can reach every peer
+		// shard's store. The connector is called lazily (under
+		// leadership), after New has populated p.units.
+		shardIdx := i
+		xs = &controller.XShardConfig{
+			Self:           shardIdx,
+			Router:         p.router,
+			PrepareTimeout: cfg.XShardPrepareTimeout,
+			Connect: func(j int) *store.Client {
+				if j < 0 || j >= len(p.units) {
+					return nil
+				}
+				return p.units[j].ens.Connect()
+			},
+		}
+		if cfg.CrossShardHook != nil {
+			hook := cfg.CrossShardHook
+			xs.Hook = func(event, parentID string) { hook(shardIdx, event, parentID) }
+		}
+	}
 	for j := 0; j < cfg.Controllers; j++ {
 		c, err := controller.New(controller.Config{
 			Name:            fmt.Sprintf("%sctrl-%d", namePrefix, j),
@@ -344,6 +422,7 @@ func (p *Platform) newShardUnit(i int) (*shardUnit, error) {
 			Reconciler:      cfg.Reconciler,
 			Policy:          cfg.Policy,
 			BatchMaxOps:     cfg.BatchMaxOps,
+			XShard:          xs,
 			Logf:            cfg.Logf,
 		})
 		if err != nil {
@@ -519,6 +598,9 @@ type PipelineInfo struct {
 	// Shards is the number of independent shard pipelines (1 =
 	// unsharded); the per-pipeline knobs above apply to each shard.
 	Shards int `json:"shards"`
+	// CrossShard reports whether submissions spanning shards execute as
+	// two-phase-commit transactions (false: rejected, the ablation).
+	CrossShard bool `json:"crossShard"`
 }
 
 // PipelineInfo reports the resolved batching configuration.
@@ -529,6 +611,7 @@ func (p *Platform) PipelineInfo() PipelineInfo {
 		WorkerClaimBatch: p.cfg.WorkerClaimBatch,
 		WorkerThreads:    p.cfg.WorkerThreads,
 		Shards:           p.cfg.Shards,
+		CrossShard:       p.cfg.Shards > 1 && p.cfg.CrossShard.enabled(),
 	}
 }
 
@@ -681,7 +764,12 @@ func (p *Platform) Client() *Client {
 	if p.router == nil {
 		return connect(p.units[0])
 	}
-	c := &Client{router: p.router, procs: p.cfg.Procedures}
+	c := &Client{
+		router:     p.router,
+		procs:      p.cfg.Procedures,
+		planner:    shard.NewPlanner(p.router.Map()),
+		crossShard: p.cfg.CrossShard.enabled(),
+	}
 	for _, u := range p.units {
 		c.subs = append(c.subs, connect(u))
 	}
@@ -713,6 +801,11 @@ type Client struct {
 	// shard-qualified ("s<shard>-<local id>").
 	router *shard.Router
 	subs   []*Client
+	// planner splits cross-shard submissions into per-shard children;
+	// crossShard gates whether such submissions execute (two-phase
+	// commit) or reject (trerr.ShardCrossShard, the ablation).
+	planner    *shard.Planner
+	crossShard bool
 }
 
 // sharded reports whether this client fans out over shard sub-clients.
@@ -729,6 +822,54 @@ func (c *Client) resolveID(id string) (*Client, int, string, error) {
 			"tropic: transaction %q not found (sharded ids carry an s<shard>- prefix)", id).With("id", id)
 	}
 	return c.subs[s], s, local, nil
+}
+
+// locate resolves ANY transaction id to its owning sub-client, the id
+// to use against it, and how to re-qualify returned record ids. A plain
+// id routes by its "s<shard>-" prefix and is re-qualified on the way
+// out; a cross-shard CHILD id ("<parent>.c<k>") routes via the parent's
+// ledger — its record lives on the participant shard under the full
+// child id, which is already platform-unique and passes through
+// unchanged.
+func (c *Client) locate(id string) (sub *Client, local string, qualify func(string) string, err error) {
+	if parentID, k, ok := shard.ParseChildID(id); ok {
+		psub, _, plocal, err := c.resolveID(parentID)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		prec, err := psub.Get(plocal)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		if k >= len(prec.Children) || prec.Children[k].Shard < 0 || prec.Children[k].Shard >= len(c.subs) {
+			return nil, "", nil, trerr.Newf(trerr.TxnNotFound,
+				"tropic: transaction %s has no child %d", parentID, k).With("id", id)
+		}
+		return c.subs[prec.Children[k].Shard], id, func(local string) string { return local }, nil
+	}
+	sub, s, local, err := c.resolveID(id)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return sub, local, func(local string) string { return shard.FormatID(s, local) }, nil
+}
+
+// refreshChildren overlays a parent record's ledger with each child's
+// live state, so Get/Wait callers see cross-shard progress without
+// waiting for the coordinator's next ledger write. Best-effort: a child
+// read failure leaves the coordinator's last known entry.
+func (c *Client) refreshChildren(rec *Txn) {
+	for k := range rec.Children {
+		ref := &rec.Children[k]
+		if ref.State.Terminal() || ref.Shard < 0 || ref.Shard >= len(c.subs) {
+			continue
+		}
+		child, err := c.subs[ref.Shard].Get(ref.ID)
+		if err != nil {
+			continue
+		}
+		ref.State, ref.Error, ref.Code = child.State, child.Error, child.Code
+	}
 }
 
 // Close releases the client's store session(s).
@@ -767,18 +908,24 @@ func (c *Client) Submit(proc string, args ...string) (string, error) {
 		return "", err
 	}
 	if c.sharded() {
-		// Route by the submission's resource roots; a transaction
-		// spanning shards is rejected here (trerr.ShardCrossShard) —
-		// each shard is an independent ACID domain.
-		s, err := c.router.Route(proc, args)
-		if err != nil {
-			return "", err
+		// Route by the submission's resource roots. A single-shard plan
+		// submits to its owner; a spanning plan either executes as an
+		// atomic cross-shard transaction (the default) or, with
+		// Config.CrossShard disabled, is rejected here
+		// (trerr.ShardCrossShard) — the single-shard-only ablation.
+		split := c.planner.Split(proc, args)
+		if !split.CrossShard() {
+			s := split.Coordinator()
+			id, err := c.subs[s].Submit(proc, args...)
+			if err != nil {
+				return "", err
+			}
+			return shard.FormatID(s, id), nil
 		}
-		id, err := c.subs[s].Submit(proc, args...)
-		if err != nil {
-			return "", err
+		if !c.crossShard {
+			return "", c.rejectCrossShard(proc, args)
 		}
-		return shard.FormatID(s, id), nil
+		return c.xSubmit(split, proc, args)
 	}
 	now := time.Now()
 	rec := &txn.Txn{
@@ -819,6 +966,56 @@ func (c *Client) Submit(proc string, args ...string) (string, error) {
 	return idFromPath(path), nil
 }
 
+// rejectCrossShard builds the ablation rejection for a spanning
+// submission (Config.CrossShard disabled), preferring Route's detailed
+// error — it names the conflicting roots and shards.
+func (c *Client) rejectCrossShard(proc string, args []string) error {
+	if _, err := c.router.Route(proc, args); err != nil {
+		return err
+	}
+	// Unreachable while Route and Split agree on what spans shards.
+	return trerr.New(trerr.ShardCrossShard,
+		"tropic: submit: transaction spans shards and cross-shard execution is disabled")
+}
+
+// xSubmit initiates a cross-shard transaction: one PARENT record on the
+// coordinator shard (the plan's lowest-numbered participant) naming one
+// child per participant shard, created atomically with its submit
+// notice. The coordinator's lead controller drives the two-phase commit
+// from there; the returned parent id supports Get/Wait/WatchTxn like
+// any other. The parent id is client-generated (session id + local
+// counter, a distinct "t-x" prefix) so the deterministic child ids can
+// be derived before anything is written.
+func (c *Client) xSubmit(split shard.Split, proc string, args []string) (string, error) {
+	coord := split.Coordinator()
+	sub := c.subs[coord]
+	local := fmt.Sprintf("%s%xc%08d", shard.ParentLocalPrefix, sub.cli.SessionID(), sub.seq.Add(1))
+	qualified := shard.FormatID(coord, local)
+	children := make([]txn.ChildRef, len(split.Shards))
+	for k, s := range split.Shards {
+		children[k] = txn.ChildRef{ID: shard.ChildID(qualified, k), Shard: s}
+	}
+	now := time.Now()
+	rec := &txn.Txn{
+		Proc:        proc,
+		Args:        args,
+		State:       txn.StateInitialized,
+		SubmittedAt: now,
+		History:     []txn.StateStamp{{State: txn.StateInitialized, At: now}},
+		Children:    children,
+	}
+	path := proto.TxnsPath + "/" + local
+	err := sub.cli.Multi(
+		store.CreateOp(path, rec.Encode(), 0),
+		store.CreateOp(proto.InputQPath+"/item-",
+			proto.InputMsg{Kind: proto.KindSubmit, TxnPath: path}.Encode(), store.FlagSequence),
+	)
+	if err != nil {
+		return "", fmt.Errorf("tropic: submit cross-shard: %w", err)
+	}
+	return qualified, nil
+}
+
 // Get fetches the current record of a transaction. An unknown id is
 // reported as trerr.TxnNotFound.
 func (c *Client) Get(id string) (*Txn, error) {
@@ -826,7 +1023,7 @@ func (c *Client) Get(id string) (*Txn, error) {
 		return nil, trerr.New(trerr.APIBadRequest, "tropic: get: missing transaction id")
 	}
 	if c.sharded() {
-		sub, s, local, err := c.resolveID(id)
+		sub, local, qualify, err := c.locate(id)
 		if err != nil {
 			return nil, err
 		}
@@ -834,7 +1031,10 @@ func (c *Client) Get(id string) (*Txn, error) {
 		if err != nil {
 			return nil, err
 		}
-		rec.ID = shard.FormatID(s, rec.ID)
+		rec.ID = qualify(rec.ID)
+		if rec.IsParent() {
+			c.refreshChildren(rec)
+		}
 		return rec, nil
 	}
 	data, _, err := c.cli.Get(proto.TxnsPath + "/" + id)
@@ -859,7 +1059,7 @@ func (c *Client) Get(id string) (*Txn, error) {
 // context.DeadlineExceeded still in the chain).
 func (c *Client) Wait(ctx context.Context, id string) (*Txn, error) {
 	if c.sharded() {
-		sub, s, local, err := c.resolveID(id)
+		sub, local, qualify, err := c.locate(id)
 		if err != nil {
 			return nil, err
 		}
@@ -867,7 +1067,10 @@ func (c *Client) Wait(ctx context.Context, id string) (*Txn, error) {
 		if err != nil {
 			return nil, err
 		}
-		rec.ID = shard.FormatID(s, rec.ID)
+		rec.ID = qualify(rec.ID)
+		if rec.IsParent() {
+			c.refreshChildren(rec)
+		}
 		return rec, nil
 	}
 	path := proto.TxnsPath + "/" + id
@@ -989,16 +1192,35 @@ func (c *Client) Signal(id string, sig txn.Signal) error {
 			"tropic: signal %q: signal must be TERM or KILL", sig)
 	}
 	if c.sharded() {
-		sub, _, local, err := c.resolveID(id)
+		sub, local, _, err := c.locate(id)
 		if err != nil {
 			return err
 		}
+		if shard.IsParentLocal(local) {
+			// Parents are pure coordination records — there is no
+			// simulation or physical execution to stop; the 2PC decision
+			// resolves them. Recognized by the id prefix alone, so the
+			// common signal path pays no extra record read.
+			return trerr.Newf(trerr.TxnInvalidSignal,
+				"tropic: signal %s: cross-shard parents cannot be signalled; signal a child", id).With("id", id)
+		}
 		return sub.Signal(local, sig)
 	}
-	if _, err := c.Get(id); err != nil {
+	rec, err := c.Get(id)
+	if err != nil {
 		return err
 	}
-	_, err := c.cli.Create(proto.InputQPath+"/item-",
+	if rec.IsChild() && (rec.State == txn.StatePrepared || rec.State == txn.StateStarted) {
+		// A prepared child voted yes and a started one is past the COMMIT
+		// decision: two-phase commit forbids either from aborting
+		// unilaterally — one participant rolling back while its siblings
+		// commit would silently break the transaction's atomicity.
+		// Signals reach cross-shard work only before the vote (the whole
+		// transaction then aborts everywhere).
+		return trerr.Newf(trerr.TxnInvalidSignal,
+			"tropic: signal %s: cross-shard child is %s and cannot abort unilaterally", id, rec.State).With("id", id)
+	}
+	_, err = c.cli.Create(proto.InputQPath+"/item-",
 		proto.InputMsg{
 			Kind:    proto.KindSignal,
 			TxnPath: proto.TxnsPath + "/" + id,
