@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		expName      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|pipeline|shards|xshard|all")
+		expName      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|pipeline|shards|xshard|soak|all")
 		full         = flag.Bool("full", false, "paper-scale run (12,500 hosts, full 1-hour trace; takes many minutes)")
 		hosts        = flag.Int("hosts", 400, "compute hosts (logical-only experiments)")
 		mults        = flag.String("mult", "1,2,3,4,5", "comma-separated EC2 load multipliers")
@@ -48,6 +48,10 @@ func main() {
 		shardCounts  = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for -exp shards")
 		xshardTxns   = flag.Int("xshard-txns", 160, "transactions per workload per cross-shard point")
 		xshardCounts = flag.String("xshard-counts", "1,2,4", "comma-separated shard counts for -exp xshard")
+		soakTxns     = flag.Int("soak-txns", 512, "accepted transactions per soak run")
+		soakClients  = flag.Int("soak-clients", 64, "concurrent submitters for -exp soak")
+		soakInflight = flag.Int("soak-max-inflight", 8, "admission watermark under soak test")
+		soakP99      = flag.Float64("soak-p99-ms", 5000, "soak latency gate: max p99 submit latency (ms)")
 	)
 	flag.Parse()
 
@@ -144,6 +148,59 @@ func main() {
 			return runCrossShard(ctx, *xshardTxns, parseMults(*xshardCounts), xshardJSON)
 		})
 	}
+	if all || *expName == "soak" {
+		soakJSON := *jsonOut
+		if all {
+			soakJSON = ""
+		}
+		run("Soak: sustained overload through admission control", func(ctx context.Context) error {
+			return runSoak(ctx, exp.SoakParams{
+				Txns:                *soakTxns,
+				Submitters:          *soakClients,
+				MaxInflightPerShard: *soakInflight,
+				MaxP99Ms:            *soakP99,
+			}, soakJSON)
+		})
+	}
+}
+
+// runSoak drives sustained overload against the admission-controlled
+// gateway and enforces the soak gates: p99 submit latency, zero stuck
+// transactions, bounded queue depth, and sheds visible in the exported
+// metrics. A failed gate is a nonzero exit (CI emits BENCH_soak.json on
+// every run — the overload-behavior trajectory).
+func runSoak(ctx context.Context, p exp.SoakParams, jsonPath string) error {
+	res, err := exp.Soak(ctx, p)
+	if err != nil {
+		return err
+	}
+	type jsonDoc struct {
+		Generated string         `json:"generated"`
+		Result    exp.SoakResult `json:"result"`
+	}
+	fmt.Printf("shards=%d watermark=%d submitters=%d\n", res.Shards, res.Watermark, p.Submitters)
+	fmt.Printf("accepted=%d committed=%d otherTerminal=%d stuck=%d\n",
+		res.Txns, res.Committed, res.OtherTerminal, res.Stuck)
+	fmt.Printf("sheds=%d exported=%d  peak backlog=%d (bound %d)\n",
+		res.Sheds, int64(res.ShedsExported), res.MaxBacklog, res.DepthBound)
+	fmt.Printf("throughput=%.0f txns/s  mean=%.1fms  p99=%.0fms (gate %.0fms)\n",
+		res.PerSecond, res.MeanLatencyMs, res.P99LatencyMs, res.MaxP99Ms)
+	if jsonPath != "" {
+		doc := jsonDoc{Generated: time.Now().UTC().Format(time.RFC3339), Result: res}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if !res.Pass {
+		return fmt.Errorf("soak gate failed:\n  %s", strings.Join(res.Failures, "\n  "))
+	}
+	fmt.Println("all soak gates HOLD")
+	return nil
 }
 
 // runCrossShard sweeps the shard count over the cross-shard 2PC path,

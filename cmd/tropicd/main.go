@@ -19,7 +19,10 @@
 // The HTTP surface is implemented by internal/api (see its package
 // documentation for the endpoint reference); failures are structured
 // JSON errors carrying repro/tropic/trerr taxonomy codes, and
-// repro/tropic/httpclient is the matching Go SDK.
+// repro/tropic/httpclient is the matching Go SDK. GET /metrics exposes
+// the full pipeline's instrumentation in Prometheus text format, and
+// -max-inflight arms queue-depth admission control (HTTP 429 +
+// Retry-After under overload); docs/observability.md catalogs both.
 package main
 
 import (
@@ -58,6 +61,7 @@ func main() {
 		shards      = flag.Int("shards", 1, "consistent-hash store partitions, each with its own ensemble, controllers, and workers (see docs/sharding.md)")
 		crossShard  = flag.Bool("cross-shard", true, "execute submissions spanning shards as atomic two-phase-commit transactions; false rejects them with shard.cross_shard (see docs/cross-shard.md)")
 		xshardTO    = flag.Duration("xshard-prepare-timeout", 10*time.Second, "cross-shard vote-collection deadline before an in-doubt transaction aborts")
+		maxInflight = flag.Int("max-inflight", 0, "per-shard admission watermark: shed submissions (HTTP 429, api.overloaded) once a shard's queued backlog reaches this (0 disables; see docs/observability.md)")
 	)
 	flag.Parse()
 
@@ -91,6 +95,7 @@ func main() {
 		Shards:               *shards,
 		CrossShard:           crossShardMode,
 		XShardPrepareTimeout: *xshardTO,
+		MaxInflightPerShard:  *maxInflight,
 		Logf:                 logger.Printf,
 	}
 	tp := tcloud.Topology{ComputeHosts: *hosts}
@@ -135,6 +140,9 @@ func main() {
 		} else {
 			logger.Printf("sharding: %d consistent-hash partitions, cross-shard transactions REJECTED (-cross-shard=false)", n)
 		}
+	}
+	if *maxInflight > 0 {
+		logger.Printf("admission control: shedding api.overloaded at %d queued per shard", *maxInflight)
 	}
 	if *dataDir != "" {
 		if ps := p.Ensemble().PersistStats(); ps.Recoveries > 0 {

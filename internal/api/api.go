@@ -21,6 +21,8 @@
 //	                  config, queue depth gauges, API latencies
 //	GET  /healthz     readiness: leader presence and store quorum on
 //	                  EVERY shard (all-or-nothing)
+//	GET  /metrics     Prometheus text exposition of every pipeline
+//	                  stage's instruments (docs/observability.md)
 //
 // On a sharded platform the surface is routing-transparent, including
 // cross-shard transactions (docs/cross-shard.md): submitting a spanning
@@ -107,6 +109,7 @@ func New(cfg Config) *Gateway {
 	g.route("/v1/reload", http.MethodPost, g.handleReconcile((*tropic.Client).Reload))
 	g.route("/v1/stats", http.MethodGet, g.handleStats)
 	g.route("/healthz", http.MethodGet, g.handleHealthz)
+	g.route("/metrics", http.MethodGet, g.handleMetrics)
 	g.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, trerr.Newf(trerr.APINotFound, "no such endpoint %s", r.URL.Path))
 	})
@@ -455,6 +458,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		persist.WALAppends += s.Persist.WALAppends
 		persist.WALBytes += s.Persist.WALBytes
 		persist.Fsyncs += s.Persist.Fsyncs
+		persist.FsyncNanos += s.Persist.FsyncNanos
 		persist.Snapshots += s.Persist.Snapshots
 		persist.Recoveries += s.Persist.Recoveries
 		if s.Persist.LastRecoveryNanos > persist.LastRecoveryNanos {
@@ -476,6 +480,15 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shards":     shards,
 		"api":        g.latencySummaries(),
 	})
+}
+
+// handleMetrics serves the platform registry in Prometheus text
+// exposition format (v0.0.4), ready for any prometheus scrape_config.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := g.p.Metrics().WriteText(w); err != nil {
+		g.cfg.Logf("api: write metrics: %v", err)
+	}
 }
 
 // ShardHealth is one shard's readiness in the GET /healthz body.
@@ -570,8 +583,17 @@ func (g *Gateway) writeError(w http.ResponseWriter, err error) {
 			te = trerr.Wrap(trerr.APIInternal, err, err.Error())
 		}
 	}
+	status := trerr.HTTPStatus(te.Code)
+	if status == http.StatusTooManyRequests {
+		// Admission-control sheds carry a backoff hint for clients.
+		retry := "1"
+		if v := te.Details["retry_after"]; v != "" {
+			retry = v
+		}
+		w.Header().Set("Retry-After", retry)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(trerr.HTTPStatus(te.Code))
+	w.WriteHeader(status)
 	if encErr := json.NewEncoder(w).Encode(errorBody{Error: te}); encErr != nil {
 		g.cfg.Logf("api: encode error response (%s): %v", te.Code, encErr)
 	}

@@ -1,0 +1,185 @@
+package api_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/tcloud"
+	"repro/tropic"
+	"repro/tropic/trerr"
+)
+
+// TestAPIMetricsScrape: GET /metrics serves Prometheus text covering
+// every pipeline stage after one committed transaction — the smoke
+// check CI also runs against a live tropicd.
+func TestAPIMetricsScrape(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, body := postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM,
+		Args: spawnArgs(0, "mvm1"),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sr api.SubmitResult
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := getJSON(t, srv.URL+"/v1/wait?id="+sr.ID); code != http.StatusOK {
+		t.Fatalf("wait: %d %s", code, body)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text format v0.0.4", ct)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One family per pipeline stage: gateway submit→terminal latency,
+	// controller event rounds and stage outcomes, worker claim/execute,
+	// queue depths, and the persist counters.
+	for _, fam := range []string{
+		"tropic_txn_latency_seconds",
+		"tropic_controller_rounds_total",
+		`tropic_controller_stage_total{shard="0",stage="committed"}`,
+		"tropic_worker_claim_wait_seconds",
+		"tropic_worker_execute_seconds",
+		`tropic_worker_outcomes_total{shard="0",outcome="committed"`,
+		`tropic_queue_depth{shard="0",queue="inputq"}`,
+		`tropic_admission_shed_total{shard="0"} 0`,
+		"tropic_store_wal_appends_total",
+		"# TYPE tropic_txn_latency_seconds histogram",
+	} {
+		if !strings.Contains(string(text), fam) {
+			t.Errorf("/metrics missing %q", fam)
+		}
+	}
+}
+
+// overloadedServer runs a logical deployment with a watermark of 1 and
+// a slowed store, so a burst of submissions must trip admission
+// control.
+func overloadedServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	p, err := tropic.New(tropic.Config{
+		Schema:              tcloud.NewSchema(),
+		Procedures:          tcloud.Procedures(),
+		Bootstrap:           tcloud.Topology{ComputeHosts: 4}.BuildModel(),
+		Executor:            tropic.NoopExecutor{},
+		Controllers:         1,
+		BatchMaxOps:         1,
+		CommitLatency:       5 * time.Millisecond,
+		MaxInflightPerShard: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	gw := api.New(api.Config{Platform: p})
+	t.Cleanup(gw.Close)
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestAPIAdmissionShedAndRecover: past the watermark the gateway sheds
+// with HTTP 429 + Retry-After carrying the api.overloaded code, the
+// sheds surface in /metrics, and once the backlog drains submissions
+// are admitted again.
+func TestAPIAdmissionShedAndRecover(t *testing.T) {
+	srv := overloadedServer(t)
+	submit := func(i int, vm string) *http.Response {
+		b, _ := json.Marshal(api.SubmitItem{Proc: tcloud.ProcSpawnVM, Args: spawnArgs(i%4, vm)})
+		resp, err := http.Post(srv.URL+"/v1/submit", "application/json", strings.NewReader(string(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	var accepted []string
+	var shed *http.Response
+	var shedBody []byte
+	for i := 0; i < 200 && shed == nil; i++ {
+		resp := submit(i, "avm"+string(rune('a'+i%26))+string(rune('a'+i/26)))
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var sr api.SubmitResult
+			if err := json.Unmarshal(body, &sr); err != nil {
+				t.Fatalf("submit body: %s", body)
+			}
+			accepted = append(accepted, sr.ID)
+		case http.StatusTooManyRequests:
+			shed, shedBody = resp, body
+		default:
+			t.Fatalf("submit %d: unexpected %d %s", i, resp.StatusCode, body)
+		}
+	}
+	if shed == nil {
+		t.Fatalf("no submission shed after 200 attempts over watermark 1 (accepted %d)", len(accepted))
+	}
+	if got := errCode(t, shedBody); got != string(trerr.APIOverloaded) {
+		t.Errorf("shed code = %q, want %q", got, trerr.APIOverloaded)
+	}
+	if ra := shed.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+
+	// Drain: every accepted transaction still reaches a terminal state.
+	for _, id := range accepted {
+		if code, body := getJSON(t, srv.URL+"/v1/wait?id="+id); code != http.StatusOK {
+			t.Fatalf("wait %s: %d %s", id, code, body)
+		}
+	}
+
+	// Recover: with the backlog gone, admission opens again (the cached
+	// depth sample refreshes within milliseconds).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := submit(0, "recovm")
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("recovery submit: %d %s", resp.StatusCode, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gateway still shedding 10s after drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The sheds are visible to a scraper.
+	code, text := getJSON(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	if !strings.Contains(string(text), `tropic_admission_shed_total{shard="0"}`) {
+		t.Errorf("/metrics missing shed counter:\n%s", text)
+	}
+}

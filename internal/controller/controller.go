@@ -63,6 +63,14 @@ type Config struct {
 	// first, and as participant for child prepares. Nil (the default,
 	// and always on unsharded platforms) rejects cross-shard work.
 	XShard *XShardConfig
+	// Registry receives the controller's exported instruments (event
+	// rounds, flush latency, per-stage counters, 2PC phase timings). Nil
+	// uses a private registry, so instrumentation is always live.
+	Registry *metrics.Registry
+	// Shard is the label value for this controller's exported series
+	// ("0" when empty). Replicas of one shard share their series through
+	// the registry, so counters stay monotone across failovers.
+	Shard string
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -126,6 +134,66 @@ type Stats struct {
 	FlushNanos int64
 }
 
+// ctrlInstruments is the controller's registry-backed instrument
+// bundle. The registry is get-or-create, so every replica of a shard
+// resolves the same underlying series: whichever replica leads
+// increments the shared counters, and a failover continues them
+// monotonically instead of restarting from zero.
+type ctrlInstruments struct {
+	shard      string
+	rounds     *metrics.Counter         // event rounds drained from inputQ
+	roundItems *metrics.BucketHistogram // items carried per drain round
+	flushLat   *metrics.BucketHistogram // grouped Multi commit wall time
+	flushOps   *metrics.BucketHistogram // store ops per grouped commit
+	stages     *metrics.CounterVec      // {shard, stage} lifecycle outcomes
+
+	xPhase   *metrics.HistogramVec // {shard, phase} 2PC phase durations
+	xInDoubt *metrics.Counter      // in-doubt resolutions on this shard
+	xParents *metrics.CounterVec   // {shard, outcome} finalized parents
+}
+
+// mark bumps the exported per-stage counter for this shard.
+func (m *ctrlInstruments) mark(stage string) { m.stages.With(m.shard, stage).Inc() }
+
+// newCtrlInstruments resolves the controller's series in reg.
+func newCtrlInstruments(reg *metrics.Registry, shard string) ctrlInstruments {
+	return ctrlInstruments{
+		shard: shard,
+		rounds: reg.CounterVec("tropic_controller_rounds_total",
+			"Event rounds the lead controller drained from inputQ.", "shard").With(shard),
+		roundItems: reg.HistogramVec("tropic_controller_round_items",
+			"inputQ items carried by one event round of the lead controller.",
+			metrics.DefSizeBuckets, "shard").With(shard),
+		flushLat: reg.HistogramVec("tropic_controller_flush_seconds",
+			"Wall time of one grouped Multi commit (staged accepts, cleanups, and admission rounds).",
+			nil, "shard").With(shard),
+		flushOps: reg.HistogramVec("tropic_controller_flush_ops",
+			"Store operations carried by one grouped Multi commit.",
+			metrics.DefSizeBuckets, "shard").With(shard),
+		stages: reg.CounterVec("tropic_controller_stage_total",
+			"Logical-layer stage outcomes: accepted, committed, aborted, failed, deferred, violation.",
+			"shard", "stage"),
+		xPhase: reg.HistogramVec("tropic_xshard_phase_seconds",
+			"Coordinator-side 2PC phase durations: vote is one participant's prepare round trip, prepare is fan-out to durable decision, decide is decision to finalized parent.",
+			nil, "shard", "phase"),
+		xInDoubt: reg.CounterVec("tropic_xshard_indoubt_total",
+			"In-doubt cross-shard resolutions: prepare deadlines forcing a presumed-abort decision, and recovered prepared children consulting the coordinator record.",
+			"shard").With(shard),
+		xParents: reg.CounterVec("tropic_xshard_parents_total",
+			"Finalized cross-shard parent transactions by terminal outcome.",
+			"shard", "outcome"),
+	}
+}
+
+// countStage bumps one Stats field under the mutex and mirrors it into
+// the exported per-stage counter.
+func (c *Controller) countStage(stat *int64, stage string) {
+	c.mu.Lock()
+	*stat++
+	c.mu.Unlock()
+	c.met.mark(stage)
+}
+
 // Controller is one TROPIC controller replica. All replicas run Run;
 // the elected leader executes the logical layer while followers stand
 // by to take over (§2.3).
@@ -150,11 +218,18 @@ type Controller struct {
 	admitPending []*txn.Txn
 
 	stats     Stats
+	met       ctrlInstruments
 	leading   atomic.Bool
 	todoDepth metrics.Gauge
 
 	mu     sync.Mutex // guards stats snapshotting
 	killed atomic.Bool
+
+	// xtMu guards xTimes, the coordinator-side phase clock for parents
+	// in flight: when prepares fanned out and when the decision landed,
+	// so the prepare→decide→finalize phase durations can be exported.
+	xtMu   sync.Mutex
+	xTimes map[string]*xPhaseClock
 
 	// xmu guards the lazily-connected peer-shard sessions used by the
 	// cross-shard layer.
@@ -197,12 +272,21 @@ func New(cfg Config) (*Controller, error) {
 		cli.Close()
 		return nil, err
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	shard := cfg.Shard
+	if shard == "" {
+		shard = "0"
+	}
 	c := &Controller{
 		cfg:    cfg,
 		cli:    cli,
 		inputQ: inputQ,
 		phyQ:   phyQ,
 		cand:   cand,
+		met:    newCtrlInstruments(reg, shard),
 	}
 	if cfg.Bootstrap != nil {
 		if err := c.writeBootstrapSnapshot(cfg.Bootstrap); err != nil {
@@ -422,6 +506,8 @@ func (c *Controller) batchMax() int {
 func (c *Controller) batching() bool { return c.cfg.BatchMaxOps > 1 }
 
 func (c *Controller) noteInBatch(n int) {
+	c.met.rounds.Inc()
+	c.met.roundItems.Observe(float64(n))
 	if !c.batching() {
 		return
 	}
@@ -434,13 +520,16 @@ func (c *Controller) noteInBatch(n int) {
 	c.mu.Unlock()
 }
 
-// noteFlush records one grouped Multi commit in the batch stats.
-// Unbatched mode commits the same legacy per-item ops through the same
-// helpers; those are not grouped commits and stay out of the counters.
+// noteFlush records one grouped Multi commit in the batch stats and the
+// exported flush histograms. Unbatched mode commits the same legacy
+// per-item ops through the same helpers; those are not grouped commits
+// and stay out of both.
 func (c *Controller) noteFlush(ops int, d time.Duration) {
 	if !c.batching() {
 		return
 	}
+	c.met.flushOps.Observe(float64(ops))
+	c.met.flushLat.ObserveDuration(d)
 	c.mu.Lock()
 	c.stats.Flushes++
 	c.stats.FlushedOps += int64(ops)
@@ -802,9 +891,7 @@ func (c *Controller) accept(msg proto.InputMsg, itemPath string) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	c.stats.Accepted++
-	c.mu.Unlock()
+	c.countStage(&c.stats.Accepted, "accepted")
 	c.todo = append(c.todo, rec)
 	return nil
 }
@@ -858,9 +945,7 @@ func (c *Controller) stageAccept(r *round, msg proto.InputMsg, itemPath string) 
 			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
 		},
 		func() {
-			c.mu.Lock()
-			c.stats.Accepted++
-			c.mu.Unlock()
+			c.countStage(&c.stats.Accepted, "accepted")
 		},
 		func() error { return c.accept(msg, itemPath) },
 	)
@@ -906,9 +991,7 @@ func (c *Controller) scheduleWalk(r *round) {
 		case outcomeRunnable, outcomeAborted:
 			c.todo = append(c.todo[:i], c.todo[i+1:]...)
 		case outcomeConflict:
-			c.mu.Lock()
-			c.stats.Deferrals++
-			c.mu.Unlock()
+			c.countStage(&c.stats.Deferrals, "deferred")
 			t.State = txn.StateDeferred // in-memory only; persisted as accepted
 			if c.cfg.Policy == ScheduleFIFO {
 				return
@@ -940,9 +1023,7 @@ func (c *Controller) trySchedule(t *txn.Txn, r *round) scheduleOutcome {
 		// Roll back whatever the simulation applied, then abort (③A).
 		c.rollbackTimed(t.ID, t.Log)
 		if errors.Is(simErr, ErrConstraint) {
-			c.mu.Lock()
-			c.stats.Violations++
-			c.mu.Unlock()
+			c.countStage(&c.stats.Violations, "violation")
 		}
 		c.abortQueued(t, simErr, r)
 		return outcomeAborted
@@ -1110,9 +1191,7 @@ func (c *Controller) abortQueued(t *txn.Txn, reason error, r *round) {
 	path := c.txnPath(t.ID)
 	persist := func() error { return c.cli.Set(path, t.Encode(), -1) }
 	count := func() {
-		c.mu.Lock()
-		c.stats.Aborted++
-		c.mu.Unlock()
+		c.countStage(&c.stats.Aborted, "aborted")
 		// A cross-shard child aborted before it could prepare is a NO
 		// vote; it goes out only after the terminal state is durable.
 		if t.IsChild() {
@@ -1251,9 +1330,7 @@ func (c *Controller) stageCleanup(r *round, msg proto.InputMsg, itemPath string)
 		r.stage(ops,
 			func() {
 				delete(c.inFlight, rec.ID)
-				c.mu.Lock()
-				c.stats.Committed++
-				c.mu.Unlock()
+				c.countStage(&c.stats.Committed, "committed")
 				if rec.IsChild() {
 					c.xSendChildDone(rec)
 				}
@@ -1289,18 +1366,14 @@ func (c *Controller) finishCleanup(t, rec *txn.Txn, outcome txn.State) {
 	switch outcome {
 	case txn.StateCommitted:
 		// ⑤A: logical effects are already in the tree from simulation.
-		c.mu.Lock()
-		c.stats.Committed++
-		c.mu.Unlock()
+		c.countStage(&c.stats.Committed, "committed")
 		c.locks.ReleaseAll(rec.ID)
 		c.maybeCheckpoint()
 	case txn.StateAborted:
 		// ⑤B: physical execution failed and was fully undone; roll the
 		// logical layer back too.
 		c.rollbackTimed(t.ID, t.Log)
-		c.mu.Lock()
-		c.stats.Aborted++
-		c.mu.Unlock()
+		c.countStage(&c.stats.Aborted, "aborted")
 		c.locks.ReleaseAll(rec.ID)
 	case txn.StateFailed:
 		// Undo failed partway: the logical layer rolls back, but the
@@ -1309,9 +1382,7 @@ func (c *Controller) finishCleanup(t, rec *txn.Txn, outcome txn.State) {
 		// further transactions are denied until reconciliation (§4).
 		c.rollbackTimed(t.ID, t.Log)
 		c.markInconsistentFromLog(t.Log)
-		c.mu.Lock()
-		c.stats.Failed++
-		c.mu.Unlock()
+		c.countStage(&c.stats.Failed, "failed")
 		c.locks.ReleaseAll(rec.ID)
 	}
 }
@@ -1377,9 +1448,7 @@ func (c *Controller) signal(txnPath string, sig txn.Signal) error {
 		c.rollbackTimed(t.ID, t.Log)
 		c.markInconsistentFromLog(t.Log)
 		c.locks.ReleaseAll(rec.ID)
-		c.mu.Lock()
-		c.stats.Aborted++
-		c.mu.Unlock()
+		c.countStage(&c.stats.Aborted, "aborted")
 		return c.updateTxn(txnPath, func(r *txn.Txn) error {
 			r.Signal = txn.SignalKill
 			if r.State.Terminal() {
@@ -1666,9 +1735,7 @@ func (c *Controller) recover() error {
 				if err := c.cli.Set(path, rec.Encode(), -1); err != nil {
 					return err
 				}
-				c.mu.Lock()
-				c.stats.Accepted++
-				c.mu.Unlock()
+				c.countStage(&c.stats.Accepted, "accepted")
 				c.todo = append(c.todo, rec)
 			}
 		case txn.StateAccepted, txn.StateDeferred:

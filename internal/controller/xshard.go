@@ -212,9 +212,7 @@ func (c *Controller) xAcceptParent(rec *txn.Txn, stat store.Stat, itemPath strin
 	); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	c.stats.Accepted++
-	c.mu.Unlock()
+	c.countStage(&c.stats.Accepted, "accepted")
 	c.xStartPrepares(rec)
 	return nil
 }
@@ -238,9 +236,7 @@ func (c *Controller) stageXAcceptParent(r *round, rec *txn.Txn, stat store.Stat,
 			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
 		},
 		func() {
-			c.mu.Lock()
-			c.stats.Accepted++
-			c.mu.Unlock()
+			c.countStage(&c.stats.Accepted, "accepted")
 			c.xStartPrepares(rec)
 		},
 		func() error { return c.accept(msg, itemPath) },
@@ -252,6 +248,7 @@ func (c *Controller) stageXAcceptParent(r *round, rec *txn.Txn, stat store.Stat,
 // arms the vote-collection deadline. Called with the parent's accepted
 // state already durable.
 func (c *Controller) xStartPrepares(rec *txn.Txn) {
+	c.xClockStart(rec.ID)
 	for k := range rec.Children {
 		if err := c.xSendPrepare(rec, k); err != nil {
 			// A participant that cannot be reached never votes; the
@@ -333,6 +330,66 @@ func (c *Controller) xArmTimeout(parentID string) {
 	})
 }
 
+// xPhaseClock is the coordinator's in-memory phase timer for one parent
+// in flight: when prepares fanned out and when the decision landed. It
+// feeds the exported tropic_xshard_phase_seconds histogram; it is NOT
+// persisted, so a parent coordinated across a failover simply goes
+// untimed — timing is an observability aid, never a correctness input.
+type xPhaseClock struct {
+	prepStart time.Time
+	decidedAt time.Time
+}
+
+// xClockStart stamps the prepare fan-out time for a parent, once.
+func (c *Controller) xClockStart(id string) {
+	c.xtMu.Lock()
+	if c.xTimes == nil {
+		c.xTimes = make(map[string]*xPhaseClock)
+	}
+	if _, ok := c.xTimes[id]; !ok {
+		c.xTimes[id] = &xPhaseClock{prepStart: time.Now()}
+	}
+	c.xtMu.Unlock()
+}
+
+// xClockVote observes one participant's prepare round trip: fan-out to
+// its first vote arriving at the coordinator.
+func (c *Controller) xClockVote(id string) {
+	c.xtMu.Lock()
+	clk := c.xTimes[id]
+	c.xtMu.Unlock()
+	if clk != nil {
+		c.met.xPhase.With(c.met.shard, "vote").ObserveDuration(time.Since(clk.prepStart))
+	}
+}
+
+// xClockDecided closes the prepare phase: fan-out to durable decision.
+func (c *Controller) xClockDecided(id string) {
+	c.xtMu.Lock()
+	clk := c.xTimes[id]
+	if clk != nil && !clk.decidedAt.IsZero() {
+		clk = nil // already timed by an earlier decide path
+	} else if clk != nil {
+		clk.decidedAt = time.Now()
+	}
+	c.xtMu.Unlock()
+	if clk != nil {
+		c.met.xPhase.With(c.met.shard, "prepare").ObserveDuration(clk.decidedAt.Sub(clk.prepStart))
+	}
+}
+
+// xClockFinalized closes the decide phase (decision to finalized
+// parent) and drops the clock entry.
+func (c *Controller) xClockFinalized(id string) {
+	c.xtMu.Lock()
+	clk := c.xTimes[id]
+	delete(c.xTimes, id)
+	c.xtMu.Unlock()
+	if clk != nil && !clk.decidedAt.IsZero() {
+		c.met.xPhase.With(c.met.shard, "decide").ObserveDuration(time.Since(clk.decidedAt))
+	}
+}
+
 // xAllVoted reports whether every child has a ledger entry (vote or
 // terminal outcome).
 func xAllVoted(rec *txn.Txn) bool {
@@ -394,6 +451,7 @@ func (c *Controller) xRecordDecision(rec *txn.Txn, timeout bool) error {
 		rec.Decision = txn.DecisionAbort
 		rec.Code = string(trerr.XShardInDoubtTimeout)
 		rec.Error = fmt.Sprintf("child %s did not vote before the prepare deadline", rec.Children[noVote].ID)
+		c.met.xInDoubt.Inc()
 	}
 	return rec.Transition(txn.StateDeciding)
 }
@@ -469,18 +527,25 @@ func (c *Controller) xFinalizeParent(rec *txn.Txn) error {
 }
 
 // xCountParent tallies a parent's terminal outcome once its finalize
-// write committed.
+// write committed, closes the decide-phase timer, and exports the
+// outcome-labeled parent counter.
 func (c *Controller) xCountParent(rec *txn.Txn) {
-	c.mu.Lock()
+	var outcome string
 	switch rec.State {
 	case txn.StateCommitted:
-		c.stats.Committed++
+		c.countStage(&c.stats.Committed, "committed")
+		outcome = "committed"
 	case txn.StateAborted:
-		c.stats.Aborted++
+		c.countStage(&c.stats.Aborted, "aborted")
+		outcome = "aborted"
 	case txn.StateFailed:
-		c.stats.Failed++
+		c.countStage(&c.stats.Failed, "failed")
+		outcome = "failed"
+	default:
+		return
 	}
-	c.mu.Unlock()
+	c.met.xParents.With(c.met.shard, outcome).Inc()
+	c.xClockFinalized(rec.ID)
 }
 
 // xEffects describes what one ledger message (vote or child-done) did
@@ -520,6 +585,10 @@ func (c *Controller) xApplyVote(rec *txn.Txn, msg proto.InputMsg) (eff xEffects,
 	}
 	ref := &rec.Children[k]
 	if ref.State == "" || (ref.State == txn.StatePrepared && vote.Terminal()) {
+		if ref.State == "" {
+			// First word from this participant: one prepare round trip.
+			c.xClockVote(rec.ID)
+		}
 		ref.State, ref.Error, ref.Code = vote, msg.Error, msg.Code
 		eff.changed = true
 	}
@@ -547,6 +616,7 @@ func (c *Controller) xPostVote(rec *txn.Txn, eff xEffects) {
 		c.xCountParent(rec)
 	}
 	if eff.decided {
+		c.xClockDecided(rec.ID)
 		c.xHook(XEventDecided, rec.ID)
 		c.xFanOutDecides(rec)
 		c.xArmTimeout(rec.ID)
@@ -783,6 +853,7 @@ func (c *Controller) xAdvanceParent(rec *txn.Txn, changed, deadline bool, persis
 	}
 	if rec.Decision != "" {
 		if decided {
+			c.xClockDecided(rec.ID)
 			c.xHook(XEventDecided, rec.ID)
 		}
 		// Re-delivery to children the ledger still shows prepared; a
@@ -1019,9 +1090,7 @@ func (c *Controller) xAbortPrepared(t *txn.Txn, errStr, code string, extra ...st
 	c.rollbackTimed(t.ID, t.Log)
 	c.locks.ReleaseAll(t.ID)
 	delete(c.prepared, t.ID)
-	c.mu.Lock()
-	c.stats.Aborted++
-	c.mu.Unlock()
+	c.countStage(&c.stats.Aborted, "aborted")
 	c.xSendChildDone(t)
 	return nil
 }
@@ -1041,6 +1110,7 @@ func (c *Controller) xResolveInDoubt(t *txn.Txn) {
 		c.cfg.Logf("controller %s: prepared child %s without cross-shard config", c.cfg.Name, t.ID)
 		return
 	}
+	c.met.xInDoubt.Inc()
 	coord, parentLocal, ok := shard.ParseID(t.Parent, x.Router.Shards())
 	if !ok {
 		c.cfg.Logf("controller %s: child %s has malformed parent id %q", c.cfg.Name, t.ID, t.Parent)
@@ -1121,9 +1191,7 @@ func (c *Controller) xRecoverParent(rec *txn.Txn) {
 			c.cfg.Logf("controller %s: recover parent %s: %v", c.cfg.Name, rec.ID, err)
 			return
 		}
-		c.mu.Lock()
-		c.stats.Accepted++
-		c.mu.Unlock()
+		c.countStage(&c.stats.Accepted, "accepted")
 	}
 	if rec.State.Terminal() {
 		return

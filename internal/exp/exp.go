@@ -60,6 +60,10 @@ type PlatformParams struct {
 	Shards int
 	// Controllers is the per-shard controller replica count (default 3).
 	Controllers int
+	// MaxInflightPerShard is the gateway admission watermark
+	// (tropic.Config semantics; 0 disables shedding — the default, so
+	// every existing experiment measures the unshed pipeline).
+	MaxInflightPerShard int
 }
 
 func (p PlatformParams) withDefaults() PlatformParams {
@@ -87,17 +91,18 @@ func Start(ctx context.Context, p PlatformParams) (*Env, error) {
 	p = p.withDefaults()
 	env := &Env{Params: p}
 	cfg := tropic.Config{
-		Schema:           tcloud.NewSchema(),
-		Procedures:       tcloud.Procedures(),
-		CommitLatency:    p.CommitLatency,
-		SessionTimeout:   p.SessionTimeout,
-		WorkerThreads:    p.WorkerThreads,
-		CheckpointEvery:  p.CheckpointEvery,
-		BatchMaxOps:      p.BatchMaxOps,
-		BatchMaxDelay:    p.BatchMaxDelay,
-		WorkerClaimBatch: p.WorkerClaimBatch,
-		Shards:           p.Shards,
-		Controllers:      p.Controllers,
+		Schema:              tcloud.NewSchema(),
+		Procedures:          tcloud.Procedures(),
+		CommitLatency:       p.CommitLatency,
+		SessionTimeout:      p.SessionTimeout,
+		WorkerThreads:       p.WorkerThreads,
+		CheckpointEvery:     p.CheckpointEvery,
+		BatchMaxOps:         p.BatchMaxOps,
+		BatchMaxDelay:       p.BatchMaxDelay,
+		WorkerClaimBatch:    p.WorkerClaimBatch,
+		Shards:              p.Shards,
+		Controllers:         p.Controllers,
+		MaxInflightPerShard: p.MaxInflightPerShard,
 	}
 	if p.LogicalOnly {
 		cfg.Bootstrap = p.Topology.BuildModel()

@@ -1,0 +1,331 @@
+package exp
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+	"repro/tcloud"
+	"repro/tropic"
+	"repro/tropic/trerr"
+)
+
+// SoakParams drives the sustained-overload experiment: many more
+// concurrent submitters than the admission watermark allows, so the
+// gateway must shed (api.overloaded) while the pipeline keeps draining.
+// The run gates on the three properties admission control exists to
+// protect — bounded submit latency, bounded queue depth, and no
+// transaction left stuck — plus the observability contract that every
+// shed is visible in the exported metrics.
+type SoakParams struct {
+	// Shards is the partition count under load (default 2).
+	Shards int
+	// Hosts sizes the logical-only topology (default 64).
+	Hosts int
+	// Txns is how many transactions must be accepted AND reach a
+	// terminal state (default 512). Shed submissions are retried with
+	// backoff until accepted, so the load offered exceeds this.
+	Txns int
+	// Submitters is the concurrent client count (default 64). It must
+	// exceed MaxInflightPerShard for the run to actually overload.
+	Submitters int
+	// MaxInflightPerShard is the admission watermark under test
+	// (default 8 — far below Submitters, so shedding is guaranteed).
+	MaxInflightPerShard int
+	// CommitLatency simulates one store quorum round (default 200µs).
+	CommitLatency time.Duration
+	// BatchMaxOps sizes group commits (default 8).
+	BatchMaxOps int
+	// Backoff is the base retry delay after a shed (default 500µs);
+	// each consecutive shed of the same op doubles it up to 16x.
+	Backoff time.Duration
+	// MaxP99Ms is the latency gate: p99 submit→terminal latency of
+	// accepted transactions must stay under this (default 5000ms —
+	// generous for CI machines; the point is "bounded", not "fast").
+	MaxP99Ms float64
+}
+
+func (p SoakParams) withDefaults() SoakParams {
+	if p.Shards <= 0 {
+		p.Shards = 2
+	}
+	if p.Hosts <= 0 {
+		p.Hosts = 64
+	}
+	if p.Txns <= 0 {
+		p.Txns = 512
+	}
+	if p.Submitters <= 0 {
+		p.Submitters = 64
+	}
+	if p.MaxInflightPerShard <= 0 {
+		p.MaxInflightPerShard = 8
+	}
+	if p.CommitLatency == 0 {
+		p.CommitLatency = 200 * time.Microsecond
+	}
+	if p.BatchMaxOps <= 0 {
+		p.BatchMaxOps = 8
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 500 * time.Microsecond
+	}
+	if p.MaxP99Ms <= 0 {
+		p.MaxP99Ms = 5000
+	}
+	return p
+}
+
+// SoakResult reports one soak run and its gate verdicts.
+type SoakResult struct {
+	// Shards and Watermark echo the configuration under test.
+	Shards    int `json:"shards"`
+	Watermark int `json:"watermark"`
+	// Txns, Committed, OtherTerminal count accepted transactions by
+	// final state; Stuck counts accepted submissions that never
+	// reached an observed terminal state (gate: zero).
+	Txns          int `json:"txns"`
+	Committed     int `json:"committed"`
+	OtherTerminal int `json:"otherTerminal"`
+	Stuck         int `json:"stuck"`
+	// Sheds counts api.overloaded rejections observed by clients;
+	// ShedsExported is the tropic_admission_shed_total sum scraped
+	// from the platform registry (gate: both nonzero, and the
+	// exported count covers every client-observed shed).
+	Sheds         int64   `json:"sheds"`
+	ShedsExported float64 `json:"shedsExported"`
+	// MaxBacklog is the peak sampled per-shard backlog
+	// (inputq+todoq+phyq); DepthBound is the gate ceiling
+	// (watermark + submitters: each admitted submitter may add one
+	// item past a stale admission sample).
+	MaxBacklog int64 `json:"maxBacklog"`
+	DepthBound int64 `json:"depthBound"`
+	// Elapsed and PerSecond measure accepted-transaction throughput
+	// under overload.
+	Elapsed   time.Duration `json:"elapsedNanos"`
+	PerSecond float64       `json:"perSecond"`
+	// MeanLatencyMs and P99LatencyMs are accepted-transaction
+	// submit→terminal latencies; MaxP99Ms is the gate.
+	MeanLatencyMs float64 `json:"meanLatencyMs"`
+	P99LatencyMs  float64 `json:"p99LatencyMs"`
+	MaxP99Ms      float64 `json:"maxP99Ms"`
+	// Pass is the overall gate verdict; Failures lists each gate that
+	// failed, in human-readable form.
+	Pass     bool     `json:"pass"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Soak drives sustained overload through the admission-controlled
+// gateway and evaluates the gates. A failed gate is reported in the
+// result, not as an error; the error return is for runs that could not
+// execute at all.
+func Soak(ctx context.Context, p SoakParams) (SoakResult, error) {
+	p = p.withDefaults()
+	env, err := Start(ctx, PlatformParams{
+		Topology: tcloud.Topology{
+			ComputeHosts:      p.Hosts,
+			ComputePerStorage: 1,
+			StorageCapGB:      1 << 20,
+			HostMemMB:         1 << 20,
+		},
+		LogicalOnly:         true,
+		SessionTimeout:      2 * time.Second,
+		CommitLatency:       p.CommitLatency,
+		BatchMaxOps:         p.BatchMaxOps,
+		Shards:              p.Shards,
+		Controllers:         1,
+		MaxInflightPerShard: p.MaxInflightPerShard,
+	})
+	if err != nil {
+		return SoakResult{}, err
+	}
+	defer env.Stop()
+	pl := env.Platform
+
+	ops, _, err := shardLocalSpawnOps(pl, p.Hosts, p.Txns)
+	if err != nil {
+		return SoakResult{}, err
+	}
+
+	// Depth sampler: the queue-depth gate is evaluated against the
+	// peak per-shard backlog observed while load is offered.
+	var maxBacklog int64
+	sampleDone := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleDone:
+				return
+			case <-tick.C:
+				for i := 0; i < pl.NumShards(); i++ {
+					d := pl.ShardQueueDepths(i)
+					maxBacklogRaise(&maxBacklog, d.InQ+d.TodoQ+d.PhyQ)
+				}
+			}
+		}
+	}()
+
+	var (
+		sheds    int64
+		stuck    int64
+		mu       sync.Mutex
+		states   = make(map[tropic.State]int)
+		lat      = metrics.NewHistogram()
+		work     = make(chan workload.Op)
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	cli := pl.Client()
+	defer cli.Close()
+
+	start := time.Now()
+	for s := 0; s < p.Submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := range work {
+				backoff := p.Backoff
+				for {
+					rec, err := cli.SubmitAndWait(ctx, op.Proc, op.Args...)
+					if err == nil {
+						mu.Lock()
+						states[rec.State]++
+						mu.Unlock()
+						lat.ObserveDuration(rec.Latency())
+						break
+					}
+					if trerr.CodeOf(err) == trerr.APIOverloaded {
+						atomic.AddInt64(&sheds, 1)
+						select {
+						case <-ctx.Done():
+							atomic.AddInt64(&stuck, 1)
+							return
+						case <-time.After(backoff):
+						}
+						if backoff < 16*p.Backoff {
+							backoff *= 2
+						}
+						continue
+					}
+					if ctx.Err() != nil {
+						// Accepted but never observed terminal before
+						// the deadline: the stuck gate's quarry.
+						atomic.AddInt64(&stuck, 1)
+						return
+					}
+					errOnce.Do(func() { firstErr = fmt.Errorf("%s: %w", op, err) })
+					atomic.AddInt64(&stuck, 1)
+					break
+				}
+			}
+		}()
+	}
+	for _, op := range ops {
+		work <- op
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(sampleDone)
+	sampleWG.Wait()
+
+	if firstErr != nil {
+		return SoakResult{}, firstErr
+	}
+
+	res := SoakResult{
+		Shards:        p.Shards,
+		Watermark:     p.MaxInflightPerShard,
+		Txns:          len(ops),
+		Committed:     states[tropic.StateCommitted],
+		Stuck:         int(atomic.LoadInt64(&stuck)),
+		Sheds:         atomic.LoadInt64(&sheds),
+		ShedsExported: scrapeCounterTotal(pl.Metrics().Text(), "tropic_admission_shed_total"),
+		MaxBacklog:    atomic.LoadInt64(&maxBacklog),
+		DepthBound:    int64(p.MaxInflightPerShard + p.Submitters),
+		Elapsed:       elapsed,
+		PerSecond:     float64(len(ops)) / elapsed.Seconds(),
+		MeanLatencyMs: lat.Mean() * 1000,
+		P99LatencyMs:  lat.Quantile(0.99) * 1000,
+		MaxP99Ms:      p.MaxP99Ms,
+	}
+	for st, n := range states {
+		if st != tropic.StateCommitted {
+			res.OtherTerminal += n
+		}
+	}
+
+	if res.Stuck != 0 {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("stuck gate: %d accepted transactions never reached a terminal state", res.Stuck))
+	}
+	if res.P99LatencyMs > res.MaxP99Ms {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("latency gate: p99 %.0fms exceeds the %.0fms bound", res.P99LatencyMs, res.MaxP99Ms))
+	}
+	if res.MaxBacklog > res.DepthBound {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("depth gate: peak backlog %d exceeds watermark+submitters bound %d", res.MaxBacklog, res.DepthBound))
+	}
+	if res.Sheds == 0 {
+		res.Failures = append(res.Failures,
+			"overload gate: no submission was shed — the run never overloaded the gateway")
+	}
+	if res.ShedsExported <= 0 {
+		res.Failures = append(res.Failures,
+			"metrics gate: tropic_admission_shed_total absent or zero in the exported registry")
+	}
+	res.Pass = len(res.Failures) == 0
+	return res, nil
+}
+
+// maxBacklogRaise atomically raises *max to v if v is larger.
+func maxBacklogRaise(max *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(max)
+		if v <= cur || atomic.CompareAndSwapInt64(max, cur, v) {
+			return
+		}
+	}
+}
+
+// scrapeCounterTotal sums every series of the named family in a
+// Prometheus text exposition — the soak gate's proof that sheds are
+// visible to an external scraper, not just to in-process callers.
+func scrapeCounterTotal(text, family string) float64 {
+	var total float64
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		if rest == "" || (rest[0] != '{' && rest[0] != ' ') {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		total += v
+	}
+	return total
+}

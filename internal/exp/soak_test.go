@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSoakGatesHold: a CI-sized soak run overloads the gateway (sheds
+// occur and are exported) yet every gate holds — the tentpole claim of
+// admission control: shed at the watermark, never collapse, never
+// strand a transaction.
+func TestSoakGatesHold(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Soak(ctx, SoakParams{Txns: 128, Submitters: 32, MaxInflightPerShard: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("soak gates failed: %v\n%+v", res.Failures, res)
+	}
+	if res.Sheds == 0 || res.ShedsExported <= 0 {
+		t.Fatalf("run never overloaded: sheds=%d exported=%v", res.Sheds, res.ShedsExported)
+	}
+	if res.Stuck != 0 {
+		t.Fatalf("stuck = %d, want 0", res.Stuck)
+	}
+	if got := res.Committed + res.OtherTerminal; got != res.Txns {
+		t.Fatalf("terminal = %d, want all %d accepted", got, res.Txns)
+	}
+}

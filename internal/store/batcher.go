@@ -27,6 +27,11 @@ type BatcherConfig struct {
 	// during an in-flight commit flushes right after it — so in practice
 	// flushes begin far sooner; MaxDelay is the backstop sweep.
 	MaxDelay time.Duration
+	// OnFlush, when non-nil, observes every group commit (operation
+	// count and wall time) — the hook the platform uses to export
+	// group-commit size and latency distributions to its metrics
+	// registry. Called from the flush path; keep it cheap.
+	OnFlush func(ops int, d time.Duration)
 }
 
 func (cfg BatcherConfig) withDefaults() BatcherConfig {
@@ -301,7 +306,11 @@ func (b *Batcher) flushNow() {
 	}
 	start := time.Now()
 	results := b.cli.MultiAllResolved(groups...)
-	b.flushNs.Add(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	if b.cfg.OnFlush != nil {
+		b.cfg.OnFlush(nops, elapsed)
+	}
+	b.flushNs.Add(elapsed.Nanoseconds())
 	b.flushes.Add(1)
 	b.groups.Add(int64(len(batch)))
 	b.ops.Add(int64(nops))

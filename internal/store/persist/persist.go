@@ -81,6 +81,9 @@ type Stats struct {
 	WALBytes int64 `json:"walBytes"`
 	// Fsyncs counts explicit fsync calls on log segments.
 	Fsyncs int64 `json:"fsyncs"`
+	// FsyncNanos is cumulative wall time spent inside fsync calls — with
+	// Fsyncs, the fsync-latency signal the metrics registry exports.
+	FsyncNanos int64 `json:"fsyncNanos"`
 	// Snapshots counts snapshots successfully written.
 	Snapshots int64 `json:"snapshots"`
 	// Recoveries counts completed recovery passes (1 after a restart
@@ -110,6 +113,7 @@ type Store struct {
 	appends    metrics.Counter
 	bytes      metrics.Counter
 	fsyncs     metrics.Counter
+	fsyncNs    metrics.Counter
 	snapshots  metrics.Counter
 	recoveries metrics.Counter
 	lastRec    metrics.Gauge
@@ -141,6 +145,7 @@ func (s *Store) Stats() Stats {
 		WALAppends:        s.appends.Load(),
 		WALBytes:          s.bytes.Load(),
 		Fsyncs:            s.fsyncs.Load(),
+		FsyncNanos:        s.fsyncNs.Load(),
 		Snapshots:         s.snapshots.Load(),
 		Recoveries:        s.recoveries.Load(),
 		LastRecoveryNanos: s.lastRec.Load(),
@@ -180,7 +185,10 @@ func (s *Store) syncLocked() error {
 		return nil
 	}
 	s.fsyncs.Inc()
-	return s.active.Sync()
+	start := time.Now()
+	err := s.active.Sync()
+	s.fsyncNs.Add(time.Since(start).Nanoseconds())
+	return err
 }
 
 // Close flushes and closes the active segment. Further appends fail.
@@ -210,7 +218,10 @@ func (s *Store) syncDir() error {
 	}
 	defer d.Close()
 	s.fsyncs.Inc()
-	return d.Sync()
+	start := time.Now()
+	err = d.Sync()
+	s.fsyncNs.Add(time.Since(start).Nanoseconds())
+	return err
 }
 
 // sortedMatches lists files in dir matching prefix/suffix, sorted by

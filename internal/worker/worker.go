@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/queue"
 	"repro/internal/store"
@@ -71,6 +72,13 @@ type Config struct {
 	// (default store.DefaultBatchMaxDelay). Ignored unless BatchMaxOps
 	// enables the batcher.
 	BatchMaxDelay time.Duration
+	// Registry, when non-nil, receives the worker's Prometheus families
+	// (claim waits, execute timings, per-outcome counters, report
+	// group-commit sizes), labeled with Shard.
+	Registry *metrics.Registry
+	// Shard is the "shard" label value for exported metrics ("0" when
+	// empty).
+	Shard string
 	// Logf receives diagnostics; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +100,12 @@ type Worker struct {
 	inQ     *queue.Queue
 	batcher *store.Batcher // nil when report batching is off
 	stats   Stats
+
+	// Exported metric instruments (always non-nil; backed by a private
+	// registry when Config.Registry is absent).
+	claimLat *metrics.BucketHistogram
+	execLat  *metrics.BucketHistogram
+	outcomes *metrics.CounterVec
 }
 
 // New connects a worker to the ensemble.
@@ -123,10 +137,37 @@ func New(cfg Config) (*Worker, error) {
 		return nil, err
 	}
 	w := &Worker{cfg: cfg, cli: cli, phyQ: phyQ, inQ: inQ}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	shard := cfg.Shard
+	if shard == "" {
+		shard = "0"
+	}
+	w.claimLat = reg.HistogramVec("tropic_worker_claim_wait_seconds",
+		"Time a worker thread spent claiming phyQ work, including idle waiting for work to arrive.",
+		nil, "shard").With(shard)
+	w.execLat = reg.HistogramVec("tropic_worker_execute_seconds",
+		"Wall time replaying one transaction's execution log against the devices (including rollback).",
+		nil, "shard").With(shard)
+	w.outcomes = reg.CounterVec("tropic_worker_outcomes_total",
+		"Physical execution outcomes reported to the controller, by outcome state and taxonomy code.",
+		"shard", "outcome", "code")
 	if cfg.BatchMaxOps > 1 {
+		groupOps := reg.HistogramVec("tropic_store_group_commit_ops",
+			"Operations carried by one store group commit, by submitting component.",
+			metrics.DefSizeBuckets, "shard", "source").With(shard, "worker")
+		groupLat := reg.HistogramVec("tropic_store_group_commit_seconds",
+			"Wall time of one store group commit, by submitting component.",
+			nil, "shard", "source").With(shard, "worker")
 		w.batcher = cli.NewBatcher(store.BatcherConfig{
 			MaxOps:   cfg.BatchMaxOps,
 			MaxDelay: cfg.BatchMaxDelay,
+			OnFlush: func(ops int, d time.Duration) {
+				groupOps.Observe(float64(ops))
+				groupLat.ObserveDuration(d)
+			},
 		})
 	}
 	return w, nil
@@ -182,12 +223,16 @@ func (w *Worker) serve(ctx context.Context, thread int) error {
 	for {
 		var batch [][]byte
 		var err error
+		claimStart := time.Now()
 		if w.batcher != nil {
 			// The claim commit rides the shared batcher, grouping with
 			// sibling threads' claims and outcome reports.
 			batch, err = w.phyQ.TakeBatchVia(ctx, claim, w.batcher)
 		} else {
 			batch, err = w.phyQ.TakeBatch(ctx, claim)
+		}
+		if err == nil {
+			w.claimLat.ObserveDuration(time.Since(claimStart))
 		}
 		if err != nil {
 			if ctx.Err() != nil {
@@ -206,7 +251,9 @@ func (w *Worker) serve(ctx context.Context, thread int) error {
 				w.cfg.Logf("worker %s/%d: bad phyQ item: %v", w.cfg.Name, thread, err)
 				continue
 			}
+			execStart := time.Now()
 			ack, err := w.execute(msg.TxnPath)
+			w.execLat.ObserveDuration(time.Since(execStart))
 			if err != nil {
 				if errors.Is(err, store.ErrSessionExpired) || errors.Is(err, store.ErrNoQuorum) {
 					return err
@@ -319,6 +366,15 @@ func (w *Worker) report(txnPath string, outcome txn.State, outcomeErr error, und
 	case txn.StateFailed:
 		atomic.AddInt64(&w.stats.Failed, 1)
 	}
+	shard := w.cfg.Shard
+	if shard == "" {
+		shard = "0"
+	}
+	code := string(trerr.CodeOf(outcomeErr))
+	if code == "" {
+		code = "none"
+	}
+	w.outcomes.With(shard, string(outcome), code).Inc()
 	msg := proto.InputMsg{
 		Kind:          proto.KindResult,
 		TxnPath:       txnPath,

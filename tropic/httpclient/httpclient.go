@@ -30,6 +30,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -140,7 +141,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 		return fmt.Errorf("httpclient: %s: read response: %w", path, err)
 	}
 	if resp.StatusCode/100 != 2 {
-		return decodeError(path, resp.StatusCode, data)
+		return decodeError(path, resp.StatusCode, resp.Header, data)
 	}
 	if out == nil {
 		return nil
@@ -151,10 +152,17 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 	return nil
 }
 
-// decodeError turns a non-2xx gateway body back into a typed error.
-func decodeError(path string, status int, data []byte) error {
+// decodeError turns a non-2xx gateway body back into a typed error. A
+// 429 (api.overloaded) additionally surfaces the response's Retry-After
+// header as a "retry_after" detail, readable via RetryAfter.
+func decodeError(path string, status int, header http.Header, data []byte) error {
 	var eb errorBody
 	if err := json.Unmarshal(data, &eb); err == nil && eb.Error != nil && eb.Error.Code != "" {
+		if status == http.StatusTooManyRequests {
+			if v := header.Get("Retry-After"); v != "" {
+				eb.Error.With("retry_after", v)
+			}
+		}
 		return eb.Error
 	}
 	msg := strings.TrimSpace(string(data))
@@ -163,6 +171,26 @@ func decodeError(path string, status int, data []byte) error {
 	}
 	return trerr.Newf(trerr.APIInternal,
 		"httpclient: %s: unexpected status %d: %s", path, status, msg)
+}
+
+// RetryAfter extracts the backoff hint from an admission-control shed
+// (trerr.APIOverloaded): the Retry-After duration the gateway attached,
+// ok=false when err carries no hint. Callers should sleep at least this
+// long before resubmitting.
+func RetryAfter(err error) (time.Duration, bool) {
+	var te *trerr.Error
+	if !errors.As(err, &te) {
+		return 0, false
+	}
+	v := te.Details["retry_after"]
+	if v == "" {
+		return 0, false
+	}
+	secs, perr := strconv.Atoi(v)
+	if perr != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
 }
 
 // --- tropic.Session ---------------------------------------------------
@@ -303,7 +331,7 @@ func (c *Client) WatchTxn(ctx context.Context, id string) (<-chan *tropic.Txn, e
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		return nil, decodeError("/v1/watch", resp.StatusCode, data)
+		return nil, decodeError("/v1/watch", resp.StatusCode, resp.Header, data)
 	}
 	ch := make(chan *tropic.Txn, 8)
 	go func() {
@@ -403,7 +431,7 @@ func (c *Client) Healthz(ctx context.Context) (*Health, error) {
 	}
 	var h Health
 	if err := json.Unmarshal(data, &h); err != nil {
-		return nil, decodeError("/healthz", resp.StatusCode, data)
+		return nil, decodeError("/healthz", resp.StatusCode, resp.Header, data)
 	}
 	if h.Error != nil {
 		return &h, h.Error

@@ -1,0 +1,55 @@
+package httpclient_test
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/tropic/httpclient"
+	"repro/tropic/trerr"
+)
+
+// TestHTTPClientOverloadedRetryAfter: a 429 from the gateway decodes
+// into the typed api.overloaded error, and the Retry-After hint rides
+// along where RetryAfter can read it for backoff.
+func TestHTTPClientOverloadedRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":{"code":"api.overloaded","message":"shard 0 backlog 9 at admission watermark 8","details":{"shard":"0","retry_after":"1"}}}`))
+	}))
+	defer srv.Close()
+
+	c := httpclient.New(srv.URL)
+	defer c.Close()
+	_, err := c.Submit("spawnVM", "a", "b", "c", "1024")
+	var te *trerr.Error
+	if !errors.As(err, &te) {
+		t.Fatalf("err %T is not *trerr.Error: %v", err, err)
+	}
+	if te.Code != trerr.APIOverloaded {
+		t.Fatalf("code = %s, want %s", te.Code, trerr.APIOverloaded)
+	}
+	if !errors.Is(err, trerr.APIOverloaded) {
+		t.Fatal("sentinel matching failed for api.overloaded")
+	}
+	// The transport header overrides the serialized detail: the header
+	// is what a proxy or the gateway most recently decided.
+	d, ok := httpclient.RetryAfter(err)
+	if !ok || d != 3*time.Second {
+		t.Fatalf("RetryAfter = (%v, %v), want (3s, true)", d, ok)
+	}
+}
+
+// TestHTTPClientRetryAfterAbsent: non-overload errors carry no hint.
+func TestHTTPClientRetryAfterAbsent(t *testing.T) {
+	if d, ok := httpclient.RetryAfter(errors.New("plain")); ok || d != 0 {
+		t.Fatalf("RetryAfter(plain) = (%v, %v), want (0, false)", d, ok)
+	}
+	if d, ok := httpclient.RetryAfter(trerr.New(trerr.TxnNotFound, "x")); ok || d != 0 {
+		t.Fatalf("RetryAfter(no detail) = (%v, %v), want (0, false)", d, ok)
+	}
+}

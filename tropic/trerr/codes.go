@@ -34,6 +34,12 @@ var (
 	// transaction outcomes use txn.wait_timeout instead.
 	APITimeout = register("api.timeout", http.StatusGatewayTimeout,
 		"gateway-side deadline elapsed before the operation completed")
+	// APIOverloaded: admission control shed the submission because the
+	// target shard's pipeline backlog is at its configured watermark
+	// (Config.MaxInflightPerShard). The response carries a Retry-After
+	// hint; back off and resubmit — nothing was created.
+	APIOverloaded = register("api.overloaded", http.StatusTooManyRequests,
+		"submission shed: shard pipeline backlog at its admission-control watermark; retry after backoff")
 
 	// SubmitInvalidArgs: the submission itself is invalid (empty
 	// procedure name, malformed idempotency key, empty batch).

@@ -256,6 +256,18 @@ type Config struct {
 	// instrumentation for crashing leaders at exact protocol points.
 	// Nil (the default) in production.
 	CrossShardHook func(shard int, event, parentID string)
+	// MaxInflightPerShard is the queue-depth admission watermark: a
+	// submission targeting a shard whose summed pipeline backlog
+	// (inputQ + todoQ + phyQ) has reached this bound is shed
+	// synchronously with trerr.APIOverloaded (HTTP 429 + Retry-After at
+	// the gateway) instead of joining a queue it would only sit in.
+	// Sheds are counted in tropic_admission_shed_total. 0 (the default)
+	// disables admission control.
+	MaxInflightPerShard int
+	// Registry receives every exported instrument (see docs/
+	// observability.md); the gateway serves it as GET /metrics. Nil
+	// creates a private registry, reachable via Platform.Metrics().
+	Registry *metrics.Registry
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -267,6 +279,12 @@ type Platform struct {
 	cfg    Config
 	units  []*shardUnit
 	router *shard.Router // nil when Shards == 1
+
+	// reg is the metrics registry every subsystem exports through;
+	// submitLat and shed are the platform-level series it owns directly.
+	reg       *metrics.Registry
+	submitLat *metrics.HistogramVec
+	shed      *metrics.CounterVec
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -289,6 +307,13 @@ type shardUnit struct {
 	depthMu  sync.Mutex
 	depthCli *store.Client
 	gauges   metrics.QueueGauges
+
+	// admMu guards the shared depth-sample cache: admission checks and
+	// metric scrapes both read queue depths, and the cache bounds how
+	// often those turn into store reads.
+	admMu    sync.Mutex
+	admAt    time.Time
+	admDepth metrics.QueueDepths
 }
 
 // New builds a platform. Call Start to elect a leader and begin serving.
@@ -349,7 +374,10 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	p := &Platform{cfg: cfg}
+	p := &Platform{cfg: cfg, reg: cfg.Registry}
+	if p.reg == nil {
+		p.reg = metrics.NewRegistry()
+	}
 	if cfg.Shards > 1 {
 		p.router = shard.NewRouter(shard.NewMap(cfg.Shards))
 	}
@@ -361,7 +389,98 @@ func New(cfg Config) (*Platform, error) {
 		}
 		p.units = append(p.units, u)
 	}
+	p.registerInstruments()
 	return p, nil
+}
+
+// registerInstruments resolves the platform-level series and the
+// scrape-time collectors lifting per-shard queue depths and durability
+// counters into the registry. Called once from New, after the units
+// exist.
+func (p *Platform) registerInstruments() {
+	p.submitLat = p.reg.HistogramVec("tropic_txn_latency_seconds",
+		"Submit-to-terminal transaction latency observed by platform clients, by coordinator shard.",
+		nil, "shard")
+	p.shed = p.reg.CounterVec("tropic_admission_shed_total",
+		"Submissions shed by queue-depth admission control (api.overloaded), by target shard.",
+		"shard")
+	depth := p.reg.GaugeVec("tropic_queue_depth",
+		"Pipeline queue depth sampled at scrape time: inputQ and phyQ from the shard's store, todoQ from its leading controller.",
+		"shard", "queue")
+	fsyncs := p.reg.CounterVec("tropic_store_fsyncs_total",
+		"WAL and directory fsyncs performed by the shard's durable store (0 without Config.DataDir).",
+		"shard")
+	fsyncSec := p.reg.CounterVec("tropic_store_fsync_seconds_total",
+		"Cumulative wall time the shard's durable store spent inside fsync calls.",
+		"shard")
+	walAppends := p.reg.CounterVec("tropic_store_wal_appends_total",
+		"Records appended to the shard's write-ahead log.",
+		"shard")
+	for i := range p.units {
+		i := i
+		label := fmt.Sprint(i)
+		// Pre-create the shed series so a scraper sees 0 from the first
+		// scrape (and can rate() it) instead of the family materializing
+		// only after the first rejection.
+		p.shed.With(label)
+		depth.Func(func() float64 { return float64(p.cachedShardDepths(i).InQ) }, label, "inputq")
+		depth.Func(func() float64 { return float64(p.cachedShardDepths(i).TodoQ) }, label, "todoq")
+		depth.Func(func() float64 { return float64(p.cachedShardDepths(i).PhyQ) }, label, "phyq")
+		fsyncs.Func(func() float64 {
+			return float64(p.units[i].ens.PersistStats().Fsyncs)
+		}, label)
+		fsyncSec.Func(func() float64 {
+			return float64(p.units[i].ens.PersistStats().FsyncNanos) / 1e9
+		}, label)
+		walAppends.Func(func() float64 {
+			return float64(p.units[i].ens.PersistStats().WALAppends)
+		}, label)
+	}
+}
+
+// Metrics returns the registry holding every exported instrument — the
+// document behind the gateway's GET /metrics.
+func (p *Platform) Metrics() *metrics.Registry { return p.reg }
+
+// depthSampleTTL bounds how often admission checks and metric scrapes
+// re-read queue depths from a shard's store.
+const depthSampleTTL = 5 * time.Millisecond
+
+// cachedShardDepths samples shard i's queue depths at most once per
+// depthSampleTTL, sharing the store reads between the admission-control
+// hot path and scrape-time depth gauges.
+func (p *Platform) cachedShardDepths(i int) metrics.QueueDepths {
+	u := p.units[i]
+	u.admMu.Lock()
+	defer u.admMu.Unlock()
+	if !u.admAt.IsZero() && time.Since(u.admAt) < depthSampleTTL {
+		return u.admDepth
+	}
+	u.admDepth = p.ShardQueueDepths(i)
+	u.admAt = time.Now()
+	return u.admDepth
+}
+
+// admitShard is the gateway admission check: with a configured
+// watermark, a submission bound for a shard whose summed backlog has
+// reached it is shed with trerr.APIOverloaded (a Retry-After hint in
+// its details) instead of deepening queues it would only wait in.
+func (p *Platform) admitShard(i int) error {
+	max := p.cfg.MaxInflightPerShard
+	if max <= 0 {
+		return nil
+	}
+	d := p.cachedShardDepths(i)
+	backlog := d.InQ + d.TodoQ + d.PhyQ
+	if backlog < int64(max) {
+		return nil
+	}
+	p.shed.With(fmt.Sprint(i)).Inc()
+	return trerr.Newf(trerr.APIOverloaded,
+		"tropic: submit: shard %d backlog %d at admission watermark %d; retry after backoff",
+		i, backlog, max).
+		With("shard", fmt.Sprint(i)).
+		With("retry_after", "1")
 }
 
 // newShardUnit assembles one shard's ensemble, controllers, and worker.
@@ -423,6 +542,8 @@ func (p *Platform) newShardUnit(i int) (*shardUnit, error) {
 			Policy:          cfg.Policy,
 			BatchMaxOps:     cfg.BatchMaxOps,
 			XShard:          xs,
+			Registry:        p.reg,
+			Shard:           fmt.Sprint(i),
 			Logf:            cfg.Logf,
 		})
 		if err != nil {
@@ -443,6 +564,8 @@ func (p *Platform) newShardUnit(i int) (*shardUnit, error) {
 		ClaimBatch:    cfg.WorkerClaimBatch,
 		BatchMaxOps:   cfg.BatchMaxOps,
 		BatchMaxDelay: cfg.BatchMaxDelay,
+		Registry:      p.reg,
+		Shard:         fmt.Sprint(i),
 		Logf:          cfg.Logf,
 	})
 	if err != nil {
@@ -753,13 +876,31 @@ func (p *Platform) ControllerStats() controller.Stats {
 func (p *Platform) Client() *Client {
 	connect := func(u *shardUnit) *Client {
 		cli := u.ens.Connect()
+		label := fmt.Sprint(u.index)
+		groupOps := p.reg.HistogramVec("tropic_store_group_commit_ops",
+			"Operations carried by one store group commit, by submitting component.",
+			metrics.DefSizeBuckets, "shard", "source").With(label, "submit")
+		groupLat := p.reg.HistogramVec("tropic_store_group_commit_seconds",
+			"Wall time of one store group commit, by submitting component.",
+			nil, "shard", "source").With(label, "submit")
 		// The submit path's coalescing obeys the same knobs as the rest
 		// of the pipeline.
 		cli.ConfigureBatcher(store.BatcherConfig{
 			MaxOps:   p.cfg.BatchMaxOps,
 			MaxDelay: p.cfg.BatchMaxDelay,
+			OnFlush: func(ops int, d time.Duration) {
+				groupOps.Observe(float64(ops))
+				groupLat.ObserveDuration(d)
+			},
 		})
-		return &Client{cli: cli, procs: p.cfg.Procedures, batched: p.cfg.BatchMaxOps > 1}
+		shardIdx := u.index
+		return &Client{
+			cli:     cli,
+			procs:   p.cfg.Procedures,
+			batched: p.cfg.BatchMaxOps > 1,
+			admit:   func() error { return p.admitShard(shardIdx) },
+			lat:     p.submitLat.With(label),
+		}
 	}
 	if p.router == nil {
 		return connect(p.units[0])
@@ -806,6 +947,22 @@ type Client struct {
 	// commit) or reject (trerr.ShardCrossShard, the ablation).
 	planner    *shard.Planner
 	crossShard bool
+
+	// admit, when non-nil, is the platform's admission-control check for
+	// this client's shard, consulted before a submission writes anything
+	// (nil on clients built outside Platform.Client, e.g. in tests).
+	admit func() error
+	// lat, when non-nil, observes submit-to-terminal latency for every
+	// terminal record this client's Wait returns.
+	lat *metrics.BucketHistogram
+}
+
+// admitted runs the shard's admission check, if the client has one.
+func (c *Client) admitted() error {
+	if c.admit == nil {
+		return nil
+	}
+	return c.admit()
 }
 
 // sharded reports whether this client fans out over shard sub-clients.
@@ -925,7 +1082,19 @@ func (c *Client) Submit(proc string, args ...string) (string, error) {
 		if !c.crossShard {
 			return "", c.rejectCrossShard(proc, args)
 		}
+		// Every participant shard must admit the work: a parent whose
+		// children would land in saturated pipelines is shed whole —
+		// 2PC holds cross-shard locks for the slowest participant, so
+		// overload on any member shard is overload for the transaction.
+		for _, s := range split.Shards {
+			if err := c.subs[s].admitted(); err != nil {
+				return "", err
+			}
+		}
 		return c.xSubmit(split, proc, args)
+	}
+	if err := c.admitted(); err != nil {
+		return "", err
 	}
 	now := time.Now()
 	rec := &txn.Txn{
@@ -1088,6 +1257,9 @@ func (c *Client) Wait(ctx context.Context, id string) (*Txn, error) {
 			// Terminal records never change again: release the armed
 			// watch instead of leaking it for the session's lifetime.
 			c.cli.Unwatch(path, watch)
+			if c.lat != nil {
+				c.lat.ObserveDuration(rec.Latency())
+			}
 			return rec, nil
 		}
 		select {
