@@ -385,6 +385,35 @@ func BenchmarkCrossShardThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkReadMix runs the read-path ablation: reads/s under the 95/5
+// read/write mix with follower reads + the watch-invalidated cache
+// versus the leader-only baseline, on otherwise identical platforms.
+// The reported speedup-x is the PR gate figure (CI requires ≥2x at the
+// BENCH_reads.json scale); the bench uses a reduced mix with a shorter
+// simulated quorum round so one iteration stays fast.
+func BenchmarkReadMix(b *testing.B) {
+	ctx := context.Background()
+	var base, enabled, speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Reads(ctx, exp.ReadsParams{
+			Ops: 512, Records: 16, CommitLatency: 2 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Enabled.ReadStats.FollowerServed+res.Enabled.ReadStats.CacheServed == 0 {
+			b.Fatal("enabled run never served a read below the leader")
+		}
+		base += res.Baseline.ReadsPerSecond
+		enabled += res.Enabled.ReadsPerSecond
+		speedup += res.Speedup
+	}
+	n := float64(b.N)
+	b.ReportMetric(base/n, "baseline-reads/s")
+	b.ReportMetric(enabled/n, "enabled-reads/s")
+	b.ReportMetric(speedup/n, "speedup-x")
+}
+
 // BenchmarkGroupCommit isolates the store-layer win: concurrent Multi
 // batches committed directly (one proposal round and one WAL fsync
 // each) versus through a Batcher (rounds and fsyncs amortized across

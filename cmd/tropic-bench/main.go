@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		expName      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|pipeline|shards|xshard|soak|all")
+		expName      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig45|safety|robustness|ha|throughput|mem|ablation|pipeline|shards|xshard|soak|reads|all")
 		full         = flag.Bool("full", false, "paper-scale run (12,500 hosts, full 1-hour trace; takes many minutes)")
 		hosts        = flag.Int("hosts", 400, "compute hosts (logical-only experiments)")
 		mults        = flag.String("mult", "1,2,3,4,5", "comma-separated EC2 load multipliers")
@@ -52,6 +52,8 @@ func main() {
 		soakClients  = flag.Int("soak-clients", 64, "concurrent submitters for -exp soak")
 		soakInflight = flag.Int("soak-max-inflight", 8, "admission watermark under soak test")
 		soakP99      = flag.Float64("soak-p99-ms", 5000, "soak latency gate: max p99 submit latency (ms)")
+		readsOps     = flag.Int("reads-ops", 4096, "timed operations per read-mix configuration")
+		readsRecords = flag.Int("reads-records", 64, "seeded records the read mix targets")
 	)
 	flag.Parse()
 
@@ -162,6 +164,58 @@ func main() {
 			}, soakJSON)
 		})
 	}
+	if all || *expName == "reads" {
+		readsJSON := *jsonOut
+		if all {
+			readsJSON = ""
+		}
+		run("Read path: follower reads + watch-invalidated cache vs leader-only", func(ctx context.Context) error {
+			return runReads(ctx, exp.ReadsParams{
+				Ops:     *readsOps,
+				Records: *readsRecords,
+			}, readsJSON)
+		})
+	}
+}
+
+// runReads measures the 95/5 read/write mix on the leader-only baseline
+// and with the scalable read path, printing the ablation side by side
+// and optionally writing the pair as JSON (CI emits BENCH_reads.json on
+// every run — the read-path speedup trajectory).
+func runReads(ctx context.Context, p exp.ReadsParams, jsonPath string) error {
+	res, err := exp.Reads(ctx, p)
+	if err != nil {
+		return err
+	}
+	type jsonDoc struct {
+		Generated string          `json:"generated"`
+		Result    exp.ReadsResult `json:"result"`
+	}
+	fmt.Printf("records=%d ops=%d write-every=%d\n", res.Records, res.Ops, res.WriteEvery)
+	fmt.Printf("%-26s %-12s %-14s %-14s %s\n",
+		"config", "reads/s", "read mean µs", "read p99 µs", "served cache/follower/leader")
+	for _, m := range []exp.ReadsModeResult{res.Baseline, res.Enabled} {
+		name := "leader-only (baseline)"
+		if m.FollowerReads {
+			name = fmt.Sprintf("follower+cache(%dMiB)", m.CacheBytes>>20)
+		}
+		fmt.Printf("%-26s %-12.0f %-14.1f %-14.1f %d/%d/%d\n",
+			name, m.ReadsPerSecond, m.MeanReadMicros, m.P99ReadMicros,
+			m.ReadStats.CacheServed, m.ReadStats.FollowerServed, m.ReadStats.LeaderServed)
+	}
+	fmt.Printf("read-path speedup: %.2fx\n", res.Speedup)
+	if jsonPath != "" {
+		doc := jsonDoc{Generated: time.Now().UTC().Format(time.RFC3339), Result: res}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 // runSoak drives sustained overload against the admission-controlled

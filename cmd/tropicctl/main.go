@@ -1,9 +1,16 @@
 // Command tropicctl is the operator CLI for a running tropicd: it
-// submits transactional orchestrations, inspects their records, sends
-// TERM/KILL signals, and triggers reconciliation (repair/reload).
+// submits transactional orchestrations, inspects their records, streams
+// their state transitions, sends TERM/KILL signals, and triggers
+// reconciliation (repair/reload). It is built on repro/tropic/httpclient,
+// the same SDK applications use, so it carries the client's zxid
+// watermark across requests: a `submit` followed by a `get` in one
+// invocation always observes the submission, whichever replica serves
+// the read (docs/reads.md).
 //
 //	tropicctl -addr http://localhost:7077 submit spawnVM \
 //	    /storageRoot/storageHost0000 /vmRoot/vmHost00000 vm1 1024
+//	tropicctl get t-0000000001
+//	tropicctl watch t-0000000001
 //	tropicctl wait t-0000000001
 //	tropicctl signal t-0000000002 TERM
 //	tropicctl repair /vmRoot/vmHost00000
@@ -11,19 +18,23 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/tropic"
+	"repro/tropic/httpclient"
 )
 
 func main() {
 	addr := flag.String("addr", "http://localhost:7077", "tropicd base URL")
 	wait := flag.Bool("wait", true, "submit: wait for the terminal state")
+	timeout := flag.Duration("timeout", 5*time.Minute, "deadline for wait and watch")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -31,7 +42,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	cli := httpclient.New(*addr)
+	defer cli.Close()
+	// ^C ends a stream cleanly instead of leaving the terminal mid-event.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
 	var err error
 	switch args[0] {
 	case "submit":
@@ -39,23 +57,27 @@ func main() {
 			err = fmt.Errorf("submit needs a procedure name")
 			break
 		}
-		err = c.submit(args[1], args[2:], *wait)
+		err = submit(ctx, cli, args[1], args[2:], *wait)
 	case "get":
-		err = c.txn("/v1/txn", arg(args, 1))
+		err = printTxn(cli.Get(arg(args, 1)))
 	case "wait":
-		err = c.txn("/v1/wait", arg(args, 1))
+		err = printTxn(cli.Wait(ctx, arg(args, 1)))
+	case "watch":
+		err = watch(ctx, cli, arg(args, 1))
+	case "list":
+		err = list(cli, arg(args, 1))
 	case "signal":
 		if len(args) < 3 {
 			err = fmt.Errorf("signal needs <id> <TERM|KILL>")
 			break
 		}
-		err = c.post("/v1/signal", map[string]string{"id": args[1], "signal": args[2]})
+		err = ok(cli.Signal(args[1], tropic.Signal(args[2])))
 	case "repair":
-		err = c.post("/v1/repair", map[string]string{"target": arg(args, 1)})
+		err = ok(cli.Repair(ctx, arg(args, 1)))
 	case "reload":
-		err = c.post("/v1/reload", map[string]string{"target": arg(args, 1)})
+		err = ok(cli.Reload(ctx, arg(args, 1)))
 	case "stats":
-		err = c.get("/v1/stats", nil)
+		err = stats(ctx, cli)
 	default:
 		err = fmt.Errorf("unknown command %q", args[0])
 	}
@@ -72,6 +94,8 @@ commands:
   submit <proc> [args...]   submit a transaction (waits unless -wait=false)
   get <id>                  fetch a transaction record
   wait <id>                 block until the transaction is terminal
+  watch <id>                stream state transitions until terminal (SSE)
+  list [state]              page through records, optionally by state
   signal <id> <TERM|KILL>   abort a stalled transaction (§4)
   repair <path>             logical→physical reconciliation
   reload <path>             physical→logical reconciliation
@@ -87,111 +111,88 @@ func arg(args []string, i int) string {
 	return ""
 }
 
-type client struct {
-	base string
-}
-
-func (c *client) submit(proc string, procArgs []string, wait bool) error {
-	body, err := c.request(http.MethodPost, "/v1/submit",
-		map[string]any{"proc": proc, "args": procArgs}, nil)
+func submit(ctx context.Context, cli *httpclient.Client, proc string, procArgs []string, wait bool) error {
+	id, err := cli.Submit(proc, procArgs...)
 	if err != nil {
 		return err
 	}
-	var resp struct {
-		ID string `json:"id"`
-	}
-	if err := json.Unmarshal(body, &resp); err != nil {
-		return err
-	}
-	fmt.Println("submitted", resp.ID)
+	fmt.Println("submitted", id)
 	if !wait {
 		return nil
 	}
-	return c.txn("/v1/wait", resp.ID)
+	// The client's watermark already covers the submission, so this read
+	// is session-consistent even against a follower replica.
+	return printTxn(cli.Wait(ctx, id))
 }
 
-func (c *client) txn(path, id string) error {
+// watch streams the record's transitions, one JSON line per state, and
+// exits once the terminal record has been printed.
+func watch(ctx context.Context, cli *httpclient.Client, id string) error {
 	if id == "" {
 		return fmt.Errorf("transaction id required")
 	}
-	body, err := c.request(http.MethodGet, path, nil, map[string]string{"id": id})
+	ch, err := cli.WatchTxn(ctx, id)
 	if err != nil {
 		return err
 	}
-	return prettyPrint(body)
+	var last *tropic.Txn
+	for rec := range ch {
+		last = rec
+		line, merr := json.Marshal(rec)
+		if merr != nil {
+			return merr
+		}
+		fmt.Println(string(line))
+	}
+	if last == nil || !last.State.Terminal() {
+		return fmt.Errorf("watch %s: stream ended before a terminal state", id)
+	}
+	return nil
 }
 
-func (c *client) post(path string, payload any) error {
-	body, err := c.request(http.MethodPost, path, payload, nil)
+func list(cli *httpclient.Client, state string) error {
+	opts := tropic.ListOptions{State: tropic.State(state)}
+	for {
+		page, err := cli.List(opts)
+		if err != nil {
+			return err
+		}
+		for _, rec := range page.Txns {
+			if err := printJSON(rec); err != nil {
+				return err
+			}
+		}
+		if page.NextCursor == "" {
+			return nil
+		}
+		opts.Cursor = page.NextCursor
+	}
+}
+
+func stats(ctx context.Context, cli *httpclient.Client) error {
+	doc, err := cli.Stats(ctx)
 	if err != nil {
 		return err
 	}
-	if len(bytes.TrimSpace(body)) > 2 { // not just "{}"
-		return prettyPrint(body)
+	return printJSON(doc)
+}
+
+func printTxn(rec *tropic.Txn, err error) error {
+	if err != nil {
+		return err
+	}
+	return printJSON(rec)
+}
+
+func ok(err error) error {
+	if err != nil {
+		return err
 	}
 	fmt.Println("ok")
 	return nil
 }
 
-func (c *client) get(path string, query map[string]string) error {
-	body, err := c.request(http.MethodGet, path, nil, query)
-	if err != nil {
-		return err
-	}
-	return prettyPrint(body)
-}
-
-func (c *client) request(method, path string, payload any, query map[string]string) ([]byte, error) {
-	url := c.base + path
-	if len(query) > 0 {
-		sep := "?"
-		for k, v := range query {
-			url += sep + k + "=" + v
-			sep = "&"
-		}
-	}
-	var rd io.Reader
-	if payload != nil {
-		b, err := json.Marshal(payload)
-		if err != nil {
-			return nil, err
-		}
-		rd = bytes.NewReader(b)
-	}
-	req, err := http.NewRequest(method, url, rd)
-	if err != nil {
-		return nil, err
-	}
-	if payload != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode >= 400 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	return body, nil
-}
-
-func prettyPrint(body []byte) error {
-	var v any
-	if err := json.Unmarshal(body, &v); err != nil {
-		fmt.Println(string(body))
-		return nil
-	}
+func printJSON(v any) error {
 	out, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err

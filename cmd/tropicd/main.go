@@ -45,23 +45,25 @@ import (
 
 func main() {
 	var (
-		listen      = flag.String("listen", ":7077", "HTTP listen address")
-		hosts       = flag.Int("hosts", 16, "simulated compute hosts")
-		logicalOnly = flag.Bool("logical-only", false, "bypass device execution (§5 testing mode)")
-		controllers = flag.Int("controllers", 3, "controller replicas")
-		commitLat   = flag.Duration("commit-latency", 0, "simulated store quorum latency")
-		actionLat   = flag.Duration("action-latency", 5*time.Millisecond, "simulated device call latency")
-		sessionTO   = flag.Duration("session-timeout", 2*time.Second, "failure-detection interval")
-		dataDir     = flag.String("data-dir", "", "coordination-store data directory (empty: in-memory only)")
-		syncFlag    = flag.String("sync", "always", "WAL fsync policy with -data-dir: always|none")
-		snapEvery   = flag.Int("snapshot-every", 4096, "store writes between snapshots with -data-dir")
-		batchOps    = flag.Int("batch-max-ops", 32, "pipeline group-commit batch size (1 disables batching, 0 selects the default 32)")
-		batchDelay  = flag.Duration("batch-max-delay", 2*time.Millisecond, "async batch flush-latency ceiling")
-		workerClaim = flag.Int("worker-claim", 4, "phyQ items one worker thread claims per store round trip")
-		shards      = flag.Int("shards", 1, "consistent-hash store partitions, each with its own ensemble, controllers, and workers (see docs/sharding.md)")
-		crossShard  = flag.Bool("cross-shard", true, "execute submissions spanning shards as atomic two-phase-commit transactions; false rejects them with shard.cross_shard (see docs/cross-shard.md)")
-		xshardTO    = flag.Duration("xshard-prepare-timeout", 10*time.Second, "cross-shard vote-collection deadline before an in-doubt transaction aborts")
-		maxInflight = flag.Int("max-inflight", 0, "per-shard admission watermark: shed submissions (HTTP 429, api.overloaded) once a shard's queued backlog reaches this (0 disables; see docs/observability.md)")
+		listen        = flag.String("listen", ":7077", "HTTP listen address")
+		hosts         = flag.Int("hosts", 16, "simulated compute hosts")
+		logicalOnly   = flag.Bool("logical-only", false, "bypass device execution (§5 testing mode)")
+		controllers   = flag.Int("controllers", 3, "controller replicas")
+		commitLat     = flag.Duration("commit-latency", 0, "simulated store quorum latency")
+		actionLat     = flag.Duration("action-latency", 5*time.Millisecond, "simulated device call latency")
+		sessionTO     = flag.Duration("session-timeout", 2*time.Second, "failure-detection interval")
+		dataDir       = flag.String("data-dir", "", "coordination-store data directory (empty: in-memory only)")
+		syncFlag      = flag.String("sync", "always", "WAL fsync policy with -data-dir: always|none")
+		snapEvery     = flag.Int("snapshot-every", 4096, "store writes between snapshots with -data-dir")
+		batchOps      = flag.Int("batch-max-ops", 32, "pipeline group-commit batch size (1 disables batching, 0 selects the default 32)")
+		batchDelay    = flag.Duration("batch-max-delay", 2*time.Millisecond, "async batch flush-latency ceiling")
+		workerClaim   = flag.Int("worker-claim", 4, "phyQ items one worker thread claims per store round trip")
+		shards        = flag.Int("shards", 1, "consistent-hash store partitions, each with its own ensemble, controllers, and workers (see docs/sharding.md)")
+		crossShard    = flag.Bool("cross-shard", true, "execute submissions spanning shards as atomic two-phase-commit transactions; false rejects them with shard.cross_shard (see docs/cross-shard.md)")
+		xshardTO      = flag.Duration("xshard-prepare-timeout", 10*time.Second, "cross-shard vote-collection deadline before an in-doubt transaction aborts")
+		maxInflight   = flag.Int("max-inflight", 0, "per-shard admission watermark: shed submissions (HTTP 429, api.overloaded) once a shard's queued backlog reaches this (0 disables; see docs/observability.md)")
+		followerReads = flag.Bool("follower-reads", true, "serve watermarked reads from caught-up follower replicas instead of the shard leader (see docs/reads.md)")
+		readCache     = flag.Int64("read-cache-bytes", 32<<20, "per-shard watch-invalidated read cache budget in bytes (0 disables caching)")
 	)
 	flag.Parse()
 
@@ -96,6 +98,8 @@ func main() {
 		CrossShard:           crossShardMode,
 		XShardPrepareTimeout: *xshardTO,
 		MaxInflightPerShard:  *maxInflight,
+		FollowerReads:        *followerReads,
+		ReadCacheBytes:       *readCache,
 		Logf:                 logger.Printf,
 	}
 	tp := tcloud.Topology{ComputeHosts: *hosts}
@@ -143,6 +147,17 @@ func main() {
 	}
 	if *maxInflight > 0 {
 		logger.Printf("admission control: shedding api.overloaded at %d queued per shard", *maxInflight)
+	}
+	switch info := p.PipelineInfo(); {
+	case info.FollowerReads && info.ReadCacheBytes > 0:
+		logger.Printf("read path: follower reads on, cache %d MiB per shard, X-Tropic-Zxid watermarks honored",
+			info.ReadCacheBytes>>20)
+	case info.FollowerReads:
+		logger.Printf("read path: follower reads on, cache OFF")
+	case info.ReadCacheBytes > 0:
+		logger.Printf("read path: leader-only reads (ablation), cache %d MiB per shard", info.ReadCacheBytes>>20)
+	default:
+		logger.Printf("read path: leader-only reads, cache OFF (ablation baseline)")
 	}
 	if *dataDir != "" {
 		if ps := p.Ensemble().PersistStats(); ps.Recoveries > 0 {

@@ -139,6 +139,35 @@ func (g *Gateway) route(path, method string, h http.HandlerFunc) {
 	})
 }
 
+// ZxidHeader carries a read-your-writes watermark across stateless
+// HTTP requests: responses report the store zxid the response reflects,
+// and a request presenting the header is served only from state that
+// has applied at least that zxid (cache entry, caught-up follower, or
+// the leader). See docs/reads.md.
+const ZxidHeader = "X-Tropic-Zxid"
+
+// readWatermark parses the request's zxid watermark header. Absent
+// means 0 (any replica may serve); malformed is a client error.
+func readWatermark(r *http.Request) (int64, error) {
+	v := r.Header.Get(ZxidHeader)
+	if v == "" {
+		return 0, nil
+	}
+	z, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || z < 0 {
+		return 0, trerr.Newf(trerr.APIBadRequest,
+			"%s: malformed zxid watermark %q", ZxidHeader, v).With("zxid", v)
+	}
+	return z, nil
+}
+
+// setWatermark reports the zxid a response reflects.
+func setWatermark(w http.ResponseWriter, z int64) {
+	if z > 0 {
+		w.Header().Set(ZxidHeader, strconv.FormatInt(z, 10))
+	}
+}
+
 // --- Submission -------------------------------------------------------
 
 // SubmitItem is one submission in a POST /v1/submit request.
@@ -165,6 +194,12 @@ type SubmitResult struct {
 	// Deduped is true when an idempotency key matched an earlier
 	// submission and no new transaction was created.
 	Deduped bool `json:"deduped,omitempty"`
+	// Zxid is the store position the submission committed at (also sent
+	// as the X-Tropic-Zxid response header). A client that echoes it as
+	// the X-Tropic-Zxid header on subsequent reads is guaranteed to
+	// observe this submission no matter which replica serves the read —
+	// session consistency across stateless gateway requests.
+	Zxid int64 `json:"zxid,omitempty"`
 }
 
 // BatchSubmitResponse is the POST /v1/submit response for batches.
@@ -194,7 +229,9 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			g.writeError(w, err)
 			return
 		}
-		g.writeJSON(w, SubmitResult{ID: id, Deduped: deduped})
+		z := g.cli.Watermark()
+		setWatermark(w, z)
+		g.writeJSON(w, SubmitResult{ID: id, Deduped: deduped, Zxid: z})
 		return
 	}
 	if req.Proc != "" {
@@ -215,9 +252,11 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, err)
 		return
 	}
+	z := g.cli.Watermark()
+	setWatermark(w, z)
 	resp := BatchSubmitResponse{Results: make([]SubmitResult, 0, len(outcomes))}
 	for _, o := range outcomes {
-		resp.Results = append(resp.Results, SubmitResult{ID: o.ID, Deduped: o.Deduped})
+		resp.Results = append(resp.Results, SubmitResult{ID: o.ID, Deduped: o.Deduped, Zxid: z})
 	}
 	g.writeJSON(w, resp)
 }
@@ -230,11 +269,17 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, trerr.New(trerr.APIBadRequest, "txn: missing id query parameter"))
 		return
 	}
-	rec, err := g.cli.Get(id)
+	minZ, err := readWatermark(r)
 	if err != nil {
 		g.writeError(w, err)
 		return
 	}
+	rec, z, err := g.cli.GetAt(id, minZ)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	setWatermark(w, z)
 	g.writeJSON(w, rec)
 }
 
@@ -244,13 +289,19 @@ func (g *Gateway) handleWait(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, trerr.New(trerr.APIBadRequest, "wait: missing id query parameter"))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.WaitTimeout)
-	defer cancel()
-	rec, err := g.cli.Wait(ctx, id)
+	minZ, err := readWatermark(r)
 	if err != nil {
 		g.writeError(w, err)
 		return
 	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.WaitTimeout)
+	defer cancel()
+	rec, z, err := g.cli.WaitAt(ctx, id, minZ)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	setWatermark(w, z)
 	g.writeJSON(w, rec)
 }
 
@@ -283,11 +334,17 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Limit = n
 	}
-	page, err := g.cli.List(opts)
+	minZ, err := readWatermark(r)
 	if err != nil {
 		g.writeError(w, err)
 		return
 	}
+	page, z, err := g.cli.ListAt(opts, minZ)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	setWatermark(w, z)
 	g.writeJSON(w, page)
 }
 
@@ -304,7 +361,16 @@ func (g *Gateway) handleWatch(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, trerr.New(trerr.APIInternal, "watch: response writer does not support streaming"))
 		return
 	}
-	ch, err := g.cli.WatchTxn(r.Context(), id)
+	minZ, err := readWatermark(r)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	// The stream rides the shard's fan-out multiplexer: every concurrent
+	// watcher of this record shares one store watch, and r.Context() is
+	// cancelled on client disconnect, which releases the subscription
+	// (and the shared watch once the last subscriber is gone).
+	ch, err := g.cli.WatchTxnAt(r.Context(), id, minZ)
 	if err != nil {
 		g.writeError(w, err)
 		return
@@ -477,6 +543,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		"store":      health,
 		"pipeline":   g.p.PipelineInfo(),
 		"queues":     g.p.QueueDepths(),
+		"reads":      g.p.ReadStats(),
 		"shards":     shards,
 		"api":        g.latencySummaries(),
 	})

@@ -1,0 +1,274 @@
+package api_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/tcloud"
+	"repro/tropic"
+	"repro/tropic/httpclient"
+)
+
+// newReadPathServer runs a logical-only deployment with the scalable
+// read path on, returning the platform so tests can inspect store watch
+// counts and read-path stats.
+func newReadPathServer(t *testing.T, actionLatency time.Duration, cacheBytes int64) (*httptest.Server, *tropic.Platform) {
+	t.Helper()
+	tp := tcloud.Topology{ComputeHosts: 2}
+	p, err := tropic.New(tropic.Config{
+		Schema:         tcloud.NewSchema(),
+		Procedures:     tcloud.Procedures(),
+		Bootstrap:      tp.BuildModel(),
+		Executor:       tropic.NoopExecutor{Latency: actionLatency},
+		FollowerReads:  true,
+		ReadCacheBytes: cacheBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	gw := api.New(api.Config{Platform: p})
+	t.Cleanup(gw.Close)
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+	return srv, p
+}
+
+// openSSE starts one GET /v1/watch stream and returns after the first
+// event arrives (the subscription is live), plus a cancel that models a
+// mid-stream client disconnect.
+func openSSE(t *testing.T, url string) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("watch: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			break
+		}
+	}
+	done := make(chan struct{})
+	go func() { // drain until disconnect so the transport isn't blocked
+		defer close(done)
+		defer resp.Body.Close()
+		for sc.Scan() {
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// waitCond polls until cond holds; watch teardown is asynchronous.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestAPIWatchFanOutSharesOneStoreWatch is the fan-out acceptance test:
+// N concurrent SSE subscribers on ONE record cost exactly one store
+// node watch, and the count returns to baseline once they disconnect.
+func TestAPIWatchFanOutSharesOneStoreWatch(t *testing.T) {
+	// Slow actions hold the transaction non-terminal while streams
+	// attach; cache off so hubs live on subscribers alone and the
+	// baseline comparison is exact.
+	srv, p := newReadPathServer(t, 400*time.Millisecond, 0)
+
+	code, body := postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM, Args: spawnArgs(0, "fovm1"),
+	})
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sr api.SubmitResult
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	rp := p.ShardReadPath(0)
+	baseNode, _ := p.Ensemble().WatchCounts()
+
+	const n = 8
+	cancels := make([]context.CancelFunc, n)
+	for i := range cancels {
+		cancels[i] = openSSE(t, srv.URL+"/v1/watch?id="+sr.ID)
+	}
+	if subs := rp.Subscribers(); subs != n {
+		t.Errorf("fan-out subscribers = %d, want %d", subs, n)
+	}
+	if hubs := rp.Hubs(); hubs != 1 {
+		t.Errorf("store watch hubs = %d, want 1 (shared)", hubs)
+	}
+	if node, _ := p.Ensemble().WatchCounts(); node != baseNode+1 {
+		t.Errorf("%d SSE streams hold %d store node watches, want exactly 1", n, node-baseNode)
+	}
+
+	// Mid-stream disconnects: the shared watch must be released with the
+	// LAST subscriber, not before, and never leak after.
+	for _, cancel := range cancels[:n-1] {
+		cancel()
+	}
+	waitCond(t, "n-1 unsubscribes", func() bool { return rp.Subscribers() == 1 })
+	if node, _ := p.Ensemble().WatchCounts(); node != baseNode+1 {
+		t.Errorf("store watch released while a subscriber remains")
+	}
+	cancels[n-1]()
+	waitCond(t, "watch release", func() bool {
+		node, _ := p.Ensemble().WatchCounts()
+		return rp.Subscribers() == 0 && rp.Hubs() == 0 && node == baseNode
+	})
+}
+
+// TestAPIWatchDisconnectChurn cycles subscribers on one record and
+// asserts no store watch survives the churn (satellite: SSE cleanup on
+// client disconnect mid-stream).
+func TestAPIWatchDisconnectChurn(t *testing.T) {
+	srv, p := newReadPathServer(t, 400*time.Millisecond, 0)
+	code, body := postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM, Args: spawnArgs(0, "chvm1"),
+	})
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sr api.SubmitResult
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	rp := p.ShardReadPath(0)
+	baseNode, _ := p.Ensemble().WatchCounts()
+
+	for round := 0; round < 5; round++ {
+		c1 := openSSE(t, srv.URL+"/v1/watch?id="+sr.ID)
+		c2 := openSSE(t, srv.URL+"/v1/watch?id="+sr.ID)
+		c1()
+		c2()
+		waitCond(t, fmt.Sprintf("round %d cleanup", round), func() bool {
+			node, _ := p.Ensemble().WatchCounts()
+			return rp.Subscribers() == 0 && node == baseNode
+		})
+	}
+}
+
+// TestAPIZxidWatermarkRoundTrip pins the wire contract: a submission's
+// response carries the session watermark (header and body), and a read
+// demanding that watermark is honored — session consistency across
+// stateless HTTP requests.
+func TestAPIZxidWatermarkRoundTrip(t *testing.T) {
+	srv, p := newReadPathServer(t, 0, 1<<20)
+
+	resp, err := http.Post(srv.URL+"/v1/submit", "application/json",
+		strings.NewReader(`{"proc":"spawnVM","args":["`+
+			tcloud.StorageHostPath(0)+`","`+tcloud.ComputeHostPath(0)+`","zxvm1","1024"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := json.NewDecoder(resp.Body)
+	var sr api.SubmitResult
+	if err := body.Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	hz := resp.Header.Get(api.ZxidHeader)
+	if hz == "" {
+		t.Fatalf("submit response missing %s header", api.ZxidHeader)
+	}
+	headerZ, err := strconv.ParseInt(hz, 10, 64)
+	if err != nil || headerZ <= 0 {
+		t.Fatalf("submit %s = %q, want a positive zxid", api.ZxidHeader, hz)
+	}
+	if sr.Zxid != headerZ {
+		t.Errorf("body zxid %d != header zxid %d", sr.Zxid, headerZ)
+	}
+
+	// Read back demanding the watermark: must see the record (never
+	// TxnNotFound from a lagging replica) and return a zxid >= demanded.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/txn?id="+sr.ID, nil)
+	req.Header.Set(api.ZxidHeader, hz)
+	getResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("watermarked get: %d", getResp.StatusCode)
+	}
+	rz := getResp.Header.Get(api.ZxidHeader)
+	gotZ, err := strconv.ParseInt(rz, 10, 64)
+	if err != nil || gotZ < headerZ {
+		t.Errorf("get returned %s=%q, want >= %d", api.ZxidHeader, rz, headerZ)
+	}
+
+	// Malformed watermark is a structured client error.
+	req2, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/txn?id="+sr.ID, nil)
+	req2.Header.Set(api.ZxidHeader, "not-a-zxid")
+	badResp, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed watermark: status %d, want 400", badResp.StatusCode)
+	}
+
+	// The SDK carries the watermark automatically: submit-then-read on
+	// one client is session-consistent, and the reads actually exercise
+	// the follower/cache tiers.
+	cli := httpclient.New(srv.URL)
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	rec, err := cli.SubmitAndWait(ctx, tcloud.ProcSpawnVM, spawnArgs(1, "zxvm2")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli.Zxid() <= 0 {
+		t.Errorf("SDK zxid watermark not raised by submit/read cycle")
+	}
+	got, err := cli.Get(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != rec.State {
+		t.Errorf("SDK get = %s, want %s", got.State, rec.State)
+	}
+	rs := p.ReadStats()[0]
+	if rs.FollowerServed+rs.CacheServed == 0 {
+		t.Errorf("no reads served below the leader; read path not exercised (stats %+v)", rs)
+	}
+}

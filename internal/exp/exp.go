@@ -64,6 +64,12 @@ type PlatformParams struct {
 	// (tropic.Config semantics; 0 disables shedding — the default, so
 	// every existing experiment measures the unshed pipeline).
 	MaxInflightPerShard int
+	// FollowerReads serves watermarked reads from caught-up replicas
+	// (tropic.Config semantics; false is the leader-only baseline).
+	FollowerReads bool
+	// ReadCacheBytes is the per-shard watch-invalidated read cache
+	// budget (0 disables caching).
+	ReadCacheBytes int64
 }
 
 func (p PlatformParams) withDefaults() PlatformParams {
@@ -103,6 +109,8 @@ func Start(ctx context.Context, p PlatformParams) (*Env, error) {
 		Shards:              p.Shards,
 		Controllers:         p.Controllers,
 		MaxInflightPerShard: p.MaxInflightPerShard,
+		FollowerReads:       p.FollowerReads,
+		ReadCacheBytes:      p.ReadCacheBytes,
 	}
 	if p.LogicalOnly {
 		cfg.Bootstrap = p.Topology.BuildModel()

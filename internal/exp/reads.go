@@ -1,0 +1,300 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/readpath"
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// ReadsParams drives the read-path experiment: throughput and latency
+// of a read-heavy operation mix (the 95/5 read/write regime a control
+// plane serves once its fleet is up) with the scalable read path on
+// versus the leader-only baseline. The baseline forces every Get
+// through the shard leader's commit lock, so reads queue behind the
+// write pipeline's group commits; follower reads bypass that lock and
+// cache hits bypass the store entirely.
+type ReadsParams struct {
+	// Hosts sizes the logical-only topology (default 16).
+	Hosts int
+	// Records is how many transactions to seed before the timed mix;
+	// reads are spread round-robin across them (default 64).
+	Records int
+	// Ops is the total timed operation count (default 4096).
+	Ops int
+	// WriteEvery makes every Nth op a SubmitAndWait instead of a Get
+	// (default 20 — the 95/5 mix). 0 disables writes.
+	WriteEvery int
+	// Inflight bounds operation concurrency (default 64).
+	Inflight int
+	// CommitLatency simulates one store quorum round (default 5ms — a
+	// disk-backed ZooKeeper write, the cost the paper identifies as
+	// dominant). This is the regime where leader reads visibly serialize
+	// behind writes: the leader holds the commit lock for the quorum
+	// round, so baseline reads stall for its duration while follower
+	// reads proceed.
+	CommitLatency time.Duration
+	// CacheBytes is the enabled run's per-shard cache budget (default
+	// 32 MiB). The baseline run always uses 0.
+	CacheBytes int64
+}
+
+func (p ReadsParams) withDefaults() ReadsParams {
+	if p.Hosts <= 0 {
+		p.Hosts = 16
+	}
+	if p.Records <= 0 {
+		p.Records = 64
+	}
+	if p.Ops <= 0 {
+		p.Ops = 4096
+	}
+	if p.WriteEvery == 0 {
+		p.WriteEvery = 20
+	}
+	if p.WriteEvery < 0 {
+		p.WriteEvery = 0
+	}
+	if p.Inflight <= 0 {
+		p.Inflight = 64
+	}
+	if p.CommitLatency == 0 {
+		p.CommitLatency = 5 * time.Millisecond
+	}
+	if p.CacheBytes <= 0 {
+		p.CacheBytes = 32 << 20
+	}
+	return p
+}
+
+// ReadsModeResult reports one configuration's timed mix.
+type ReadsModeResult struct {
+	// FollowerReads and CacheBytes identify the configuration.
+	FollowerReads bool  `json:"followerReads"`
+	CacheBytes    int64 `json:"cacheBytes"`
+	// Reads and Writes count the mix's operations by kind.
+	Reads  int `json:"reads"`
+	Writes int `json:"writes"`
+	// Elapsed is the read stream's wall time: how long the Reads take to
+	// complete while the Writes run concurrently against the same shard.
+	// Write orchestration drains to terminal states off the clock — it
+	// costs the same in both modes and would only dilute the read-path
+	// ratio the ablation exists to measure.
+	Elapsed time.Duration `json:"elapsedNanos"`
+	// ReadsPerSecond is read throughput under the concurrent write load
+	// — the read path's headline number.
+	ReadsPerSecond float64 `json:"readsPerSecond"`
+	// MeanReadMicros and P99ReadMicros are per-Get latencies.
+	MeanReadMicros float64 `json:"meanReadMicros"`
+	P99ReadMicros  float64 `json:"p99ReadMicros"`
+	// ReadStats is the shard's read-path counter snapshot after the
+	// run (hit/miss/serving-source attribution).
+	ReadStats readpath.Stats `json:"readStats"`
+}
+
+// ReadsResult reports the ablation pair and their ratio.
+type ReadsResult struct {
+	// Records and the mix shape echo the parameters.
+	Records    int `json:"records"`
+	Ops        int `json:"ops"`
+	WriteEvery int `json:"writeEvery"`
+	// Baseline is leader-only reads, cache off; Enabled is follower
+	// reads plus the watch-invalidated cache.
+	Baseline ReadsModeResult `json:"baseline"`
+	Enabled  ReadsModeResult `json:"enabled"`
+	// Speedup is Enabled.ReadsPerSecond / Baseline.ReadsPerSecond.
+	Speedup float64 `json:"speedup"`
+}
+
+// Reads measures the read-heavy mix twice — leader-only baseline, then
+// follower reads + cache — on otherwise identical platforms, and
+// reports the throughput ratio.
+func Reads(ctx context.Context, p ReadsParams) (ReadsResult, error) {
+	p = p.withDefaults()
+	baseline, err := readMix(ctx, p, false, 0)
+	if err != nil {
+		return ReadsResult{}, fmt.Errorf("exp: reads baseline: %w", err)
+	}
+	enabled, err := readMix(ctx, p, true, p.CacheBytes)
+	if err != nil {
+		return ReadsResult{}, fmt.Errorf("exp: reads enabled: %w", err)
+	}
+	res := ReadsResult{
+		Records:    p.Records,
+		Ops:        p.Ops,
+		WriteEvery: p.WriteEvery,
+		Baseline:   baseline,
+		Enabled:    enabled,
+	}
+	if baseline.ReadsPerSecond > 0 {
+		res.Speedup = enabled.ReadsPerSecond / baseline.ReadsPerSecond
+	}
+	return res, nil
+}
+
+// readMix seeds Records committed transactions, then runs the timed
+// 1-in-WriteEvery write mix against them on one platform configuration.
+func readMix(ctx context.Context, p ReadsParams, followerReads bool, cacheBytes int64) (ReadsModeResult, error) {
+	env, err := Start(ctx, PlatformParams{
+		Topology: tcloud.Topology{
+			ComputeHosts:      p.Hosts,
+			ComputePerStorage: 1,
+			StorageCapGB:      1 << 20,
+			HostMemMB:         1 << 20,
+		},
+		LogicalOnly:    true,
+		SessionTimeout: 2 * time.Second,
+		CommitLatency:  p.CommitLatency,
+		// Unbatched (the exp default): each write op is its own quorum
+		// round holding the commit lock, the regime where the leader-only
+		// read path visibly queues behind the write pipeline.
+		BatchMaxOps:    1,
+		Controllers:    1,
+		FollowerReads:  followerReads,
+		ReadCacheBytes: cacheBytes,
+	})
+	if err != nil {
+		return ReadsModeResult{}, err
+	}
+	defer env.Stop()
+	pl := env.Platform
+	cli := pl.Client()
+	defer cli.Close()
+
+	spawn := func(i int, name string) (*tropic.Txn, error) {
+		return cli.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+			tcloud.StorageHostPath(i%p.Hosts), tcloud.ComputeHostPath(i%p.Hosts),
+			name, "1024")
+	}
+
+	// Seed the record population the reads will target.
+	ids := make([]string, 0, p.Records)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.Inflight)
+	errCh := make(chan error, 1)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for i := 0; i < p.Records; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rec, err := spawn(i, fmt.Sprintf("rdseed%06d", i))
+			if err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			ids = append(ids, rec.ID)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return ReadsModeResult{}, err
+	default:
+	}
+
+	// The timed mix. The write share (1 in WriteEvery of Ops) runs in its
+	// own closed-loop pool of submitters so the leader's commit lock is
+	// under genuine write pressure for the whole read window — that
+	// contention is precisely what the baseline's leader reads queue
+	// behind. Each write is durably accepted inside the window (Submit
+	// returns after the creation commit); its orchestration to a
+	// terminal state drains off the clock below, where it costs the same
+	// in both modes (see ReadsModeResult.Elapsed).
+	nWrites := 0
+	if p.WriteEvery > 0 {
+		nWrites = p.Ops / p.WriteEvery
+	}
+	nReads := p.Ops - nWrites
+	writeIDs := make([]string, nWrites)
+	writers := p.Inflight / 4
+	if writers < 4 {
+		writers = 4
+	}
+	var wwg sync.WaitGroup
+	wsem := make(chan struct{}, writers)
+	for j := 0; j < nWrites; j++ {
+		wsem <- struct{}{}
+		wwg.Add(1)
+		go func(j int) {
+			defer wwg.Done()
+			defer func() { <-wsem }()
+			id, err := cli.Submit(tcloud.ProcSpawnVM,
+				tcloud.StorageHostPath(j%p.Hosts), tcloud.ComputeHostPath(j%p.Hosts),
+				fmt.Sprintf("rdmix%06d", j), "1024")
+			if err != nil {
+				fail(err)
+				return
+			}
+			writeIDs[j] = id
+		}(j)
+	}
+
+	// A fixed pool of Inflight readers issuing back-to-back, so the
+	// measurement is completion-bound (the read path) rather than
+	// issue-bound (goroutine spawn overhead).
+	readLat := metrics.NewHistogram()
+	res := ReadsModeResult{FollowerReads: followerReads, CacheBytes: cacheBytes}
+	var next atomic.Int64
+	start := time.Now()
+	for w := 0; w < p.Inflight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nReads {
+					return
+				}
+				t0 := time.Now()
+				if _, err := cli.Get(ids[i%len(ids)]); err != nil {
+					fail(err)
+					return
+				}
+				readLat.ObserveDuration(time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	wwg.Wait()
+	select {
+	case err := <-errCh:
+		return ReadsModeResult{}, err
+	default:
+	}
+
+	// Drain the mix's writes to terminal states (untimed) so both modes
+	// tear down from the same quiesced platform.
+	for _, id := range writeIDs {
+		if id == "" {
+			continue
+		}
+		if _, err := cli.Wait(ctx, id); err != nil {
+			return ReadsModeResult{}, fmt.Errorf("exp: reads drain %s: %w", id, err)
+		}
+	}
+
+	res.Reads = readLat.Count()
+	res.Writes = nWrites
+	res.ReadsPerSecond = float64(res.Reads) / res.Elapsed.Seconds()
+	res.MeanReadMicros = readLat.Mean() * 1e6
+	res.P99ReadMicros = readLat.Quantile(0.99) * 1e6
+	res.ReadStats = pl.ReadStats()[0]
+	return res, nil
+}

@@ -67,6 +67,10 @@ type BatcherStats struct {
 type GroupResult struct {
 	Err   error
 	Paths []string
+	// Zxid is the committed batch's position in the ensemble's total
+	// order — the watermark an async submitter carries so follower reads
+	// never serve state older than this write.
+	Zxid int64
 }
 
 // pendingGroup is one not-yet-flushed submission. deliver forwards the
@@ -177,9 +181,10 @@ func (b *Batcher) MultiAsync(ops ...Op) <-chan error {
 func (b *Batcher) Multi(ops ...Op) error { return <-b.MultiAsync(ops...) }
 
 // CreateResult is a CreateAsync outcome: the final (sequence-resolved)
-// path, or the error.
+// path and commit zxid, or the error.
 type CreateResult struct {
 	Path string
+	Zxid int64
 	Err  error
 }
 
@@ -194,7 +199,7 @@ func (b *Batcher) CreateAsync(path string, data []byte, flags int) <-chan Create
 			ch <- CreateResult{Err: r.Err}
 			return
 		}
-		ch <- CreateResult{Path: r.Paths[0]}
+		ch <- CreateResult{Path: r.Paths[0], Zxid: r.Zxid}
 	})
 	if !ok {
 		ch <- CreateResult{Err: ErrClosed}

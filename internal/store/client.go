@@ -14,9 +14,14 @@ import (
 type Client struct {
 	ens       *Ensemble
 	sessionID int64
+	sess      *session // for lock-free expiry checks on the read path
 	stopBeat  chan struct{}
 	beatDone  chan struct{}
 	killed    atomic.Bool
+
+	// lastWrite is the zxid of this session's most recent committed
+	// write — the session-consistency watermark follower reads carry.
+	lastWrite atomic.Int64
 
 	// batcher backs MultiAsync/CreateAsync; created lazily (with
 	// batcherCfg when set, package defaults otherwise) and torn down
@@ -44,6 +49,7 @@ func (e *Ensemble) Connect() *Client {
 	c := &Client{
 		ens:       e,
 		sessionID: id,
+		sess:      s,
 		stopBeat:  make(chan struct{}),
 		beatDone:  make(chan struct{}),
 	}
@@ -174,6 +180,34 @@ func (c *Client) checkSessionLocked() error {
 	return nil
 }
 
+// checkSessionFast is checkSessionLocked without the ensemble lock, for
+// the follower-read path: crash flag plus the session's expiry channel,
+// both safe to consult lock-free.
+func (c *Client) checkSessionFast() error {
+	if c.killed.Load() {
+		return ErrSessionExpired
+	}
+	select {
+	case <-c.sess.expiredCh:
+		return ErrSessionExpired
+	default:
+		return nil
+	}
+}
+
+// noteWrite records a committed write's zxid as the session watermark.
+// Caller holds e.mu (so reading e.zxid is safe); the watermark itself is
+// atomic because the read path consults it lock-free.
+func (c *Client) noteWriteLocked() {
+	if z := c.ens.zxid; z > c.lastWrite.Load() {
+		c.lastWrite.Store(z)
+	}
+}
+
+// LastWriteZxid reports the zxid of the session's most recent committed
+// write — the minimum position a session-consistent read must observe.
+func (c *Client) LastWriteZxid() int64 { return c.lastWrite.Load() }
+
 // Create creates a znode and returns its final path (which differs from
 // the requested path for sequence nodes).
 func (c *Client) Create(path string, data []byte, flags int) (string, error) {
@@ -190,6 +224,7 @@ func (c *Client) Create(path string, data []byte, flags int) (string, error) {
 	if err := e.commitLocked(op); err != nil {
 		return "", err
 	}
+	c.noteWriteLocked()
 	final := childFullPath(path, e.log[len(e.log)-1].op.resolvedName)
 	return final, nil
 }
@@ -202,7 +237,11 @@ func (c *Client) Set(path string, data []byte, version int32) error {
 	if err := c.checkSessionLocked(); err != nil {
 		return err
 	}
-	return e.commitLocked(Op{kind: opSet, Path: path, Data: data, Version: version})
+	if err := e.commitLocked(Op{kind: opSet, Path: path, Data: data, Version: version}); err != nil {
+		return err
+	}
+	c.noteWriteLocked()
+	return nil
 }
 
 // Delete removes a znode. version -1 skips the compare-and-set check.
@@ -213,7 +252,11 @@ func (c *Client) Delete(path string, version int32) error {
 	if err := c.checkSessionLocked(); err != nil {
 		return err
 	}
-	return e.commitLocked(Op{kind: opDelete, Path: path, Version: version})
+	if err := e.commitLocked(Op{kind: opDelete, Path: path, Version: version}); err != nil {
+		return err
+	}
+	c.noteWriteLocked()
+	return nil
 }
 
 // Multi atomically applies a batch of write operations: either all apply
@@ -230,7 +273,11 @@ func (c *Client) Multi(ops ...Op) error {
 			ops[i].session = c.sessionID
 		}
 	}
-	return e.commitLocked(Op{kind: opMulti, ops: ops})
+	if err := e.commitLocked(Op{kind: opMulti, ops: ops}); err != nil {
+		return err
+	}
+	c.noteWriteLocked()
+	return nil
 }
 
 // MultiAllResolved commits several independent Multi batches in one
@@ -259,7 +306,14 @@ func (c *Client) MultiAllResolved(groups ...[]Op) []GroupResult {
 			}
 		}
 	}
-	return e.commitAllLocked(groups)
+	results := e.commitAllLocked(groups)
+	for _, r := range results {
+		if r.Err == nil {
+			c.noteWriteLocked()
+			break
+		}
+	}
+	return results
 }
 
 // MultiAll is MultiAllResolved reduced to the per-batch errors.
@@ -309,6 +363,55 @@ func (c *Client) Get(path string) ([]byte, Stat, error) {
 	return append([]byte(nil), n.data...), n.stat(), nil
 }
 
+// GetZ is Get plus the position of the read: the zxid the returned
+// state is current as of. It reads the leader tree under the commit
+// lock, so the zxid is the ensemble's latest.
+func (c *Client) GetZ(path string) ([]byte, Stat, int64, error) {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return nil, Stat{}, 0, err
+	}
+	t, err := e.leaderTree()
+	if err != nil {
+		return nil, Stat{}, 0, err
+	}
+	n, err := t.lookup(path)
+	if err != nil {
+		return nil, Stat{}, e.zxid, err
+	}
+	return append([]byte(nil), n.data...), n.stat(), e.zxid, nil
+}
+
+// GetAt is the follower read: it serves path from ANY live replica that
+// has applied at least minZxid — without touching the ensemble commit
+// lock, so reads do not queue behind writes — and falls through to a
+// leader read when no replica satisfies the watermark. The returned
+// zxid is the position the read is current as of (≥ minZxid); a caller
+// that threads it into its next read gets session consistency across
+// the whole replica set. fromFollower reports which path served, for
+// metrics and the ablation experiments.
+func (c *Client) GetAt(path string, minZxid int64) (data []byte, st Stat, zxid int64, fromFollower bool, err error) {
+	if err := c.checkSessionFast(); err != nil {
+		return nil, Stat{}, 0, false, err
+	}
+	z, served, rerr := c.ens.followerRead(minZxid, func(t *tree) error {
+		n, lerr := t.lookup(path)
+		if lerr != nil {
+			return lerr
+		}
+		data = append([]byte(nil), n.data...)
+		st = n.stat()
+		return nil
+	})
+	if served {
+		return data, st, z, true, rerr
+	}
+	data, st, z, err = c.GetZ(path)
+	return data, st, z, false, err
+}
+
 // Exists reports whether a znode exists.
 func (c *Client) Exists(path string) (bool, Stat, error) {
 	e := c.ens
@@ -347,6 +450,47 @@ func (c *Client) Children(path string) ([]string, error) {
 	return n.sortedChildren(), nil
 }
 
+// ChildrenZ is Children plus the zxid the listing is current as of.
+func (c *Client) ChildrenZ(path string) ([]string, int64, error) {
+	e := c.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := c.checkSessionLocked(); err != nil {
+		return nil, 0, err
+	}
+	t, err := e.leaderTree()
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := t.lookup(path)
+	if err != nil {
+		return nil, e.zxid, err
+	}
+	return n.sortedChildren(), e.zxid, nil
+}
+
+// ChildrenAt is the follower read for listings: sorted child names from
+// any live replica at ≥ minZxid, falling through to the leader when
+// none qualifies. Same watermark contract as GetAt.
+func (c *Client) ChildrenAt(path string, minZxid int64) (names []string, zxid int64, fromFollower bool, err error) {
+	if err := c.checkSessionFast(); err != nil {
+		return nil, 0, false, err
+	}
+	z, served, rerr := c.ens.followerRead(minZxid, func(t *tree) error {
+		n, lerr := t.lookup(path)
+		if lerr != nil {
+			return lerr
+		}
+		names = n.sortedChildren()
+		return nil
+	})
+	if served {
+		return names, z, true, rerr
+	}
+	names, z, err = c.ChildrenZ(path)
+	return names, z, false, err
+}
+
 // WatchNode registers a one-shot watch for create/delete/set on path.
 // The returned channel delivers exactly one event and is then closed.
 func (c *Client) WatchNode(path string) (<-chan Event, error) {
@@ -376,6 +520,20 @@ func (c *Client) WatchChildren(path string) (<-chan Event, error) {
 	w := &watcher{ch: make(chan Event, 1), session: c.sessionID}
 	c.ens.watches.addChild(path, w)
 	return w.ch, nil
+}
+
+// NodeWatch registers a REUSABLE watch on create/delete/set of path: it
+// stays armed across events (coalescing back-to-back changes into one
+// pending wakeup) until Close. This is the fan-out primitive the read
+// path multiplexes SSE subscribers onto — one NodeWatch per watched
+// record regardless of how many sessions stream it.
+func (c *Client) NodeWatch(path string) (*NodeWatch, error) {
+	if _, err := splitPath(path); err != nil {
+		return nil, err
+	}
+	w := &watcher{ch: make(chan Event, 1), session: c.sessionID, persistent: true}
+	c.ens.watches.addNode(path, w)
+	return &NodeWatch{path: path, w: w, wt: c.ens.watches}, nil
 }
 
 // ChildWatch registers a REUSABLE watch on membership changes of path's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/store/persist"
@@ -112,11 +113,19 @@ type logEntry struct {
 // replica is one member of the ensemble. All live replicas apply the same
 // committed sequence; a stopped replica stops applying and catches up from
 // a live peer on restart.
+//
+// Writers (commit, catch-up, recovery) mutate the tree holding e.mu AND
+// r.mu; follower reads take only r.mu.RLock, so they never contend with
+// the ensemble commit lock — the whole point of the follower read path.
+// The lock order is always e.mu → r.mu.
 type replica struct {
-	id       int
-	alive    bool
-	tree     *tree
-	applyIdx int64 // index into ensemble.log of the next op to apply
+	id    int
+	alive atomic.Bool
+	// mu guards tree and appliedZxid against lock-free follower reads.
+	mu          sync.RWMutex
+	tree        *tree
+	appliedZxid int64 // zxid of the last op applied to tree
+	applyIdx    int64 // index into ensemble.log of the next op to apply
 }
 
 // session tracks one client connection.
@@ -141,6 +150,11 @@ type Ensemble struct {
 	nextSess int64
 	watches  *watchTable
 	closed   bool
+
+	// readSeq rotates follower reads round-robin across replicas; it is
+	// deliberately outside e.mu — follower reads must not touch the
+	// commit lock.
+	readSeq atomic.Int64
 
 	stopTick chan struct{}
 	tickDone chan struct{}
@@ -180,7 +194,9 @@ func OpenEnsemble(cfg Config) (*Ensemble, error) {
 		tickDone: make(chan struct{}),
 	}
 	for i := 0; i < cfg.Replicas; i++ {
-		e.replicas = append(e.replicas, &replica{id: i, alive: true, tree: newTree()})
+		r := &replica{id: i, tree: newTree()}
+		r.alive.Store(true)
+		e.replicas = append(e.replicas, r)
 	}
 	if cfg.DataDir != "" {
 		ps, err := persist.Open(cfg.DataDir, cfg.SyncPolicy)
@@ -282,7 +298,7 @@ func (e *Ensemble) ExpireSession(id int64) {
 func (e *Ensemble) aliveCount() int {
 	n := 0
 	for _, r := range e.replicas {
-		if r.alive {
+		if r.alive.Load() {
 			n++
 		}
 	}
@@ -294,7 +310,7 @@ func (e *Ensemble) aliveCount() int {
 // replicas.
 func (e *Ensemble) leaderTree() (*tree, error) {
 	for _, r := range e.replicas {
-		if r.alive {
+		if r.alive.Load() {
 			return r.tree, nil
 		}
 	}
@@ -307,7 +323,7 @@ func (e *Ensemble) StopReplica(i int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if i >= 0 && i < len(e.replicas) {
-		e.replicas[i].alive = false
+		e.replicas[i].alive.Store(false)
 	}
 }
 
@@ -320,15 +336,58 @@ func (e *Ensemble) StartReplica(i int) {
 		return
 	}
 	r := e.replicas[i]
-	if r.alive {
+	if r.alive.Load() {
 		return
 	}
+	r.mu.Lock()
 	for r.applyIdx < int64(len(e.log)) {
 		entry := e.log[r.applyIdx]
 		applyOp(r.tree, entry.op, entry.zxid, nil)
+		r.appliedZxid = entry.zxid
 		r.applyIdx++
 	}
-	r.alive = true
+	r.mu.Unlock()
+	r.alive.Store(true)
+}
+
+// Zxid reports the id of the most recently sequenced write. A client
+// that has observed state as of Zxid can demand it back from any
+// replica via the watermark argument of the follower-read API.
+func (e *Ensemble) Zxid() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.zxid
+}
+
+// followerRead serves fn against any live replica that has applied at
+// least minZxid, WITHOUT taking the ensemble commit lock. Candidates
+// rotate round-robin so concurrent readers spread across the ensemble.
+// The replica's read lock is held for the duration of fn, so fn sees a
+// tree frozen exactly at the returned zxid. served=false means no
+// replica satisfies the watermark (all behind it, or none alive) and
+// the caller must fall through to a leader read; fn's own error (e.g.
+// ErrNoNode) is a real result, not a reason to try another replica —
+// replicas at ≥ minZxid answer a session-consistent read identically
+// for the session's own writes.
+func (e *Ensemble) followerRead(minZxid int64, fn func(*tree) error) (zxid int64, served bool, err error) {
+	n := len(e.replicas)
+	start := int(e.readSeq.Add(1) % int64(n))
+	for k := 0; k < n; k++ {
+		r := e.replicas[(start+k)%n]
+		if !r.alive.Load() {
+			continue
+		}
+		r.mu.RLock()
+		if r.appliedZxid < minZxid {
+			r.mu.RUnlock()
+			continue
+		}
+		err = fn(r.tree)
+		zxid = r.appliedZxid
+		r.mu.RUnlock()
+		return zxid, true, err
+	}
+	return 0, false, nil
 }
 
 // commitLocked validates op against the current (leader) tree, sequences
@@ -372,9 +431,10 @@ func (e *Ensemble) commitLocked(op Op) error {
 	fired := &firedWatches{}
 	first := true
 	for _, r := range e.replicas {
-		if !r.alive {
+		if !r.alive.Load() {
 			continue
 		}
+		r.mu.Lock()
 		if first {
 			// Collect watch events only once; live replica trees are
 			// identical so the events would be identical too.
@@ -383,7 +443,9 @@ func (e *Ensemble) commitLocked(op Op) error {
 		} else {
 			applyOp(r.tree, resolved, e.zxid, nil)
 		}
+		r.appliedZxid = e.zxid
 		r.applyIdx = int64(len(e.log))
+		r.mu.Unlock()
 	}
 	e.commits++
 	if e.pstore != nil {
@@ -468,16 +530,19 @@ func (e *Ensemble) commitAllLocked(groups [][]Op) []GroupResult {
 		e.log = append(e.log, logEntry{op: resolved, zxid: e.zxid})
 		first := true
 		for _, r := range e.replicas {
-			if !r.alive {
+			if !r.alive.Load() {
 				continue
 			}
+			r.mu.Lock()
 			if first {
 				applyOp(r.tree, resolved, e.zxid, fired)
 				first = false
 			} else {
 				applyOp(r.tree, resolved, e.zxid, nil)
 			}
+			r.appliedZxid = e.zxid
 			r.applyIdx = int64(len(e.log))
+			r.mu.Unlock()
 		}
 		e.commits++
 		paths := make([]string, len(resolved.ops))
@@ -487,6 +552,7 @@ func (e *Ensemble) commitAllLocked(groups [][]Op) []GroupResult {
 			}
 		}
 		results[gi].Paths = paths
+		results[gi].Zxid = e.zxid
 		applied = append(applied, gi)
 	}
 	if e.pstore != nil && len(applied) > 0 {

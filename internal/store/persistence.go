@@ -134,6 +134,7 @@ func (e *Ensemble) recoverFromDisk() error {
 		} else {
 			r.tree = &tree{root: t.root.deepCopy()}
 		}
+		r.appliedZxid = e.zxid
 	}
 	// A fresh data dir is initialization, not a recovery; only count the
 	// pass when there was state to recover.

@@ -265,6 +265,31 @@ func (wt *watchTable) cancelChild(path string, w *watcher) {
 	}
 }
 
+// cancelNodeWatcher is cancelChild for the node map: it removes a node
+// watcher (persistent or one-shot) by identity and closes its channel,
+// with the same detach-under-mutex finalization guarantee.
+func (wt *watchTable) cancelNodeWatcher(path string, w *watcher) {
+	wt.mu.Lock()
+	ws := wt.node[path]
+	found := false
+	for i, x := range ws {
+		if x == w {
+			found = true
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(wt.node, path)
+	} else if found {
+		wt.node[path] = ws
+	}
+	wt.mu.Unlock()
+	if found {
+		close(w.ch)
+	}
+}
+
 // counts reports outstanding watch registrations, for leak tests and the
 // stats surface.
 func (wt *watchTable) counts() (node, child int) {
@@ -297,3 +322,21 @@ func (cw *ChildWatch) C() <-chan Event { return cw.w.ch }
 
 // Close releases the watch and closes its channel. Idempotent.
 func (cw *ChildWatch) Close() { cw.wt.cancelChild(cw.path, cw.w) }
+
+// NodeWatch is ChildWatch's node-level sibling: a reusable watch on
+// create/delete/set of one path, coalescing back-to-back changes into
+// one pending wakeup. A closed channel means the session expired. One
+// NodeWatch fans out to arbitrarily many read-path subscribers, which
+// is what keeps 100k concurrent watch streams at O(records) store
+// watches instead of O(sessions).
+type NodeWatch struct {
+	path string
+	w    *watcher
+	wt   *watchTable
+}
+
+// C returns the event channel.
+func (nw *NodeWatch) C() <-chan Event { return nw.w.ch }
+
+// Close releases the watch and closes its channel. Idempotent.
+func (nw *NodeWatch) Close() { nw.wt.cancelNodeWatcher(nw.path, nw.w) }

@@ -32,6 +32,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/tropic"
@@ -47,6 +48,12 @@ type Client struct {
 	// block them forever. Context-taking methods (Wait, WatchTxn, ...)
 	// are bounded by their contexts alone.
 	reqTimeout time.Duration
+	// zxid is the session's read-your-writes watermark: the highest
+	// X-Tropic-Zxid any response has reported. Every request presents it,
+	// so the gateway serves this client only from state that reflects its
+	// own writes, whichever replica or cache entry answers (see
+	// docs/reads.md).
+	zxid atomic.Int64
 }
 
 var _ tropic.Session = (*Client)(nil)
@@ -94,6 +101,33 @@ func (c *Client) reqCtx() (context.Context, context.CancelFunc) {
 // server state.)
 func (c *Client) Close() { c.hc.CloseIdleConnections() }
 
+// zxidHeader mirrors internal/api.ZxidHeader (the packages share no
+// importable surface by design — the wire format is the contract).
+const zxidHeader = "X-Tropic-Zxid"
+
+// Zxid returns the client's current watermark: the store position its
+// reads are guaranteed to reflect. 0 until the first response.
+func (c *Client) Zxid() int64 { return c.zxid.Load() }
+
+// raiseZxid lifts the watermark to a response's reported position.
+// Monotonic: concurrent responses race benignly to the maximum.
+func (c *Client) raiseZxid(h http.Header) {
+	v := h.Get(zxidHeader)
+	if v == "" {
+		return
+	}
+	z, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := c.zxid.Load()
+		if z <= cur || c.zxid.CompareAndSwap(cur, z) {
+			return
+		}
+	}
+}
+
 // --- Wire types (mirroring internal/api) ------------------------------
 
 type submitItem struct {
@@ -131,6 +165,9 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if z := c.zxid.Load(); z > 0 {
+		req.Header.Set(zxidHeader, strconv.FormatInt(z, 10))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("httpclient: %s: %w", path, err)
@@ -143,6 +180,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 	if resp.StatusCode/100 != 2 {
 		return decodeError(path, resp.StatusCode, resp.Header, data)
 	}
+	c.raiseZxid(resp.Header)
 	if out == nil {
 		return nil
 	}
@@ -324,6 +362,9 @@ func (c *Client) WatchTxn(ctx context.Context, id string) (<-chan *tropic.Txn, e
 	if err != nil {
 		return nil, fmt.Errorf("httpclient: watch: %w", err)
 	}
+	if z := c.zxid.Load(); z > 0 {
+		req.Header.Set(zxidHeader, strconv.FormatInt(z, 10))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("httpclient: watch: %w", err)
@@ -333,6 +374,7 @@ func (c *Client) WatchTxn(ctx context.Context, id string) (<-chan *tropic.Txn, e
 		resp.Body.Close()
 		return nil, decodeError("/v1/watch", resp.StatusCode, resp.Header, data)
 	}
+	c.raiseZxid(resp.Header)
 	ch := make(chan *tropic.Txn, 8)
 	go func() {
 		defer close(ch)

@@ -1,0 +1,173 @@
+package tropic_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/tcloud"
+	"repro/tropic"
+)
+
+// newReadPathPlatform builds a logical-only platform with the scalable
+// read path on: follower reads plus the watch-invalidated cache.
+func newReadPathPlatform(t *testing.T, hosts int, followerReads bool, cacheBytes int64) *tropic.Platform {
+	t.Helper()
+	p, err := tropic.New(tropic.Config{
+		Schema:         tcloud.NewSchema(),
+		Procedures:     tcloud.Procedures(),
+		Bootstrap:      tcloud.Topology{ComputeHosts: hosts}.BuildModel(),
+		Executor:       tropic.NoopExecutor{},
+		SessionTimeout: 150 * time.Millisecond,
+		FollowerReads:  followerReads,
+		ReadCacheBytes: cacheBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	return p
+}
+
+// TestSessionConsistencyUnderChurn is the read path's core property:
+// a read carrying the session's zxid watermark NEVER observes state
+// older than the session's own writes — whichever replica serves it,
+// and regardless of store-replica churn and controller failover
+// happening underneath. Stale reads would show up here as TxnNotFound
+// (record not yet applied on the serving replica) or a non-terminal
+// state after SubmitAndWait returned a terminal one.
+func TestSessionConsistencyUnderChurn(t *testing.T) {
+	const hosts = 4
+	p := newReadPathPlatform(t, hosts, true, 1<<20)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	c := p.Client()
+	defer c.Close()
+
+	// Store-replica churn: continuously stop and restart followers so
+	// watermark checks constantly face stale and catching-up replicas.
+	var stop atomic.Bool
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		e := p.Ensemble()
+		for i := 0; !stop.Load(); i++ {
+			r := 1 + i%2 // never more than one replica down: quorum holds
+			e.StopReplica(r)
+			time.Sleep(2 * time.Millisecond)
+			e.StartReplica(r)
+		}
+	}()
+	defer func() { stop.Store(true); <-churnDone }()
+
+	for i := 0; i < 40; i++ {
+		if i == 20 {
+			// Mid-run controller failover: the submit/read contract must
+			// hold across leader churn too.
+			if p.KillLeader() == "" {
+				t.Fatal("no leader to kill")
+			}
+		}
+		rec, err := c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+			tcloud.StorageHostPath(i%hosts), tcloud.ComputeHostPath(i%hosts),
+			fmt.Sprintf("scvm%03d", i), "1024")
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if !rec.State.Terminal() {
+			t.Fatalf("submit %d returned non-terminal %s", i, rec.State)
+		}
+
+		// The explicit watermark form: demand the session's own position.
+		got, z, err := c.GetAt(rec.ID, c.Watermark())
+		if err != nil {
+			t.Fatalf("GetAt(%s) after submit: %v", rec.ID, err)
+		}
+		if got.State != rec.State {
+			t.Fatalf("GetAt(%s) = %s, want the terminal %s observed at submit",
+				rec.ID, got.State, rec.State)
+		}
+		if z < c.Watermark() {
+			t.Fatalf("GetAt returned zxid %d behind the session watermark %d", z, c.Watermark())
+		}
+
+		// The implicit form: plain Get carries the watermark internally.
+		got2, err := c.Get(rec.ID)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", rec.ID, err)
+		}
+		if got2.State != rec.State {
+			t.Fatalf("Get(%s) = %s, want %s", rec.ID, got2.State, rec.State)
+		}
+	}
+
+	// The property must have been exercised by the follower path, not
+	// satisfied vacuously by leader fall-throughs.
+	rs := p.ReadStats()[0]
+	if rs.FollowerServed+rs.CacheServed == 0 {
+		t.Errorf("all %d reads fell through to the leader; follower path never exercised (stats %+v)",
+			rs.LeaderServed, rs)
+	}
+}
+
+// TestLeaderOnlyAblationConfig pins the ablation wiring: FollowerReads
+// off must serve every read from the leader and report it that way.
+func TestLeaderOnlyAblationConfig(t *testing.T) {
+	const hosts = 2
+	p := newReadPathPlatform(t, hosts, false, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	info := p.PipelineInfo()
+	if info.FollowerReads || info.ReadCacheBytes != 0 {
+		t.Fatalf("PipelineInfo = followerReads=%v cache=%d, want ablation baseline",
+			info.FollowerReads, info.ReadCacheBytes)
+	}
+
+	c := p.Client()
+	defer c.Close()
+	rec, err := c.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+		tcloud.StorageHostPath(0), tcloud.ComputeHostPath(0), "abvm", "1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	rs := p.ReadStats()[0]
+	if rs.FollowerServed != 0 || rs.CacheServed != 0 {
+		t.Errorf("ablation served %d follower / %d cache reads, want 0/0",
+			rs.FollowerServed, rs.CacheServed)
+	}
+	if rs.LeaderServed == 0 {
+		t.Errorf("no leader-served reads recorded")
+	}
+}
+
+// TestReadPathConfigPlumbing pins the resolved config surface the
+// daemon logs and /v1/stats export.
+func TestReadPathConfigPlumbing(t *testing.T) {
+	p := newReadPathPlatform(t, 2, true, 4<<20)
+	info := p.PipelineInfo()
+	if !info.FollowerReads {
+		t.Errorf("PipelineInfo.FollowerReads = false, want true")
+	}
+	if info.ReadCacheBytes != 4<<20 {
+		t.Errorf("PipelineInfo.ReadCacheBytes = %d, want %d", info.ReadCacheBytes, 4<<20)
+	}
+	rs := p.ReadStats()
+	if len(rs) != 1 {
+		t.Fatalf("ReadStats len = %d, want 1", len(rs))
+	}
+	if !rs[0].FollowerReads || rs[0].CacheBytesMax != 4<<20 {
+		t.Errorf("ReadStats[0] = %+v, want follower reads with 4MiB budget", rs[0])
+	}
+}

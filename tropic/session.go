@@ -100,8 +100,20 @@ const (
 // cursor ("s<shard>:<local>"), so one iteration covers every shard
 // exactly once; ordering is per-shard, not global submission order.
 func (c *Client) List(opts ListOptions) (*TxnPage, error) {
+	page, _, err := c.ListAt(opts, -1)
+	return page, err
+}
+
+// ListAt is List with an explicit zxid watermark (see GetAt; minZxid <
+// 0 substitutes the serving shard's own client watermark). The child
+// listing and every record read go through the shard's read path; the
+// returned zxid is the highest position any of them was served at.
+func (c *Client) ListAt(opts ListOptions, minZxid int64) (*TxnPage, int64, error) {
 	if c.sharded() {
-		return c.listSharded(opts)
+		return c.listSharded(opts, minZxid)
+	}
+	if minZxid < 0 {
+		minZxid = c.cli.LastWriteZxid()
 	}
 	limit := opts.Limit
 	if limit <= 0 {
@@ -110,12 +122,12 @@ func (c *Client) List(opts ListOptions) (*TxnPage, error) {
 	if limit > listMaxLimit {
 		limit = listMaxLimit
 	}
-	ids, err := c.cli.Children(proto.TxnsPath)
+	ids, maxZ, err := c.listChildren(proto.TxnsPath, minZxid)
 	if err != nil {
 		if errors.Is(err, store.ErrNoNode) {
-			return &TxnPage{}, nil // platform not bootstrapped yet: nothing to list
+			return &TxnPage{}, maxZ, nil // platform not bootstrapped yet: nothing to list
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	page := &TxnPage{}
 	scanned := 0
@@ -127,14 +139,17 @@ func (c *Client) List(opts ListOptions) (*TxnPage, error) {
 		if scanned == listScanCap {
 			// Scan budget exhausted: resume from the last examined id.
 			page.NextCursor = lastExamined
-			return page, nil
+			return page, maxZ, nil
 		}
-		rec, err := c.Get(id)
+		rec, z, err := c.GetAt(id, minZxid)
 		if err != nil {
 			if errors.Is(err, trerr.TxnNotFound) {
 				continue // record GC'd between Children and Get
 			}
-			return nil, err
+			return nil, 0, err
+		}
+		if z > maxZ {
+			maxZ = z
 		}
 		scanned++
 		lastExamined = id
@@ -147,32 +162,43 @@ func (c *Client) List(opts ListOptions) (*TxnPage, error) {
 		if len(page.Txns) == limit {
 			// A further match exists beyond the page: hand out a cursor.
 			page.NextCursor = page.Txns[limit-1].ID
-			return page, nil
+			return page, maxZ, nil
 		}
 		page.Txns = append(page.Txns, rec)
 	}
-	return page, nil
+	return page, maxZ, nil
+}
+
+// listChildren lists a node's children through the shard's read path
+// when the platform has one, falling back to a plain leader read.
+func (c *Client) listChildren(path string, minZxid int64) ([]string, int64, error) {
+	if c.rp != nil {
+		names, z, _, err := c.rp.Children(path, minZxid)
+		return names, z, err
+	}
+	names, err := c.cli.Children(path)
+	return names, 0, err
 }
 
 // listSharded merges cursor pagination across shards: it serves each
 // page from one shard's sub-client and hands out a composite cursor
 // naming the next position — within the same shard while it has more
 // records, then the start of the next shard.
-func (c *Client) listSharded(opts ListOptions) (*TxnPage, error) {
+func (c *Client) listSharded(opts ListOptions, minZxid int64) (*TxnPage, int64, error) {
 	s, local := 0, ""
 	if opts.Cursor != "" {
 		var ok bool
 		s, local, ok = parseShardCursor(opts.Cursor, len(c.subs))
 		if !ok {
-			return nil, trerr.Newf(trerr.APIBadRequest,
+			return nil, 0, trerr.Newf(trerr.APIBadRequest,
 				"tropic: list: malformed cursor %q", opts.Cursor).With("cursor", opts.Cursor)
 		}
 	}
 	lopts := opts
 	lopts.Cursor = local
-	page, err := c.subs[s].List(lopts)
+	page, z, err := c.subs[s].ListAt(lopts, minZxid)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for _, rec := range page.Txns {
 		if rec.IsChild() {
@@ -192,7 +218,7 @@ func (c *Client) listSharded(opts ListOptions) (*TxnPage, error) {
 		// TxnPage contract.
 		page.NextCursor = formatShardCursor(s+1, "")
 	}
-	return page, nil
+	return page, z, nil
 }
 
 // formatShardCursor and parseShardCursor encode a shard-qualified List
@@ -223,12 +249,23 @@ func parseShardCursor(cursor string, shards int) (shardIdx int, local string, ok
 // successor; the terminal state is always delivered. An unknown id
 // fails synchronously with trerr.TxnNotFound.
 func (c *Client) WatchTxn(ctx context.Context, id string) (<-chan *Txn, error) {
+	return c.WatchTxnAt(ctx, id, -1)
+}
+
+// WatchTxnAt is WatchTxn with an explicit zxid watermark for the
+// initial read (see GetAt; minZxid < 0 substitutes the serving shard's
+// own client watermark). On a platform with a read path the stream
+// rides the shard's fan-out multiplexer: all concurrent watchers of a
+// record share ONE store watch, and the subscription is released the
+// moment the stream ends — terminal record, context cancellation (an
+// SSE client disconnecting), or session expiry.
+func (c *Client) WatchTxnAt(ctx context.Context, id string, minZxid int64) (<-chan *Txn, error) {
 	if c.sharded() {
 		sub, local, qualify, err := c.locate(id)
 		if err != nil {
 			return nil, err
 		}
-		ch, err := sub.WatchTxn(ctx, local)
+		ch, err := sub.WatchTxnAt(ctx, local, minZxid)
 		if err != nil {
 			return nil, err
 		}
@@ -246,6 +283,58 @@ func (c *Client) WatchTxn(ctx context.Context, id string) (<-chan *Txn, error) {
 		}()
 		return out, nil
 	}
+	if c.rp == nil {
+		return c.watchTxnLegacy(ctx, id)
+	}
+	path := proto.TxnsPath + "/" + id
+	mux, err := c.rp.Subscribe(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, z, err := c.GetAt(id, minZxid)
+	if err != nil {
+		mux.Close()
+		return nil, err
+	}
+	ch := make(chan *Txn, 8)
+	go func() {
+		defer close(ch)
+		defer mux.Close()
+		var last State
+		for {
+			if rec.State != last {
+				last = rec.State
+				select {
+				case ch <- rec:
+				case <-ctx.Done():
+					return
+				}
+			}
+			if rec.State.Terminal() {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case _, ok := <-mux.C():
+				if !ok {
+					return
+				}
+			}
+			// Re-read past the position just served (see WaitAt): a
+			// cached entry at exactly z would satisfy the watermark and
+			// stall the stream on the state the wakeup superseded.
+			if rec, z, err = c.GetAt(id, z+1); err != nil {
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// watchTxnLegacy is the read-path-less stream: one armed store watch
+// per observed transition on this client's own session.
+func (c *Client) watchTxnLegacy(ctx context.Context, id string) (<-chan *Txn, error) {
 	path := proto.TxnsPath + "/" + id
 	watch, err := c.cli.WatchNode(path)
 	if err != nil {

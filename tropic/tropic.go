@@ -40,6 +40,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/proto"
 	"repro/internal/queue"
+	"repro/internal/readpath"
 	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/txn"
@@ -256,6 +257,20 @@ type Config struct {
 	// instrumentation for crashing leaders at exact protocol points.
 	// Nil (the default) in production.
 	CrossShardHook func(shard int, event, parentID string)
+	// FollowerReads serves watermarked reads (Get/List/Wait and the
+	// gateway read path) from any store replica that has applied the
+	// caller's zxid watermark, instead of forcing every read through
+	// the shard leader's commit lock. Session consistency is preserved:
+	// a read always observes at least the caller's own writes. False
+	// (the default) is the leader-only baseline the read-path ablation
+	// measures. See docs/reads.md.
+	FollowerReads bool
+	// ReadCacheBytes bounds the per-shard watch-invalidated read cache
+	// in resident bytes (records and listings served without touching
+	// the store, invalidated by the store's own watch machinery rather
+	// than TTLs). 0 (the default) disables caching; the fan-out
+	// multiplexer behind WatchTxn runs regardless.
+	ReadCacheBytes int64
 	// MaxInflightPerShard is the queue-depth admission watermark: a
 	// submission targeting a shard whose summed pipeline backlog
 	// (inputQ + todoQ + phyQ) has reached this bound is shed
@@ -301,6 +316,12 @@ type shardUnit struct {
 	ens   *store.Ensemble
 	ctrl  []*controller.Controller
 	wrk   *worker.Worker
+
+	// rp is the shard's read path (follower reads, watch-invalidated
+	// cache, watch fan-out multiplexer) over its own store session
+	// rpCli. Every platform client built by Platform.Client shares it.
+	rp    *readpath.Shard
+	rpCli *store.Client
 
 	// depthCli lazily holds a store session for queue-depth sampling;
 	// gauges retain the latest sampled depths.
@@ -573,6 +594,17 @@ func (p *Platform) newShardUnit(i int) (*shardUnit, error) {
 		return nil, err
 	}
 	u.wrk = w
+	// The shard's read path: one store session serving follower reads,
+	// the watch-invalidated cache, and the watch fan-out multiplexer
+	// for every platform client on this shard.
+	u.rpCli = ens.Connect()
+	u.rp = readpath.New(readpath.Config{
+		Client:        u.rpCli,
+		FollowerReads: cfg.FollowerReads,
+		CacheBytes:    cfg.ReadCacheBytes,
+		Registry:      p.reg,
+		Shard:         fmt.Sprint(i),
+	})
 	return u, nil
 }
 
@@ -590,6 +622,12 @@ func (u *shardUnit) close() error {
 		u.depthCli = nil
 	}
 	u.depthMu.Unlock()
+	if u.rp != nil {
+		u.rp.Close()
+	}
+	if u.rpCli != nil {
+		u.rpCli.Close()
+	}
 	return u.ens.Close()
 }
 
@@ -724,6 +762,13 @@ type PipelineInfo struct {
 	// CrossShard reports whether submissions spanning shards execute as
 	// two-phase-commit transactions (false: rejected, the ablation).
 	CrossShard bool `json:"crossShard"`
+	// FollowerReads reports whether watermarked reads may be served
+	// from follower replicas (false: every read goes to the leader, the
+	// read-path ablation).
+	FollowerReads bool `json:"followerReads"`
+	// ReadCacheBytes is the per-shard watch-invalidated read cache
+	// budget (0: caching disabled).
+	ReadCacheBytes int64 `json:"readCacheBytes"`
 }
 
 // PipelineInfo reports the resolved batching configuration.
@@ -735,6 +780,8 @@ func (p *Platform) PipelineInfo() PipelineInfo {
 		WorkerThreads:    p.cfg.WorkerThreads,
 		Shards:           p.cfg.Shards,
 		CrossShard:       p.cfg.Shards > 1 && p.cfg.CrossShard.enabled(),
+		FollowerReads:    p.cfg.FollowerReads,
+		ReadCacheBytes:   p.cfg.ReadCacheBytes,
 	}
 }
 
@@ -783,6 +830,21 @@ func (p *Platform) ShardQueueDepths(i int) metrics.QueueDepths {
 	}
 	return u.gauges.Snapshot()
 }
+
+// ReadStats reports each shard's read-path counters (cache hits,
+// misses, invalidations, evictions, serving-source mix, fan-out
+// subscriber and hub counts), indexed by shard. Surfaced through GET
+// /v1/stats.
+func (p *Platform) ReadStats() []readpath.Stats {
+	out := make([]readpath.Stats, len(p.units))
+	for i, u := range p.units {
+		out[i] = u.rp.Stats()
+	}
+	return out
+}
+
+// ShardReadPath exposes shard i's read path, for tests.
+func (p *Platform) ShardReadPath(i int) *readpath.Shard { return p.units[i].rp }
 
 // NumShards returns the number of shards (1 when unsharded).
 func (p *Platform) NumShards() int { return len(p.units) }
@@ -898,6 +960,7 @@ func (p *Platform) Client() *Client {
 			cli:     cli,
 			procs:   p.cfg.Procedures,
 			batched: p.cfg.BatchMaxOps > 1,
+			rp:      u.rp,
 			admit:   func() error { return p.admitShard(shardIdx) },
 			lat:     p.submitLat.With(label),
 		}
@@ -947,6 +1010,15 @@ type Client struct {
 	// commit) or reject (trerr.ShardCrossShard, the ablation).
 	planner    *shard.Planner
 	crossShard bool
+
+	// rp, when non-nil, is the shard's read path: Get/Wait/List and the
+	// watch surface serve through it (cache hit, follower replica, or
+	// leader fall-through) instead of issuing leader reads on cli, and
+	// WatchTxn/Wait subscribe to its fan-out multiplexer instead of
+	// arming per-call store watches. Owned by the platform's shard unit
+	// and shared by every client on the shard; nil on clients built
+	// outside Platform.Client.
+	rp *readpath.Shard
 
 	// admit, when non-nil, is the platform's admission-control check for
 	// this client's shard, consulted before a submission writes anything
@@ -1185,41 +1257,94 @@ func (c *Client) xSubmit(split shard.Split, proc string, args []string) (string,
 	return qualified, nil
 }
 
+// Watermark returns the highest store zxid this client's own writes
+// have committed at (the maximum across shards on a sharded client).
+// A caller that threads this value into GetAt/WaitAt/ListAt — or sends
+// it as the X-Tropic-Zxid header over HTTP — is guaranteed to observe
+// all of its own writes no matter which replica serves the read.
+func (c *Client) Watermark() int64 {
+	if c.sharded() {
+		var max int64
+		for _, sub := range c.subs {
+			if z := sub.cli.LastWriteZxid(); z > max {
+				max = z
+			}
+		}
+		return max
+	}
+	return c.cli.LastWriteZxid()
+}
+
 // Get fetches the current record of a transaction. An unknown id is
-// reported as trerr.TxnNotFound.
+// reported as trerr.TxnNotFound. The read is served through the shard's
+// read path under the client's own write watermark, so it always
+// observes this client's completed submissions (session consistency)
+// while bypassing the leader whenever a caught-up replica or cache
+// entry can answer.
 func (c *Client) Get(id string) (*Txn, error) {
+	if c.sharded() {
+		// Each sub-client applies its own shard's watermark, which is
+		// tighter than the cross-shard maximum.
+		rec, _, err := c.GetAt(id, -1)
+		return rec, err
+	}
+	rec, _, err := c.GetAt(id, c.cli.LastWriteZxid())
+	return rec, err
+}
+
+// GetAt is Get with an explicit zxid watermark: the read is served from
+// any source (cache, follower replica, leader) whose state has applied
+// at least minZxid. It returns the zxid the read was actually served at
+// (0 when the shard has no read path), which callers chain into
+// follow-up reads for monotonicity. Passing minZxid < 0 substitutes the
+// serving shard's own client watermark.
+func (c *Client) GetAt(id string, minZxid int64) (*Txn, int64, error) {
 	if id == "" {
-		return nil, trerr.New(trerr.APIBadRequest, "tropic: get: missing transaction id")
+		return nil, 0, trerr.New(trerr.APIBadRequest, "tropic: get: missing transaction id")
 	}
 	if c.sharded() {
 		sub, local, qualify, err := c.locate(id)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		rec, err := sub.Get(local)
+		rec, z, err := sub.GetAt(local, minZxid)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		rec.ID = qualify(rec.ID)
 		if rec.IsParent() {
 			c.refreshChildren(rec)
 		}
-		return rec, nil
+		return rec, z, nil
 	}
-	data, _, err := c.cli.Get(proto.TxnsPath + "/" + id)
+	if minZxid < 0 {
+		minZxid = c.cli.LastWriteZxid()
+	}
+	data, z, err := c.readRecord(proto.TxnsPath+"/"+id, minZxid)
 	if err != nil {
 		if errors.Is(err, store.ErrNoNode) {
-			return nil, trerr.Wrap(trerr.TxnNotFound, err,
+			return nil, z, trerr.Wrap(trerr.TxnNotFound, err,
 				fmt.Sprintf("transaction %s not found", id)).With("id", id)
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	rec, err := txn.Decode(data)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	rec.ID = id
-	return rec, nil
+	return rec, z, nil
+}
+
+// readRecord reads one record node through the shard's read path when
+// the platform has one, falling back to a plain leader read.
+func (c *Client) readRecord(path string, minZxid int64) ([]byte, int64, error) {
+	if c.rp != nil {
+		data, _, z, _, err := c.rp.GetRecord(path, minZxid)
+		return data, z, err
+	}
+	data, _, err := c.cli.Get(path)
+	return data, 0, err
 }
 
 // Wait blocks until the transaction reaches a terminal state and
@@ -1227,21 +1352,75 @@ func (c *Client) Get(id string) (*Txn, error) {
 // trerr.TxnNotFound; an elapsed deadline as trerr.TxnWaitTimeout (with
 // context.DeadlineExceeded still in the chain).
 func (c *Client) Wait(ctx context.Context, id string) (*Txn, error) {
+	rec, _, err := c.WaitAt(ctx, id, -1)
+	return rec, err
+}
+
+// WaitAt is Wait with an explicit zxid watermark (see GetAt; minZxid <
+// 0 substitutes the serving shard's own client watermark). On a
+// platform with a read path the wait subscribes to the shard's fan-out
+// multiplexer — one shared store watch per record, however many
+// concurrent waiters — and each wakeup re-reads through the cache.
+func (c *Client) WaitAt(ctx context.Context, id string, minZxid int64) (*Txn, int64, error) {
 	if c.sharded() {
 		sub, local, qualify, err := c.locate(id)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		rec, err := sub.Wait(ctx, local)
+		rec, z, err := sub.WaitAt(ctx, local, minZxid)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		rec.ID = qualify(rec.ID)
 		if rec.IsParent() {
 			c.refreshChildren(rec)
 		}
-		return rec, nil
+		return rec, z, nil
 	}
+	if c.rp == nil {
+		rec, err := c.waitLegacy(ctx, id)
+		return rec, 0, err
+	}
+	path := proto.TxnsPath + "/" + id
+	sub, err := c.rp.Subscribe(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer sub.Close()
+	rec, z, err := c.GetAt(id, minZxid)
+	for {
+		if err != nil {
+			return nil, 0, err
+		}
+		if rec.State.Terminal() {
+			if c.lat != nil {
+				c.lat.ObserveDuration(rec.Latency())
+			}
+			return rec, z, nil
+		}
+		select {
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return nil, 0, trerr.Wrap(trerr.TxnWaitTimeout, ctx.Err(),
+					fmt.Sprintf("tropic: wait %s: deadline elapsed before a terminal state", id)).With("id", id)
+			}
+			return nil, 0, ctx.Err()
+		case _, ok := <-sub.C():
+			if !ok {
+				return nil, 0, store.ErrSessionExpired
+			}
+		}
+		// Re-read PAST the position just served: the wakeup proves the
+		// record changed after zxid z, and a still-cached entry at
+		// exactly z would otherwise satisfy the watermark and stall the
+		// loop on the state the event superseded.
+		rec, z, err = c.GetAt(id, z+1)
+	}
+}
+
+// waitLegacy is the read-path-less wait: one armed store watch per
+// check round against the leader tree.
+func (c *Client) waitLegacy(ctx context.Context, id string) (*Txn, error) {
 	path := proto.TxnsPath + "/" + id
 	for {
 		watch, err := c.cli.WatchNode(path)
