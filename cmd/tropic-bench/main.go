@@ -48,6 +48,7 @@ func main() {
 		shardCounts  = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for -exp shards")
 		xshardTxns   = flag.Int("xshard-txns", 160, "transactions per workload per cross-shard point")
 		xshardCounts = flag.String("xshard-counts", "1,2,4", "comma-separated shard counts for -exp xshard")
+		xshardReps   = flag.Int("xshard-reps", 1, "measurements per workload per cross-shard point (best kept)")
 		soakTxns     = flag.Int("soak-txns", 512, "accepted transactions per soak run")
 		soakClients  = flag.Int("soak-clients", 64, "concurrent submitters for -exp soak")
 		soakInflight = flag.Int("soak-max-inflight", 8, "admission watermark under soak test")
@@ -147,7 +148,7 @@ func main() {
 			xshardJSON = ""
 		}
 		run("Cross-shard transactions: 2PC throughput/latency vs single-shard", func(ctx context.Context) error {
-			return runCrossShard(ctx, *xshardTxns, parseMults(*xshardCounts), xshardJSON)
+			return runCrossShard(ctx, *xshardTxns, *xshardReps, parseMults(*xshardCounts), xshardJSON)
 		})
 	}
 	if all || *expName == "soak" {
@@ -257,11 +258,14 @@ func runSoak(ctx context.Context, p exp.SoakParams, jsonPath string) error {
 	return nil
 }
 
-// runCrossShard sweeps the shard count over the cross-shard 2PC path,
+// runCrossShard sweeps the shard count over the cross-shard 2PC path —
+// both message-flow arms (the coalesced fast path and the
+// per-message-round-trip slow path) at every multi-shard point —
 // printing spanning vs same-shard throughput/latency side by side and
 // optionally writing the points as JSON (CI emits BENCH_xshard.json on
-// every run — the cross-shard overhead trajectory).
-func runCrossShard(ctx context.Context, txns int, counts []int, jsonPath string) error {
+// every run — the cross-shard overhead trajectory the fast-path gate
+// reads).
+func runCrossShard(ctx context.Context, txns, reps int, counts []int, jsonPath string) error {
 	if len(counts) == 0 {
 		counts = []int{1, 2, 4}
 	}
@@ -271,18 +275,30 @@ func runCrossShard(ctx context.Context, txns int, counts []int, jsonPath string)
 		Results   []exp.CrossShardResult `json:"results"`
 	}
 	doc := jsonDoc{Generated: time.Now().UTC().Format(time.RFC3339), Txns: txns}
-	fmt.Printf("%-8s %-14s %-14s %-12s %-12s %-12s %s\n",
-		"shards", "cross txns/s", "local txns/s", "overhead", "cross p99", "local p99", "committed (cross/local)")
+	fmt.Printf("%-8s %-10s %-14s %-14s %-12s %-12s %-12s %s\n",
+		"shards", "flow", "cross txns/s", "local txns/s", "overhead", "cross p99", "local p99", "committed (cross/local)")
 	for _, n := range counts {
-		res, err := exp.CrossShard(ctx, exp.CrossShardParams{Shards: n, Txns: txns})
-		if err != nil {
-			return err
+		arms := []bool{false}
+		if n > 1 {
+			// The message-flow arms only diverge once transactions span
+			// shards; the Shards=1 baseline is identical either way.
+			arms = []bool{false, true}
 		}
-		fmt.Printf("%-8d %-14.0f %-14.0f %-12.2f %-12.0f %-12.0f %d/%d of %d\n",
-			n, res.Cross.PerSecond, res.Local.PerSecond, res.OverheadX,
-			res.Cross.P99LatencyMs, res.Local.P99LatencyMs,
-			res.Cross.Committed, res.Local.Committed, res.Cross.Txns)
-		doc.Results = append(doc.Results, res)
+		for _, slow := range arms {
+			res, err := exp.CrossShard(ctx, exp.CrossShardParams{Shards: n, Txns: txns, Reps: reps, SlowPath: slow})
+			if err != nil {
+				return err
+			}
+			flow := "fast"
+			if slow {
+				flow = "slow"
+			}
+			fmt.Printf("%-8d %-10s %-14.0f %-14.0f %-12.2f %-12.0f %-12.0f %d/%d of %d\n",
+				n, flow, res.Cross.PerSecond, res.Local.PerSecond, res.OverheadX,
+				res.Cross.P99LatencyMs, res.Local.P99LatencyMs,
+				res.Cross.Committed, res.Local.Committed, res.Cross.Txns)
+			doc.Results = append(doc.Results, res)
+		}
 	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(doc, "", "  ")

@@ -61,6 +61,7 @@ func main() {
 		shards        = flag.Int("shards", 1, "consistent-hash store partitions, each with its own ensemble, controllers, and workers (see docs/sharding.md)")
 		crossShard    = flag.Bool("cross-shard", true, "execute submissions spanning shards as atomic two-phase-commit transactions; false rejects them with shard.cross_shard (see docs/cross-shard.md)")
 		xshardTO      = flag.Duration("xshard-prepare-timeout", 10*time.Second, "cross-shard vote-collection deadline before an in-doubt transaction aborts")
+		xshardFast    = flag.Bool("xshard-fastpath", true, "coalesced cross-shard 2PC message flow (local-child coalescing, piggybacked decisions, per-peer batching, wound-wait); false restores per-message round trips (see docs/cross-shard.md)")
 		maxInflight   = flag.Int("max-inflight", 0, "per-shard admission watermark: shed submissions (HTTP 429, api.overloaded) once a shard's queued backlog reaches this (0 disables; see docs/observability.md)")
 		followerReads = flag.Bool("follower-reads", true, "serve watermarked reads from caught-up follower replicas instead of the shard leader (see docs/reads.md)")
 		readCache     = flag.Int64("read-cache-bytes", 32<<20, "per-shard watch-invalidated read cache budget in bytes (0 disables caching)")
@@ -82,6 +83,10 @@ func main() {
 	if !*crossShard {
 		crossShardMode = tropic.CrossShardDisabled
 	}
+	fastPathMode := tropic.XShardFastPathEnabled
+	if !*xshardFast {
+		fastPathMode = tropic.XShardFastPathDisabled
+	}
 	cfg := tropic.Config{
 		Schema:               tcloud.NewSchema(),
 		Procedures:           tcloud.Procedures(),
@@ -96,6 +101,7 @@ func main() {
 		WorkerClaimBatch:     *workerClaim,
 		Shards:               *shards,
 		CrossShard:           crossShardMode,
+		XShardFastPath:       fastPathMode,
 		XShardPrepareTimeout: *xshardTO,
 		MaxInflightPerShard:  *maxInflight,
 		FollowerReads:        *followerReads,
@@ -138,9 +144,13 @@ func main() {
 		logger.Printf("pipeline: group commit OFF (per-item round trips)")
 	}
 	if n := p.NumShards(); n > 1 {
-		if p.PipelineInfo().CrossShard {
-			logger.Printf("sharding: %d consistent-hash partitions, cross-shard 2PC on (prepare timeout %s)",
-				n, *xshardTO)
+		if info := p.PipelineInfo(); info.CrossShard {
+			flow := "coalesced fast path"
+			if !info.XShardFastPath {
+				flow = "per-message round trips (-xshard-fastpath=false)"
+			}
+			logger.Printf("sharding: %d consistent-hash partitions, cross-shard 2PC on (prepare timeout %s, %s)",
+				n, *xshardTO, flow)
 		} else {
 			logger.Printf("sharding: %d consistent-hash partitions, cross-shard transactions REJECTED (-cross-shard=false)", n)
 		}

@@ -154,6 +154,81 @@ func TestAPIWatchFanOutSharesOneStoreWatch(t *testing.T) {
 	})
 }
 
+// TestAPIWaitFanOutSharesOneStoreWatch pins the blocking-wait side of
+// the fan-out contract: N concurrent GET /v1/wait requests parked on
+// ONE pending transaction share a single store node watch through the
+// read-path hub, and every waiter still receives the terminal record.
+func TestAPIWaitFanOutSharesOneStoreWatch(t *testing.T) {
+	// Slow actions keep the transaction non-terminal while the waiters
+	// park; cache off so the hub exists only because of them.
+	srv, p := newReadPathServer(t, 400*time.Millisecond, 0)
+
+	code, body := postJSON(t, srv.URL+"/v1/submit", api.SubmitItem{
+		Proc: tcloud.ProcSpawnVM, Args: spawnArgs(0, "wfvm1"),
+	})
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sr api.SubmitResult
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	rp := p.ShardReadPath(0)
+	baseNode, _ := p.Ensemble().WatchCounts()
+
+	const n = 8
+	type waitReply struct {
+		status int
+		state  tropic.State
+		err    error
+	}
+	replies := make(chan waitReply, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL + "/v1/wait?id=" + sr.ID)
+			if err != nil {
+				replies <- waitReply{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var rec struct {
+				State tropic.State `json:"state"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&rec)
+			replies <- waitReply{status: resp.StatusCode, state: rec.State, err: err}
+		}()
+	}
+
+	// All n waiters must be parked on the hub before the store watch
+	// count is meaningful; the wait responses have not arrived yet (the
+	// executor is still running), so the subscriptions are live.
+	waitCond(t, "waiters parked", func() bool { return rp.Subscribers() == n })
+	if hubs := rp.Hubs(); hubs != 1 {
+		t.Errorf("store watch hubs = %d, want 1 (shared)", hubs)
+	}
+	if node, _ := p.Ensemble().WatchCounts(); node != baseNode+1 {
+		t.Errorf("%d blocked waits hold %d store node watches, want exactly 1", n, node-baseNode)
+	}
+
+	for i := 0; i < n; i++ {
+		r := <-replies
+		if r.err != nil {
+			t.Fatalf("wait: %v", r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Errorf("wait: status %d, want 200", r.status)
+		}
+		if !r.state.Terminal() {
+			t.Errorf("wait returned non-terminal state %q", r.state)
+		}
+	}
+	waitCond(t, "watch release", func() bool {
+		node, _ := p.Ensemble().WatchCounts()
+		return rp.Subscribers() == 0 && rp.Hubs() == 0 && node == baseNode
+	})
+}
+
 // TestAPIWatchDisconnectChurn cycles subscribers on one record and
 // asserts no store watch survives the churn (satellite: SSE cleanup on
 // client disconnect mid-stream).

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -44,6 +45,12 @@ type Config struct {
 	// kept after a checkpoint (oldest are garbage-collected; their
 	// effects live on in the snapshot). 0 keeps all records forever.
 	RetainTerminal int
+	// IdempotencyTTL bounds how long idempotency entries survive: at
+	// checkpoint time, unresolved claims and resolved key→txn mappings
+	// older than the TTL are swept, so a submitter that died mid-claim
+	// (or a long-gone retry storm) cannot grow the ledger forever. 0
+	// disables the sweep.
+	IdempotencyTTL time.Duration
 	// Reconciler handles reload/repair requests (§4); nil rejects them.
 	Reconciler Reconciler
 	// Policy selects the todoQ scheduling strategy (§3.1.1). The paper
@@ -150,6 +157,12 @@ type ctrlInstruments struct {
 	xPhase   *metrics.HistogramVec // {shard, phase} 2PC phase durations
 	xInDoubt *metrics.Counter      // in-doubt resolutions on this shard
 	xParents *metrics.CounterVec   // {shard, outcome} finalized parents
+
+	// Fast-path (coalesced 2PC message flow) instruments.
+	xLocalKids *metrics.Counter         // coordinator-local children coalesced into the parent's accept
+	xPiggy     *metrics.Counter         // decisions delivered without a decide-notice round trip
+	xWounds    *metrics.Counter         // wound-wait aborts written to peer coordinator records
+	xPeerBatch *metrics.BucketHistogram // store ops per per-peer fan-out Multi
 }
 
 // mark bumps the exported per-stage counter for this shard.
@@ -182,6 +195,18 @@ func newCtrlInstruments(reg *metrics.Registry, shard string) ctrlInstruments {
 		xParents: reg.CounterVec("tropic_xshard_parents_total",
 			"Finalized cross-shard parent transactions by terminal outcome.",
 			"shard", "outcome"),
+		xLocalKids: reg.CounterVec("tropic_xshard_local_children_total",
+			"Coordinator-local children created in the same grouped Multi as their parent's accept, skipping the cross-store prepare round (fast path).",
+			"shard").With(shard),
+		xPiggy: reg.CounterVec("tropic_xshard_piggyback_total",
+			"2PC decisions applied without a decide-notice round trip: read off the parent record by the vote-ack watch, or delivered in memory to a coordinator-local child (fast path).",
+			"shard").With(shard),
+		xWounds: reg.CounterVec("tropic_xshard_wounds_total",
+			"Wound-wait resolutions: abort decisions this participant wrote into peer coordinator records to break cross-shard lock-order inversions (fast path).",
+			"shard").With(shard),
+		xPeerBatch: reg.HistogramVec("tropic_xshard_peer_batch_ops",
+			"Store operations carried by one per-peer cross-shard fan-out Multi (fast path).",
+			metrics.DefSizeBuckets, "shard").With(shard),
 	}
 }
 
@@ -235,6 +260,28 @@ type Controller struct {
 	// cross-shard layer.
 	xmu    sync.Mutex
 	xpeers map[int]*store.Client
+
+	// lmu guards localMsgs, the in-memory cross-shard messages the fast
+	// path delivers to this controller's own leader loop (a coordinator-
+	// local child's vote, a piggybacked decision) without an inputQ
+	// write. localWake (capacity 1) kicks the leader's blocking drain.
+	lmu       sync.Mutex
+	localMsgs []proto.InputMsg
+	localWake chan struct{}
+
+	// Leader-goroutine-only fast-path round state: resched asks
+	// processRound for a post-flush scheduling pass (a coordinator-local
+	// child joined todoQ mid-round); peerCollect/peerSends stage
+	// cross-shard sends so every message bound for one peer in a round
+	// rides a single Multi through that peer's batcher.
+	resched     bool
+	peerCollect bool
+	peerSends   map[int][]peerSend
+
+	// wmu guards wounding, the set of peer parent records with a
+	// wound-wait abort in flight (dedup across scheduling rounds).
+	wmu      sync.Mutex
+	wounding map[string]bool
 }
 
 // New connects a controller to the ensemble and ensures the store
@@ -281,12 +328,13 @@ func New(cfg Config) (*Controller, error) {
 		shard = "0"
 	}
 	c := &Controller{
-		cfg:    cfg,
-		cli:    cli,
-		inputQ: inputQ,
-		phyQ:   phyQ,
-		cand:   cand,
-		met:    newCtrlInstruments(reg, shard),
+		cfg:       cfg,
+		cli:       cli,
+		inputQ:    inputQ,
+		phyQ:      phyQ,
+		cand:      cand,
+		met:       newCtrlInstruments(reg, shard),
+		localWake: make(chan struct{}, 1),
 	}
 	if cfg.Bootstrap != nil {
 		if err := c.writeBootstrapSnapshot(cfg.Bootstrap); err != nil {
@@ -413,7 +461,7 @@ func (c *Controller) lead(ctx context.Context) error {
 	// failures instead of hot-looping at a flat 1ms.
 	backoff := time.Duration(0)
 	for {
-		items, err := c.inputQ.TakeHeadBatch(ctx, c.batchMax())
+		items, err := c.takeInput(ctx)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -449,17 +497,152 @@ func (c *Controller) lead(ctx context.Context) error {
 	}
 }
 
+// takeInput blocks for the leader's next work source: drained inputQ
+// items, or locally-delivered (in-memory) cross-shard messages, whichever
+// is ready first. Local messages exist only on the fast path; a pending
+// one wakes the drain out of its store watch via localWake, and the
+// round that follows folds it in ahead of the store items.
+func (c *Controller) takeInput(ctx context.Context) ([]queue.Item, error) {
+	if c.localsPending() {
+		return nil, nil
+	}
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-c.localWake:
+			cancel()
+		case <-stop:
+		}
+	}()
+	items, err := c.inputQ.TakeHeadBatch(tctx, c.batchMax())
+	if err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+		// Woken for local messages, not cancelled for real. A wake token
+		// consumed without pending messages (the race where both a store
+		// item and a local message arrived) is harmless: localsPending is
+		// re-checked at the top of every take.
+		return nil, nil
+	}
+	return items, err
+}
+
+// enqueueLocal delivers a cross-shard message to this controller's own
+// leader loop in memory, skipping the store round trip of an inputQ
+// write. Safe from any goroutine. Local messages die with the process —
+// acceptable because every kind has a durable backstop: lost votes and
+// child-dones are recovered by the coordinator's direct ledger sync at
+// the prepare deadline, and lost decisions are re-delivered (as real
+// notices) until the child reports terminal.
+func (c *Controller) enqueueLocal(msg proto.InputMsg) {
+	c.lmu.Lock()
+	c.localMsgs = append(c.localMsgs, msg)
+	c.lmu.Unlock()
+	select {
+	case c.localWake <- struct{}{}:
+	default:
+	}
+}
+
+// takeLocal drains the pending local messages.
+func (c *Controller) takeLocal() []proto.InputMsg {
+	c.lmu.Lock()
+	msgs := c.localMsgs
+	c.localMsgs = nil
+	c.lmu.Unlock()
+	return msgs
+}
+
+// localsPending reports whether local messages await processing.
+func (c *Controller) localsPending() bool {
+	c.lmu.Lock()
+	n := len(c.localMsgs)
+	c.lmu.Unlock()
+	return n > 0
+}
+
+// handleLocal folds locally-delivered cross-shard messages into the
+// round ahead of the drained store items: votes, child-dones, and
+// piggybacked decisions all stage into the grouped Multi exactly like
+// their store-delivered twins. A message colliding with a record
+// already staged this round requeues for the next one; one lost to a
+// transient store error is left to its durable backstop.
+func (c *Controller) handleLocal(r *round) error {
+	var firstErr error
+	for _, msg := range c.takeLocal() {
+		if r.staged[msg.TxnPath] {
+			c.enqueueLocal(msg)
+			continue
+		}
+		var err error
+		switch msg.Kind {
+		case proto.KindXVote:
+			err = c.stageXVote(r, msg, "")
+		case proto.KindXChildDone:
+			err = c.stageXChildDone(r, msg, "")
+		case proto.KindXDecide:
+			err = c.stageXDecide(r, msg, "")
+		default:
+			c.cfg.Logf("controller %s: dropping local message kind %q", c.cfg.Name, msg.Kind)
+		}
+		if err != nil {
+			if errFatal(err) {
+				return err
+			}
+			c.cfg.Logf("controller %s: local %s: %v", c.cfg.Name, msg.Kind, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// noticeRemove consumes an inputQ notice, tolerating the empty item path
+// of a locally-delivered message (which has no store item to consume).
+func (c *Controller) noticeRemove(itemPath string) error {
+	if itemPath == "" {
+		return nil
+	}
+	return c.inputQ.Remove(itemPath)
+}
+
+// noticeRemoveOps returns the notice-consumption op, or nothing for a
+// locally-delivered message.
+func (c *Controller) noticeRemoveOps(itemPath string) []store.Op {
+	if itemPath == "" {
+		return nil
+	}
+	return []store.Op{c.inputQ.RemoveOp(itemPath)}
+}
+
 // processRound handles one drained batch end to end. Unbatched, it is
 // the legacy pipeline: per-item commits, then a scheduling pass with
 // per-admission commits. Batched, the items' staged effects AND the
 // scheduling pass's admissions all ride one grouped Multi — a freshly
 // submitted transaction can go accepted→started→phyQ in a single store
-// commit shared with the rest of its round.
+// commit shared with the rest of its round. Cross-shard sends triggered
+// anywhere in the round are collected per peer shard and flushed as one
+// Multi per peer on the way out.
 func (c *Controller) processRound(items []queue.Item) error {
 	r := &round{staged: make(map[string]bool)}
-	err := c.handleRound(r, items)
+	c.peerCollect = true
+	defer func() {
+		c.peerCollect = false
+		c.xFlushPeerSends()
+	}()
+	err := c.handleLocal(r)
 	if err != nil && errFatal(err) {
 		return err
+	}
+	if herr := c.handleRound(r, items); herr != nil {
+		if errFatal(herr) {
+			return herr
+		}
+		if err == nil {
+			err = herr
+		}
 	}
 	if c.batching() {
 		c.scheduleInto(r)
@@ -473,10 +656,14 @@ func (c *Controller) processRound(items []queue.Item) error {
 			}
 		}
 		// The flush's cleanups released locks AFTER the round's
-		// scheduling pass ran. If queued work remains, schedule again now
-		// — a deferred transaction must not wait for an input event that
-		// may never come to claim locks that are already free.
-		if cleanups > 0 && len(c.todo) > 0 {
+		// scheduling pass ran, and a coordinator-local child may have
+		// joined todoQ post-flush (resched). If queued work remains,
+		// schedule again now — a deferred transaction must not wait for
+		// an input event that may never come to claim locks that are
+		// already free.
+		resched := c.resched
+		c.resched = false
+		if (cleanups > 0 || resched) && len(c.todo) > 0 {
 			c.schedule()
 		}
 		c.todoDepth.Set(int64(len(c.todo)))
@@ -490,6 +677,7 @@ func (c *Controller) processRound(items []queue.Item) error {
 			err = ferr
 		}
 	}
+	c.resched = false
 	c.schedule()
 	return err
 }
@@ -801,6 +989,8 @@ func (c *Controller) handle(msg proto.InputMsg, itemPath string) error {
 		return c.xChildDone(msg, itemPath)
 	case proto.KindXTimeout:
 		return c.xTimeout(msg, itemPath)
+	case proto.KindXAdvance:
+		return c.xAdvance(msg, itemPath)
 	case proto.KindSignal:
 		if err := c.signal(msg.TxnPath, txn.Signal(msg.Signal)); err != nil {
 			// A signal for a record that does not exist can never
@@ -979,6 +1169,13 @@ func (c *Controller) schedule() {
 // bump a record version under the round's staged accept and fail the
 // whole grouped flush.
 func (c *Controller) scheduleWalk(r *round) {
+	if c.xFastPath() {
+		// Deterministic global prepare order: every participant acquires
+		// cross-shard child locks in the same order, so two children of
+		// different parents contending on two shards cannot deadlock by
+		// acquiring in reversed orders (see shard.PrepareLess).
+		c.xOrderChildren()
+	}
 	i := 0
 	for i < len(c.todo) {
 		t := c.todo[i]
@@ -1030,8 +1227,15 @@ func (c *Controller) trySchedule(t *txn.Txn, r *round) scheduleOutcome {
 	}
 	reqs := cctx.lockRequests()
 	if err := c.locks.Acquire(t.ID, reqs); err != nil {
-		// Resource conflict: undo the simulation and defer (③B).
+		// Resource conflict: undo the simulation and defer (③B). A
+		// cross-shard child blocked by a prepared child it outranks in
+		// the global prepare order wounds the holder — otherwise two
+		// shards holding each other's locks in reversed orders would both
+		// sit out the prepare deadline.
 		c.rollbackTimed(t.ID, t.Log)
+		if t.IsChild() && c.xFastPath() {
+			c.xMaybeWound(t, reqs)
+		}
 		t.Log = nil
 		return outcomeConflict
 	}
@@ -1085,6 +1289,12 @@ func (c *Controller) admitApply(t *txn.Txn) {
 	if t.State == txn.StatePrepared {
 		c.prepared[t.ID] = t
 		c.xSendVote(t)
+		// Fast path: read the decision off the parent record the moment
+		// the coordinator's durable decision write lands, instead of
+		// waiting for a decide notice through this shard's inputQ.
+		if c.xFastPath() {
+			c.xWatchDecision(t)
+		}
 		return
 	}
 	c.inFlight[t.ID] = t
@@ -1140,12 +1350,23 @@ func (c *Controller) flushAdmissions() {
 	for _, t := range pending {
 		ops = append(ops, c.admissionOps(t)...)
 	}
+	// Coordinator-local children's yes-votes ride the same Multi as
+	// their prepare writes (fast path); their post-flush effects run
+	// after every admission in the batch is tracked.
+	votes := c.xStageLocalVotes(pending, &ops)
 	start := time.Now()
 	err := c.cli.Multi(ops...)
 	c.noteFlush(len(ops), time.Since(start))
 	if err == nil {
 		for _, t := range pending {
+			if _, voted := votes[t.ID]; voted {
+				c.prepared[t.ID] = t
+				continue
+			}
 			c.admitApply(t)
+		}
+		for _, v := range votes {
+			c.xPostVote(v.rec, v.eff)
 		}
 		return
 	}
@@ -1327,17 +1548,27 @@ func (c *Controller) stageCleanup(r *round, msg proto.InputMsg, itemPath string)
 		// and re-releases (idempotent); admissions that used the freed
 		// locks were in the same failed Multi and are unwound with it.
 		c.locks.ReleaseAll(rec.ID)
+		doneInline := false
 		r.stage(ops,
 			func() {
 				delete(c.inFlight, rec.ID)
 				c.countStage(&c.stats.Committed, "committed")
-				if rec.IsChild() {
+				if rec.IsChild() && !doneInline {
 					c.xSendChildDone(rec)
 				}
 				c.maybeCheckpoint()
 			},
 			func() error { return c.cleanup(msg, itemPath) },
 		)
+		if rec.IsChild() {
+			// A coordinator-local child's done-report can ride this same
+			// round: the ledger write (and the parent's finalize, when
+			// this report completes the set) joins the grouped Multi that
+			// persists the child's terminal state. Staged after the
+			// cleanup stage so a failed flush re-finalizes the child
+			// before the fallback re-applies the ledger.
+			doneInline = c.stageXChildDoneLocal(r, rec)
+		}
 		return nil
 	}
 	// Aborted/failed outcomes roll the logical layer back, which must
@@ -1584,13 +1815,15 @@ func (c *Controller) checkpoint(entries []string) error {
 			return err
 		}
 	}
+	c.gcIdempotencyClaims()
 	return nil
 }
 
 // gcTxnRecords deletes the oldest terminal transaction records beyond
 // the retention bound. Safe only after a checkpoint: the records'
 // effects are folded into the snapshot, so recovery no longer needs
-// them (non-terminal records are never touched).
+// them (non-terminal records are never touched). Cross-shard records
+// additionally respect the 2PC ledger across shards — see gcReapable.
 func (c *Controller) gcTxnRecords() error {
 	ids, err := c.cli.Children(proto.TxnsPath)
 	if err != nil {
@@ -1606,7 +1839,7 @@ func (c *Controller) gcTxnRecords() error {
 			}
 			return err
 		}
-		if rec.State.Terminal() {
+		if rec.State.Terminal() && c.gcReapable(rec) {
 			terminal = append(terminal, id)
 		}
 	}
@@ -1619,6 +1852,42 @@ func (c *Controller) gcTxnRecords() error {
 		}
 	}
 	return nil
+}
+
+// gcIdempotencyClaims sweeps idempotency entries past the configured
+// TTL: unresolved claims whose submitter died between claiming the key
+// and registering its transaction, and resolved key→txn mappings old
+// enough that any retry storm has surely passed (their transaction
+// record is typically GC'd by then anyway). Deletes are version-checked
+// so a racing re-claim of the key is never clobbered; failures are
+// ignored — the next checkpoint sweeps again.
+func (c *Controller) gcIdempotencyClaims() {
+	ttl := c.cfg.IdempotencyTTL
+	if ttl <= 0 {
+		return
+	}
+	keys, err := c.cli.Children(proto.IdempotencyPath)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-ttl)
+	for _, key := range keys {
+		path := proto.IdempotencyPath + "/" + key
+		data, stat, err := c.cli.Get(path)
+		if err != nil {
+			continue
+		}
+		var ent struct {
+			ClaimedAt time.Time `json:"claimedAt"`
+		}
+		if json.Unmarshal(data, &ent) != nil || ent.ClaimedAt.IsZero() {
+			continue
+		}
+		if ent.ClaimedAt.After(cutoff) {
+			continue
+		}
+		_ = c.cli.Delete(path, stat.Version)
+	}
 }
 
 // --- Recovery (§2.3) --------------------------------------------------

@@ -34,8 +34,10 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
+	"repro/internal/lock"
 	"repro/internal/proto"
 	"repro/internal/queue"
 	"repro/internal/shard"
@@ -68,6 +70,16 @@ type XShardConfig struct {
 	// durable decision write). Chaos tests use it to crash the leader at
 	// exact protocol points; nil in production.
 	Hook func(event, parentID string)
+	// FastPath enables the coalesced 2PC message flow: coordinator-local
+	// children skip the cross-store prepare round, participants read
+	// decisions off the (watched) parent record instead of waiting for
+	// decide notices, per-peer sends batch into one Multi per round, and
+	// children prepare in a deterministic global order with wound-wait
+	// resolving inversions. Off is the slow-path ablation: every message
+	// takes its own store round trip, exactly the pre-fast-path flow.
+	// Correctness is identical either way — the fast path only changes
+	// how (and how often) messages travel, never what is durable.
+	FastPath bool
 }
 
 // DefaultPrepareTimeout is the default vote-collection deadline.
@@ -86,6 +98,9 @@ var errHandleDirect = errors.New("controller: handle message directly")
 // xEnabled reports whether this controller participates in cross-shard
 // transactions.
 func (c *Controller) xEnabled() bool { return c.cfg.XShard != nil }
+
+// xFastPath reports whether the coalesced 2PC message flow is on.
+func (c *Controller) xFastPath() bool { return c.xEnabled() && c.cfg.XShard.FastPath }
 
 // xTimeoutDur returns the resolved prepare deadline.
 func (c *Controller) xTimeoutDur() time.Duration {
@@ -162,20 +177,96 @@ func xEnqueue(cli *store.Client, msg proto.InputMsg) error {
 	return err
 }
 
-// xSendAsync appends one inputQ item through the session's batcher
-// without blocking the leader loop on the peer shard's quorum latency;
-// concurrent sends coalesce into grouped proposals. Failures are logged
-// rather than returned: every cross-shard message has a recovery
-// backstop (the coordinator's direct ledger sync, the prepare deadline,
-// and participant-side in-doubt resolution), so a lost message costs
-// latency, never correctness.
-func (c *Controller) xSendAsync(cli *store.Client, msg proto.InputMsg, what string) {
-	ch := cli.MultiAsync(store.CreateOp(proto.InputQPath+"/"+queue.ItemPrefix, msg.Encode(), store.FlagSequence))
-	go func() {
-		if err := <-ch; err != nil {
+// peerSend is one staged cross-shard send: the ops of one logical
+// message (or one message group, e.g. a child record plus its prepare
+// notice) and its error disposition. onErr must tolerate a nil client
+// (the peer was unreachable at flush time).
+type peerSend struct {
+	ops   []store.Op
+	onErr func(cli *store.Client, err error)
+}
+
+// xPeerSend dispatches ops to shard i's store. Mid-round (the leader
+// processing an event round) the send is staged, so every message bound
+// for one peer this round — several parents' prepares, decisions, votes
+// — rides a single Multi through that peer's batcher at round end.
+// Outside a round (recovery, deadline timers) it goes out immediately,
+// asynchronously through the session's batcher, never blocking the
+// caller on the peer's quorum latency. Failures route to onErr (or the
+// log): every cross-shard message has a recovery backstop (the
+// coordinator's direct ledger sync, the prepare deadline, participant
+// in-doubt resolution), so a lost message costs latency, never
+// correctness.
+func (c *Controller) xPeerSend(i int, what string, onErr func(cli *store.Client, err error), ops ...store.Op) {
+	if onErr == nil {
+		onErr = func(_ *store.Client, err error) {
 			c.cfg.Logf("controller %s: %s: %v", c.cfg.Name, what, err)
 		}
+	}
+	cli, err := c.xPeer(i)
+	if err != nil {
+		onErr(nil, err)
+		return
+	}
+	if c.peerCollect {
+		if c.peerSends == nil {
+			c.peerSends = make(map[int][]peerSend)
+		}
+		c.peerSends[i] = append(c.peerSends[i], peerSend{ops: ops, onErr: onErr})
+		return
+	}
+	ch := cli.MultiAsync(ops...)
+	go func() {
+		if err := <-ch; err != nil {
+			onErr(cli, err)
+		}
 	}()
+}
+
+// xSendMsg stages one inputQ item for shard i (the common peerSend
+// shape: votes, child-dones, decisions).
+func (c *Controller) xSendMsg(i int, msg proto.InputMsg, what string) {
+	c.xPeerSend(i, what, nil,
+		store.CreateOp(proto.InputQPath+"/"+queue.ItemPrefix, msg.Encode(), store.FlagSequence))
+}
+
+// xFlushPeerSends commits every send staged during the round, one
+// grouped Multi per peer shard. A failed group degrades to per-message
+// sends so one bad op (a prepare's ErrNodeExists on a coordinator
+// retry) cannot veto the rest of its peer's traffic.
+func (c *Controller) xFlushPeerSends() {
+	sends := c.peerSends
+	c.peerSends = nil
+	for i, group := range sends {
+		cli, err := c.xPeer(i)
+		if err != nil {
+			for _, s := range group {
+				s.onErr(nil, err)
+			}
+			continue
+		}
+		var ops []store.Op
+		for _, s := range group {
+			ops = append(ops, s.ops...)
+		}
+		c.met.xPeerBatch.Observe(float64(len(ops)))
+		group := group
+		ch := cli.MultiAsync(ops...)
+		go func() {
+			if err := <-ch; err == nil {
+				return
+			}
+			for _, s := range group {
+				s := s
+				sch := cli.MultiAsync(s.ops...)
+				go func() {
+					if err := <-sch; err != nil {
+						s.onErr(cli, err)
+					}
+				}()
+			}
+		}()
+	}
 }
 
 // --- Coordinator ------------------------------------------------------
@@ -213,7 +304,7 @@ func (c *Controller) xAcceptParent(rec *txn.Txn, stat store.Stat, itemPath strin
 		return err
 	}
 	c.countStage(&c.stats.Accepted, "accepted")
-	c.xStartPrepares(rec)
+	c.xStartPrepares(rec, false)
 	return nil
 }
 
@@ -229,15 +320,44 @@ func (c *Controller) stageXAcceptParent(r *round, rec *txn.Txn, stat store.Stat,
 	if err := rec.Transition(txn.StateAccepted); err != nil {
 		return err
 	}
+	ops := []store.Op{
+		c.inputQ.RemoveOp(itemPath),
+		store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
+	}
+	var localKid *txn.Txn
+	if c.xFastPath() {
+		for k, ref := range rec.Children {
+			if ref.Shard != c.cfg.XShard.Self {
+				continue
+			}
+			// Coordinator-local coalescing: the child this shard owns
+			// skips the cross-store prepare round entirely — its record
+			// rides the SAME grouped Multi as the parent's accept, and it
+			// joins todoQ post-flush so this round's own scheduling pass
+			// can prepare it. A 2-shard transaction thus pays one remote
+			// prepare, not two.
+			localKid = c.xBuildChild(rec, k)
+			localKid.ID = ref.ID
+			ops = append(ops, store.CreateOp(proto.TxnsPath+"/"+ref.ID, localKid.Encode(), 0))
+			break
+		}
+	}
 	r.staged[msg.TxnPath] = true
-	r.stage(
-		[]store.Op{
-			c.inputQ.RemoveOp(itemPath),
-			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
-		},
+	r.stage(ops,
 		func() {
 			c.countStage(&c.stats.Accepted, "accepted")
-			c.xStartPrepares(rec)
+			if localKid != nil {
+				// The durable record says initialized — recovery re-accepts
+				// initialized records, so a crash here loses nothing. In
+				// memory it is accepted directly; no submit notice exists.
+				if err := localKid.Transition(txn.StateAccepted); err == nil {
+					c.todo = append(c.todo, localKid)
+					c.resched = true
+					c.met.xLocalKids.Inc()
+					c.countStage(&c.stats.Accepted, "accepted")
+				}
+			}
+			c.xStartPrepares(rec, localKid != nil)
 		},
 		func() error { return c.accept(msg, itemPath) },
 	)
@@ -246,16 +366,17 @@ func (c *Controller) stageXAcceptParent(r *round, rec *txn.Txn, stat store.Stat,
 
 // xStartPrepares fans the prepare phase out to every participant and
 // arms the vote-collection deadline. Called with the parent's accepted
-// state already durable.
-func (c *Controller) xStartPrepares(rec *txn.Txn) {
+// state already durable. skipLocal marks the coordinator-local child as
+// already created (coalesced into the parent's accept); the slow path
+// and every recovery/fallback path pass false and prepare it like any
+// remote participant.
+func (c *Controller) xStartPrepares(rec *txn.Txn, skipLocal bool) {
 	c.xClockStart(rec.ID)
 	for k := range rec.Children {
-		if err := c.xSendPrepare(rec, k); err != nil {
-			// A participant that cannot be reached never votes; the
-			// prepare deadline resolves the parent (indoubt abort).
-			c.cfg.Logf("controller %s: prepare %s to shard %d: %v",
-				c.cfg.Name, rec.Children[k].ID, rec.Children[k].Shard, err)
+		if skipLocal && rec.Children[k].Shard == c.cfg.XShard.Self {
+			continue
 		}
+		c.xSendPrepare(rec, k)
 	}
 	c.xHook(XEventPrepareSent, rec.ID)
 	c.xArmTimeout(rec.ID)
@@ -282,36 +403,32 @@ func (c *Controller) xBuildChild(parent *txn.Txn, k int) *txn.Txn {
 	}
 }
 
-// xSendPrepare persists the k'th child record and its prepare notice on
-// the participant shard in one grouped Multi, asynchronously through
-// that shard's batcher (the leader never blocks on a peer's quorum
-// latency). Idempotent: if the child already exists (coordinator retry
-// or recovery resume), only a fresh notice is sent, which the
-// participant drops if the child has moved past initialized. A send
-// lost to a crash is re-driven by coordinator recovery or resolved by
-// the prepare deadline.
-func (c *Controller) xSendPrepare(parent *txn.Txn, k int) error {
+// xSendPrepare ships the k'th child record and its prepare notice to
+// the participant shard in one grouped Multi (staged per peer mid-round,
+// asynchronous through that shard's batcher otherwise — the leader never
+// blocks on a peer's quorum latency). Idempotent: if the child already
+// exists (coordinator retry or recovery resume), only a fresh notice is
+// sent, which the participant drops if the child has moved past
+// initialized. A send lost to a crash is re-driven by coordinator
+// recovery or resolved by the prepare deadline.
+func (c *Controller) xSendPrepare(parent *txn.Txn, k int) {
 	ref := parent.Children[k]
-	cli, err := c.xPeer(ref.Shard)
-	if err != nil {
-		return err
-	}
 	childPath := proto.TxnsPath + "/" + ref.ID
 	notice := proto.InputMsg{Kind: proto.KindSubmit, TxnPath: childPath}
-	ch := cli.MultiAsync(
+	what := fmt.Sprintf("prepare %s to shard %d", ref.ID, ref.Shard)
+	c.xPeerSend(ref.Shard,
+		what,
+		func(cli *store.Client, err error) {
+			if errors.Is(err, store.ErrNodeExists) && cli != nil {
+				err = xEnqueue(cli, notice)
+			}
+			if err != nil {
+				c.cfg.Logf("controller %s: %s: %v", c.cfg.Name, what, err)
+			}
+		},
 		store.CreateOp(childPath, c.xBuildChild(parent, k).Encode(), 0),
 		store.CreateOp(proto.InputQPath+"/"+queue.ItemPrefix, notice.Encode(), store.FlagSequence),
 	)
-	go func() {
-		err := <-ch
-		if errors.Is(err, store.ErrNodeExists) {
-			err = xEnqueue(cli, notice)
-		}
-		if err != nil {
-			c.cfg.Logf("controller %s: prepare %s to shard %d: %v", c.cfg.Name, ref.ID, ref.Shard, err)
-		}
-	}()
-	return nil
 }
 
 // xArmTimeout schedules a deadline check for a parent into this shard's
@@ -323,6 +440,20 @@ func (c *Controller) xArmTimeout(parentID string) {
 	time.AfterFunc(c.xTimeoutDur(), func() {
 		if c.killed.Load() {
 			return
+		}
+		// Free local read before the store write: a parent that
+		// finalized long ago (the overwhelmingly common case) costs no
+		// inputQ commit. Any read failure other than a reaped record
+		// falls through to the enqueue — the deadline check errs toward
+		// firing.
+		data, _, err := c.cli.Get(path)
+		switch {
+		case errors.Is(err, store.ErrNoNode):
+			return // record already reaped: long terminal
+		case err == nil:
+			if rec, derr := txn.Decode(data); derr == nil && rec.State.Terminal() {
+				return
+			}
 		}
 		if err := xEnqueue(c.cli, proto.InputMsg{Kind: proto.KindXTimeout, TxnPath: path}); err != nil {
 			c.cfg.Logf("controller %s: arm xshard timeout for %s: %v", c.cfg.Name, parentID, err)
@@ -458,25 +589,32 @@ func (c *Controller) xRecordDecision(rec *txn.Txn, timeout bool) error {
 
 // xFanOutDecides delivers the recorded decision to every child the
 // ledger shows prepared (aborted voters are already terminal; started
-// and terminal children have the decision already).
-func (c *Controller) xFanOutDecides(rec *txn.Txn) {
+// and terminal children have the decision already). eager marks the
+// first fan-out, straight after the durable decision write: on the fast
+// path remote participants are then SKIPPED — each armed a watch on the
+// parent record at vote time and reads the decision off the write
+// itself (the piggyback). Re-deliveries (deadline, recovery, wound
+// advance) pass eager=false and send real notices, covering any
+// participant whose watch died with a crash.
+func (c *Controller) xFanOutDecides(rec *txn.Txn, eager bool) {
 	for k, ref := range rec.Children {
 		if ref.State != txn.StatePrepared {
 			continue
 		}
-		if err := c.xSendDecide(rec, k); err != nil {
-			c.cfg.Logf("controller %s: decide %s to shard %d: %v", c.cfg.Name, ref.ID, ref.Shard, err)
+		if eager && c.xFastPath() && ref.Shard != c.cfg.XShard.Self {
+			continue
 		}
+		c.xSendDecide(rec, k)
 	}
 }
 
-// xSendDecide delivers the decision for child k to its shard's inputQ.
-func (c *Controller) xSendDecide(rec *txn.Txn, k int) error {
+// xSendDecide delivers the decision for child k to its shard's inputQ —
+// or, for a coordinator-local child on the fast path, straight to this
+// controller's own leader loop in memory (no store round trip; a crash
+// loses only the in-memory copy, and recovery's in-doubt resolution
+// reads the decision off the parent record).
+func (c *Controller) xSendDecide(rec *txn.Txn, k int) {
 	ref := rec.Children[k]
-	cli, err := c.xPeer(ref.Shard)
-	if err != nil {
-		return err
-	}
 	msg := proto.InputMsg{
 		Kind:     proto.KindXDecide,
 		TxnPath:  proto.TxnsPath + "/" + ref.ID,
@@ -485,8 +623,87 @@ func (c *Controller) xSendDecide(rec *txn.Txn, k int) error {
 	if rec.Decision == txn.DecisionAbort {
 		msg.Error, msg.Code = rec.Error, rec.Code
 	}
-	c.xSendAsync(cli, msg, "decide for "+ref.ID)
-	return nil
+	if c.xFastPath() && ref.Shard == c.cfg.XShard.Self {
+		if _, tracked := c.prepared[ref.ID]; !tracked {
+			// Already applied (e.g. the inline piggyback staged it into
+			// the decision round) — a delivery would just be consumed.
+			return
+		}
+		msg.Via = "local"
+		c.enqueueLocal(msg)
+		return
+	}
+	c.xSendMsg(ref.Shard, msg, "decide for "+ref.ID)
+}
+
+// xWatchDecision is the participant half of decision piggybacking: arm
+// a watch on the coordinator's parent record and deliver the 2PC
+// decision to this shard's leader loop the moment the durable decision
+// write lands — the decision rides the (watched) vote-ack instead of a
+// decide notice through this shard's inputQ. Best-effort: on any
+// failure or after two prepare-timeout windows the goroutine exits and
+// the coordinator's paced re-delivery (real notices) resolves the
+// child.
+func (c *Controller) xWatchDecision(t *txn.Txn) {
+	x := c.cfg.XShard
+	coord, parentLocal, ok := shard.ParseID(t.Parent, x.Router.Shards())
+	if !ok || coord == x.Self {
+		return // local children get their decision delivered in memory
+	}
+	cli, err := c.xPeer(coord)
+	if err != nil {
+		return
+	}
+	parentPath := proto.TxnsPath + "/" + parentLocal
+	childPath := c.txnPath(t.ID)
+	deadline := time.Now().Add(2 * c.xTimeoutDur())
+	go func() {
+		for time.Now().Before(deadline) {
+			if c.killed.Load() {
+				return
+			}
+			// Arm before reading, so a decision landing between the read
+			// and the wait still fires the watch.
+			w, err := cli.NodeWatch(parentPath)
+			if err != nil {
+				return
+			}
+			data, _, gerr := cli.Get(parentPath)
+			if gerr != nil {
+				w.Close()
+				return
+			}
+			parent, derr := txn.Decode(data)
+			if derr != nil {
+				w.Close()
+				return
+			}
+			if parent.Decision != "" {
+				w.Close()
+				msg := proto.InputMsg{
+					Kind:     proto.KindXDecide,
+					TxnPath:  childPath,
+					Decision: parent.Decision,
+					Via:      "ack",
+				}
+				if parent.Decision == txn.DecisionAbort {
+					msg.Error, msg.Code = parent.Error, parent.Code
+				}
+				c.enqueueLocal(msg)
+				return
+			}
+			select {
+			case _, open := <-w.C():
+				w.Close()
+				if !open {
+					return // session expired; redelivery covers us
+				}
+			case <-time.After(time.Until(deadline)):
+				w.Close()
+				return
+			}
+		}
+	}()
 }
 
 // xFinalizeParent folds the completed ledger into the parent's own
@@ -618,14 +835,15 @@ func (c *Controller) xPostVote(rec *txn.Txn, eff xEffects) {
 	if eff.decided {
 		c.xClockDecided(rec.ID)
 		c.xHook(XEventDecided, rec.ID)
-		c.xFanOutDecides(rec)
+		c.xFanOutDecides(rec, true)
 		c.xArmTimeout(rec.ID)
 		return
 	}
 	if eff.lateAbort {
-		if err := c.xSendDecide(rec, eff.child); err != nil {
-			c.cfg.Logf("controller %s: late decide %s: %v", c.cfg.Name, rec.Children[eff.child].ID, err)
-		}
+		// A late voter may have missed the piggybacked decision window
+		// (its watch fired before the decision landed and the redelivery
+		// pace is slow) — send it a real notice.
+		c.xSendDecide(rec, eff.child)
 	}
 }
 
@@ -639,7 +857,7 @@ func (c *Controller) xVote(msg proto.InputMsg, itemPath string) error {
 	rec, stat, err := c.loadTxn(msg.TxnPath)
 	if err != nil {
 		if errors.Is(err, store.ErrNoNode) {
-			return c.inputQ.Remove(itemPath)
+			return c.noticeRemove(itemPath)
 		}
 		return err
 	}
@@ -648,16 +866,15 @@ func (c *Controller) xVote(msg proto.InputMsg, itemPath string) error {
 		return err
 	}
 	if !ok || !eff.changed {
-		if err := c.inputQ.Remove(itemPath); err != nil {
+		if err := c.noticeRemove(itemPath); err != nil {
 			return err
 		}
 		c.xPostVote(rec, eff)
 		return nil
 	}
-	if err := c.cli.Multi(
-		c.inputQ.RemoveOp(itemPath),
-		store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
-	); err != nil {
+	ops := append(c.noticeRemoveOps(itemPath),
+		store.SetOp(msg.TxnPath, rec.Encode(), stat.Version))
+	if err := c.cli.Multi(ops...); err != nil {
 		return err
 	}
 	c.xPostVote(rec, eff)
@@ -670,11 +887,20 @@ func (c *Controller) xVote(msg proto.InputMsg, itemPath string) error {
 // the next drain (the staged-path discipline shared with stageAccept).
 func (c *Controller) stageXVote(r *round, msg proto.InputMsg, itemPath string) error {
 	if r.staged[msg.TxnPath] {
+		if itemPath == "" {
+			// Local message colliding with an already-staged parent write:
+			// requeue in memory for the next round (the staged-path
+			// discipline; a store-queued item just stays queued).
+			c.enqueueLocal(msg)
+		}
 		return nil
 	}
 	rec, stat, err := c.loadTxn(msg.TxnPath)
 	if err != nil {
 		if errors.Is(err, store.ErrNoNode) {
+			if itemPath == "" {
+				return nil
+			}
 			r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
 				func() error { return c.inputQ.Remove(itemPath) })
 			return nil
@@ -686,20 +912,67 @@ func (c *Controller) stageXVote(r *round, msg proto.InputMsg, itemPath string) e
 		return err
 	}
 	if !ok || !eff.changed {
+		if itemPath == "" {
+			// Nothing to persist and no notice to consume: flushRound skips
+			// op-less stages, so run the effects directly.
+			c.xPostVote(rec, eff)
+			return nil
+		}
 		r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)},
 			func() { c.xPostVote(rec, eff) },
 			func() error { return c.inputQ.Remove(itemPath) })
 		return nil
 	}
+	if eff.decided {
+		// The final vote decided the parent: piggyback the
+		// coordinator-local child's decision apply onto this same round,
+		// so the durable decision write and the child's promote (or
+		// abort) commit in one atomic Multi — no extra round trip.
+		if err := c.stageXDecideLocal(r, rec); err != nil {
+			return err
+		}
+	}
 	r.staged[msg.TxnPath] = true
 	r.stage(
-		[]store.Op{
-			c.inputQ.RemoveOp(itemPath),
-			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
-		},
+		append(c.noticeRemoveOps(itemPath),
+			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version)),
 		func() { c.xPostVote(rec, eff) },
 		func() error { return c.xVote(msg, itemPath) },
 	)
+	return nil
+}
+
+// stageXDecideLocal stages the decision apply for any coordinator-local
+// prepared child into the round that is about to write the parent's
+// durable decision (stageXVote's decided branch). Delivery is
+// Via="inline": if the shared Multi fails, the child stage only unwinds
+// its in-memory transition — the vote stage's own fallback (xVote →
+// xPostVote → eager fan-out) redelivers the decision once it IS durable.
+func (c *Controller) stageXDecideLocal(r *round, rec *txn.Txn) error {
+	if !c.xFastPath() {
+		return nil
+	}
+	for k := range rec.Children {
+		ref := rec.Children[k]
+		if ref.Shard != c.cfg.XShard.Self || ref.State != txn.StatePrepared {
+			continue
+		}
+		if _, tracked := c.prepared[ref.ID]; !tracked {
+			continue
+		}
+		msg := proto.InputMsg{
+			Kind:     proto.KindXDecide,
+			TxnPath:  proto.TxnsPath + "/" + ref.ID,
+			Decision: rec.Decision,
+			Via:      "inline",
+		}
+		if rec.Decision == txn.DecisionAbort {
+			msg.Error, msg.Code = rec.Error, rec.Code
+		}
+		if err := c.stageXDecide(r, msg, ""); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -732,7 +1005,7 @@ func (c *Controller) xChildDone(msg proto.InputMsg, itemPath string) error {
 	rec, stat, err := c.loadTxn(msg.TxnPath)
 	if err != nil {
 		if errors.Is(err, store.ErrNoNode) {
-			return c.inputQ.Remove(itemPath)
+			return c.noticeRemove(itemPath)
 		}
 		return err
 	}
@@ -741,12 +1014,11 @@ func (c *Controller) xChildDone(msg proto.InputMsg, itemPath string) error {
 		return err
 	}
 	if !changed {
-		return c.inputQ.Remove(itemPath)
+		return c.noticeRemove(itemPath)
 	}
-	if err := c.cli.Multi(
-		c.inputQ.RemoveOp(itemPath),
-		store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
-	); err != nil {
+	ops := append(c.noticeRemoveOps(itemPath),
+		store.SetOp(msg.TxnPath, rec.Encode(), stat.Version))
+	if err := c.cli.Multi(ops...); err != nil {
 		return err
 	}
 	if finalized {
@@ -760,11 +1032,17 @@ func (c *Controller) xChildDone(msg proto.InputMsg, itemPath string) error {
 // the round's grouped Multi.
 func (c *Controller) stageXChildDone(r *round, msg proto.InputMsg, itemPath string) error {
 	if r.staged[msg.TxnPath] {
+		if itemPath == "" {
+			c.enqueueLocal(msg)
+		}
 		return nil
 	}
 	rec, stat, err := c.loadTxn(msg.TxnPath)
 	if err != nil {
 		if errors.Is(err, store.ErrNoNode) {
+			if itemPath == "" {
+				return nil
+			}
 			r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
 				func() error { return c.inputQ.Remove(itemPath) })
 			return nil
@@ -776,6 +1054,9 @@ func (c *Controller) stageXChildDone(r *round, msg proto.InputMsg, itemPath stri
 		return err
 	}
 	if !changed {
+		if itemPath == "" {
+			return nil
+		}
 		r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
 			func() error { return c.inputQ.Remove(itemPath) })
 		return nil
@@ -786,10 +1067,8 @@ func (c *Controller) stageXChildDone(r *round, msg proto.InputMsg, itemPath stri
 		after = func() { c.xCountParent(rec) }
 	}
 	r.stage(
-		[]store.Op{
-			c.inputQ.RemoveOp(itemPath),
-			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
-		},
+		append(c.noticeRemoveOps(itemPath),
+			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version)),
 		after,
 		func() error { return c.xChildDone(msg, itemPath) },
 	)
@@ -821,6 +1100,32 @@ func (c *Controller) xTimeout(msg proto.InputMsg, itemPath string) error {
 			c.inputQ.RemoveOp(itemPath),
 			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version),
 		)
+	})
+}
+
+// xAdvance processes an advance nudge for a parent — enqueued by a
+// wound-wait aborter after it CAS-wrote an abort decision into the
+// parent record from another shard. The nudge makes the coordinator
+// notice the foreign write now (sync the ledger, deliver the abort to
+// prepared children, finalize) instead of at its next deadline.
+func (c *Controller) xAdvance(msg proto.InputMsg, itemPath string) error {
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			return c.noticeRemove(itemPath)
+		}
+		return err
+	}
+	if rec.State.Terminal() || !rec.IsParent() {
+		return c.noticeRemove(itemPath)
+	}
+	return c.xAdvanceParent(rec, c.xSyncLedger(rec), false, func(changed bool) error {
+		if !changed {
+			return c.noticeRemove(itemPath)
+		}
+		ops := append(c.noticeRemoveOps(itemPath),
+			store.SetOp(msg.TxnPath, rec.Encode(), stat.Version))
+		return c.cli.Multi(ops...)
 	})
 }
 
@@ -857,8 +1162,9 @@ func (c *Controller) xAdvanceParent(rec *txn.Txn, changed, deadline bool, persis
 			c.xHook(XEventDecided, rec.ID)
 		}
 		// Re-delivery to children the ledger still shows prepared; a
-		// no-op once everything reported.
-		c.xFanOutDecides(rec)
+		// no-op once everything reported. Never eager: redelivery must
+		// reach participants whose piggyback watch died with a crash.
+		c.xFanOutDecides(rec, false)
 	}
 	if !rec.State.Terminal() {
 		c.xArmTimeout(rec.ID)
@@ -940,9 +1246,11 @@ func (c *Controller) xMarkForeign(t *txn.Txn) {
 }
 
 // xSendVote reports a child's vote — its prepared or aborted state — to
-// the coordinator's inputQ. Best-effort: a lost vote is recovered by
-// the coordinator's direct ledger sync or, failing that, the prepare
-// deadline.
+// the coordinator's inputQ, or, when this shard IS the coordinator and
+// the fast path is on, straight to the local leader loop in memory (the
+// coordinator-local child's vote never leaves the process). Best-effort
+// either way: a lost vote is recovered by the coordinator's direct
+// ledger sync or, failing that, the prepare deadline.
 func (c *Controller) xSendVote(t *txn.Txn) {
 	x := c.cfg.XShard
 	if x == nil {
@@ -958,22 +1266,84 @@ func (c *Controller) xSendVote(t *txn.Txn) {
 		c.cfg.Logf("controller %s: malformed child id %q", c.cfg.Name, t.ID)
 		return
 	}
-	cli, err := c.xPeer(coord)
-	if err != nil {
-		c.cfg.Logf("controller %s: vote for %s: %v", c.cfg.Name, t.ID, err)
-		return
-	}
-	c.xSendAsync(cli, proto.InputMsg{
+	msg := proto.InputMsg{
 		Kind:       proto.KindXVote,
 		TxnPath:    proto.TxnsPath + "/" + parentLocal,
 		ChildIndex: k,
 		Outcome:    string(t.State),
 		Error:      t.Error,
 		Code:       t.Code,
-	}, "vote for "+t.ID)
+	}
+	if coord == x.Self && c.xFastPath() {
+		c.enqueueLocal(msg)
+		return
+	}
+	c.xSendMsg(coord, msg, "vote for "+t.ID)
 }
 
-// xSendChildDone reports a child's terminal outcome to the coordinator.
+// stagedVote is one coordinator-local yes-vote folded into a grouped
+// admission flush (xStageLocalVotes): the parent record with the vote
+// applied and the effects to run once the flush is durable.
+type stagedVote struct {
+	rec *txn.Txn
+	eff xEffects
+}
+
+// xStageLocalVotes folds the yes-vote of every coordinator-local
+// prepared child in the admission batch into the batch's own Multi:
+// the parent-ledger vote write commits atomically with the child's
+// durable prepare, so the local vote costs no separate store commit
+// and no extra leader round. Returns the applied votes keyed by child
+// ID (the caller tracks those children directly and skips the message
+// vote, then runs each vote's post-flush effects). On a failed flush
+// the mutated parent copies are simply discarded — the per-item replay
+// path re-reads the records and votes by message as before.
+func (c *Controller) xStageLocalVotes(pending []*txn.Txn, ops *[]store.Op) map[string]*stagedVote {
+	if !c.xFastPath() {
+		return nil
+	}
+	x := c.cfg.XShard
+	var votes map[string]*stagedVote
+	for _, t := range pending {
+		if t.State != txn.StatePrepared {
+			continue
+		}
+		coord, parentLocal, ok := shard.ParseID(t.Parent, x.Router.Shards())
+		if !ok || coord != x.Self {
+			continue
+		}
+		_, k, ok := shard.ParseChildID(t.ID)
+		if !ok {
+			continue
+		}
+		parentPath := proto.TxnsPath + "/" + parentLocal
+		rec, stat, err := c.loadTxn(parentPath)
+		if err != nil {
+			continue // vote by message instead
+		}
+		msg := proto.InputMsg{
+			Kind:       proto.KindXVote,
+			TxnPath:    parentPath,
+			ChildIndex: k,
+			Outcome:    string(t.State),
+		}
+		eff, applied, err := c.xApplyVote(rec, msg)
+		if err != nil || !applied {
+			continue
+		}
+		if eff.changed {
+			*ops = append(*ops, store.SetOp(parentPath, rec.Encode(), stat.Version))
+		}
+		if votes == nil {
+			votes = make(map[string]*stagedVote)
+		}
+		votes[t.ID] = &stagedVote{rec: rec, eff: eff}
+	}
+	return votes
+}
+
+// xSendChildDone reports a child's terminal outcome to the coordinator
+// (in memory when this shard coordinates and the fast path is on).
 func (c *Controller) xSendChildDone(t *txn.Txn) {
 	x := c.cfg.XShard
 	if x == nil {
@@ -987,19 +1357,53 @@ func (c *Controller) xSendChildDone(t *txn.Txn) {
 	if !ok {
 		return
 	}
-	cli, err := c.xPeer(coord)
-	if err != nil {
-		c.cfg.Logf("controller %s: child-done for %s: %v", c.cfg.Name, t.ID, err)
-		return
-	}
-	c.xSendAsync(cli, proto.InputMsg{
+	msg := proto.InputMsg{
 		Kind:       proto.KindXChildDone,
 		TxnPath:    proto.TxnsPath + "/" + parentLocal,
 		ChildIndex: k,
 		Outcome:    string(t.State),
 		Error:      t.Error,
 		Code:       t.Code,
-	}, "child-done for "+t.ID)
+	}
+	if coord == x.Self && c.xFastPath() {
+		c.enqueueLocal(msg)
+		return
+	}
+	c.xSendMsg(coord, msg, "child-done for "+t.ID)
+}
+
+// stageXChildDoneLocal stages a terminal local child's child-done
+// ledger write (and, when it completes the set, the parent's finalize)
+// into the round that persists the child's own terminal state
+// (stageCleanup's committed branch), when this shard coordinates the
+// parent on the fast path. Returns true when the report was staged or
+// queued — the caller then skips xSendChildDone.
+func (c *Controller) stageXChildDoneLocal(r *round, t *txn.Txn) bool {
+	x := c.cfg.XShard
+	if x == nil || !c.xFastPath() {
+		return false
+	}
+	coord, parentLocal, ok := shard.ParseID(t.Parent, x.Router.Shards())
+	if !ok || coord != x.Self {
+		return false
+	}
+	_, k, ok := shard.ParseChildID(t.ID)
+	if !ok {
+		return false
+	}
+	msg := proto.InputMsg{
+		Kind:       proto.KindXChildDone,
+		TxnPath:    proto.TxnsPath + "/" + parentLocal,
+		ChildIndex: k,
+		Outcome:    string(t.State),
+		Error:      t.Error,
+		Code:       t.Code,
+	}
+	if err := c.stageXChildDone(r, msg, ""); err != nil {
+		c.cfg.Logf("controller %s: inline child-done for %s: %v", c.cfg.Name, t.ID, err)
+		c.enqueueLocal(msg)
+	}
+	return true
 }
 
 // xDecide applies a coordinator decision to a prepared child: commit
@@ -1011,24 +1415,31 @@ func (c *Controller) xDecide(msg proto.InputMsg, itemPath string) error {
 	rec, stat, err := c.loadTxn(msg.TxnPath)
 	if err != nil {
 		if errors.Is(err, store.ErrNoNode) {
-			return c.inputQ.Remove(itemPath)
+			return c.noticeRemove(itemPath)
 		}
 		return err
 	}
 	if rec.State != txn.StatePrepared {
 		// Late or duplicate delivery: the child already moved on.
-		return c.inputQ.Remove(itemPath)
+		return c.noticeRemove(itemPath)
 	}
 	t, ok := c.prepared[rec.ID]
 	if !ok {
 		// Prepared on disk but untracked in memory can only mean a bug in
 		// recovery; refusing to act blind keeps the store consistent.
 		c.cfg.Logf("controller %s: decide for untracked prepared child %s", c.cfg.Name, rec.ID)
-		return c.inputQ.Remove(itemPath)
+		return c.noticeRemove(itemPath)
+	}
+	if msg.Via != "" {
+		// The decision skipped the decide-notice round trip: it rode the
+		// coordinator's own event round ("local") or the vote-ack watch on
+		// the parent record ("ack").
+		c.met.xPiggy.Inc()
+		t.DecisionVia = msg.Via
 	}
 	switch msg.Decision {
 	case txn.DecisionCommit:
-		return c.xPromotePrepared(t, stat.Version, c.inputQ.RemoveOp(itemPath))
+		return c.xPromotePrepared(t, stat.Version, c.noticeRemoveOps(itemPath)...)
 	case txn.DecisionAbort:
 		errStr, code := msg.Error, msg.Code
 		if errStr == "" {
@@ -1037,11 +1448,125 @@ func (c *Controller) xDecide(msg proto.InputMsg, itemPath string) error {
 		if code == "" {
 			code = string(trerr.XShardPrepareFailed)
 		}
-		return c.xAbortPrepared(t, errStr, code, c.inputQ.RemoveOp(itemPath))
+		return c.xAbortPrepared(t, errStr, code, c.noticeRemoveOps(itemPath)...)
 	default:
 		c.cfg.Logf("controller %s: decide for %s with decision %q", c.cfg.Name, rec.ID, msg.Decision)
-		return c.inputQ.Remove(itemPath)
+		return c.noticeRemove(itemPath)
 	}
+}
+
+// stageXDecide is the batched form of xDecide for locally-delivered
+// (piggybacked) decisions: the prepared child's promotion — the
+// started-state write and phyQ enqueue — or its abort rides the round's
+// grouped Multi, so decisions for many transactions share one store
+// commit instead of paying one each. A failed flush unwinds the
+// in-memory transition and replays through the direct path.
+func (c *Controller) stageXDecide(r *round, msg proto.InputMsg, itemPath string) error {
+	if r.staged[msg.TxnPath] {
+		if itemPath == "" {
+			c.enqueueLocal(msg)
+		}
+		return nil
+	}
+	rec, stat, err := c.loadTxn(msg.TxnPath)
+	if err != nil {
+		if errors.Is(err, store.ErrNoNode) {
+			if itemPath == "" {
+				return nil
+			}
+			r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+				func() error { return c.inputQ.Remove(itemPath) })
+			return nil
+		}
+		return err
+	}
+	t, tracked := c.prepared[rec.ID]
+	if rec.State != txn.StatePrepared || !tracked ||
+		(msg.Decision != txn.DecisionCommit && msg.Decision != txn.DecisionAbort) {
+		// Late, duplicate, malformed, or untracked: consume without acting
+		// (the direct path's logging cases).
+		if rec.State == txn.StatePrepared && !tracked {
+			c.cfg.Logf("controller %s: decide for untracked prepared child %s", c.cfg.Name, rec.ID)
+		}
+		if itemPath == "" {
+			return nil
+		}
+		r.stage([]store.Op{c.inputQ.RemoveOp(itemPath)}, nil,
+			func() error { return c.inputQ.Remove(itemPath) })
+		return nil
+	}
+	if msg.Via != "" {
+		c.met.xPiggy.Inc()
+		t.DecisionVia = msg.Via
+	}
+	if msg.Decision == txn.DecisionCommit {
+		if err := t.Transition(txn.StateStarted); err != nil {
+			return err
+		}
+		txnPath := c.txnPath(t.ID)
+		r.staged[msg.TxnPath] = true
+		r.stage(
+			append(c.noticeRemoveOps(itemPath),
+				store.SetOp(txnPath, t.Encode(), stat.Version),
+				c.phyQ.PutOp(proto.PhyMsg{TxnPath: txnPath}.Encode())),
+			func() {
+				delete(c.prepared, t.ID)
+				c.inFlight[t.ID] = t
+			},
+			func() error {
+				if n := len(t.History); n > 0 && t.History[n-1].State == txn.StateStarted {
+					t.History = t.History[:n-1]
+				}
+				t.State = txn.StatePrepared
+				if msg.Via == "inline" {
+					// The decision write shared this round and may not be
+					// durable: the vote stage's own fallback redelivers.
+					return nil
+				}
+				return c.xDecide(msg, itemPath)
+			},
+		)
+		return nil
+	}
+	errStr, code := msg.Error, msg.Code
+	if errStr == "" {
+		errStr = "cross-shard transaction aborted"
+	}
+	if code == "" {
+		code = string(trerr.XShardPrepareFailed)
+	}
+	t.Error, t.Code = errStr, code
+	if err := t.Transition(txn.StateAborted); err != nil {
+		t.Error, t.Code = "", ""
+		return err
+	}
+	r.staged[msg.TxnPath] = true
+	r.stage(
+		append(c.noticeRemoveOps(itemPath),
+			store.SetOp(c.txnPath(t.ID), t.Encode(), -1)),
+		func() {
+			c.rollbackTimed(t.ID, t.Log)
+			c.locks.ReleaseAll(t.ID)
+			delete(c.prepared, t.ID)
+			c.countStage(&c.stats.Aborted, "aborted")
+			// The freed locks may unblock deferred work this round's
+			// scheduling pass already skipped.
+			c.resched = true
+			c.xSendChildDone(t)
+		},
+		func() error {
+			if n := len(t.History); n > 0 && t.History[n-1].State == txn.StateAborted {
+				t.History = t.History[:n-1]
+			}
+			t.State = txn.StatePrepared
+			t.Error, t.Code = "", ""
+			if msg.Via == "inline" {
+				return nil // vote-stage fallback redelivers (see commit branch)
+			}
+			return c.xDecide(msg, itemPath)
+		},
+	)
+	return nil
 }
 
 // xPromotePrepared moves a prepared child into physical execution:
@@ -1163,8 +1688,14 @@ func (c *Controller) xResolveInDoubt(t *txn.Txn) {
 		}
 	default:
 		// Undecided: hold the prepare (locks and all) and re-vote — the
-		// old leader's vote may never have left this shard.
+		// old leader's vote may never have left this shard. On the fast
+		// path, re-arm the decision watch too (the old leader's died with
+		// it); the coordinator skips the eager decide notice assuming a
+		// watch exists.
 		c.xSendVote(t)
+		if c.xFastPath() {
+			c.xWatchDecision(t)
+		}
 	}
 }
 
@@ -1203,9 +1734,7 @@ func (c *Controller) xRecoverParent(rec *txn.Txn) {
 			if rec.Children[k].State != "" {
 				continue
 			}
-			if err := c.xSendPrepare(rec, k); err != nil {
-				c.cfg.Logf("controller %s: re-prepare %s: %v", c.cfg.Name, rec.Children[k].ID, err)
-			}
+			c.xSendPrepare(rec, k)
 		}
 	}
 	err := c.xAdvanceParent(rec, changed, false, func(changed bool) error {
@@ -1217,4 +1746,180 @@ func (c *Controller) xRecoverParent(rec *txn.Txn) {
 	if err != nil {
 		c.cfg.Logf("controller %s: resume parent %s: %v", c.cfg.Name, rec.ID, err)
 	}
+}
+
+// --- Deterministic prepare order & wound-wait -------------------------
+
+// xOrderChildren sorts the cross-shard children waiting in todoQ into
+// the deterministic global prepare order (shard.PrepareLess: by parent
+// id, then child index), leaving single-shard work in place. Every
+// participant scheduling its children in the same order makes the
+// classic 2PC lock-order inversion — shard A prepares t1 then t2, shard
+// B prepares t2 then t1, both stuck until the prepare deadline — simply
+// not arise between transactions that are both still waiting; wound-wait
+// (xMaybeWound) covers the races that slip through interleaved rounds.
+func (c *Controller) xOrderChildren() {
+	idx := make([]int, 0, len(c.todo))
+	for i, t := range c.todo {
+		if t.IsChild() {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) < 2 {
+		return
+	}
+	kids := make([]*txn.Txn, len(idx))
+	for j, i := range idx {
+		kids[j] = c.todo[i]
+	}
+	sort.SliceStable(kids, func(a, b int) bool {
+		return shard.PrepareLess(kids[a].ID, kids[b].ID)
+	})
+	for j, i := range idx {
+		c.todo[i] = kids[j]
+	}
+}
+
+// xMaybeWound runs when a cross-shard child's lock acquisition
+// conflicted: if any conflicting holder is a PREPARED child of a
+// YOUNGER cross-shard transaction (later in the global prepare order),
+// this is a lock-order inversion that local ordering could not prevent
+// — the younger transaction won its locks on this shard before the
+// older one arrived. Waiting resolves nothing (the younger one's own
+// prepare is blocked on another shard by the older one), so wound it:
+// abort the younger transaction at its coordinator, freeing its locks
+// everywhere within one message round instead of an indoubt-timeout
+// window. Holders that are merely in-flight (already executing) finish
+// on their own; only prepared holders — parked awaiting a decision —
+// can deadlock.
+func (c *Controller) xMaybeWound(t *txn.Txn, reqs []lock.Request) {
+	for _, conflict := range c.locks.Conflicts(t.ID, reqs) {
+		victim, ok := c.prepared[conflict.Holder]
+		if !ok || !shard.PrepareLess(t.ID, conflict.Holder) {
+			continue
+		}
+		c.xWound(t.ID, victim)
+	}
+}
+
+// xWound aborts the (younger) victim's cross-shard transaction by
+// CAS-writing an abort decision into its parent record on the
+// coordinator shard, then nudging that coordinator's inputQ to act on
+// it now. The write targets the PARENT, never the prepared child: a
+// prepared child may only abort on a durable parent decision, and the
+// CAS (give up if a decision exists or the parent left accepted)
+// guarantees we never overwrite a commit. The coordinator's own staged
+// writes lose the version race and fall back through a re-read that
+// sees the abort. Asynchronous and best-effort — a lost wound costs the
+// indoubt-timeout window, never correctness.
+func (c *Controller) xWound(aggressor string, victim *txn.Txn) {
+	x := c.cfg.XShard
+	coord, parentLocal, ok := shard.ParseID(victim.Parent, x.Router.Shards())
+	if !ok {
+		return
+	}
+	parentPath := proto.TxnsPath + "/" + parentLocal
+	c.wmu.Lock()
+	if c.wounding == nil {
+		c.wounding = make(map[string]bool)
+	}
+	if c.wounding[parentPath] {
+		c.wmu.Unlock()
+		return // a wound for this parent is already in flight
+	}
+	c.wounding[parentPath] = true
+	c.wmu.Unlock()
+	unmark := func() {
+		c.wmu.Lock()
+		delete(c.wounding, parentPath)
+		c.wmu.Unlock()
+	}
+	cli, err := c.xPeer(coord)
+	if err != nil {
+		unmark()
+		return
+	}
+	go func() {
+		defer unmark()
+		for try := 0; try < 8; try++ {
+			if c.killed.Load() {
+				return
+			}
+			data, stat, err := cli.Get(parentPath)
+			if err != nil {
+				return
+			}
+			parent, err := txn.Decode(data)
+			if err != nil {
+				return
+			}
+			if parent.Decision != "" || parent.State != txn.StateAccepted {
+				return // already decided (or deciding); nothing to wound
+			}
+			parent.ID = parentLocal
+			parent.Decision = txn.DecisionAbort
+			parent.Error = fmt.Sprintf("wounded by older cross-shard transaction %s", aggressor)
+			parent.Code = string(trerr.XShardWounded)
+			if err := parent.Transition(txn.StateDeciding); err != nil {
+				return
+			}
+			nudge := proto.InputMsg{Kind: proto.KindXAdvance, TxnPath: parentPath}
+			err = cli.Multi(
+				store.SetOp(parentPath, parent.Encode(), stat.Version),
+				store.CreateOp(proto.InputQPath+"/"+queue.ItemPrefix, nudge.Encode(), store.FlagSequence),
+			)
+			if err == nil {
+				c.met.xWounds.Inc()
+				return
+			}
+			if !errors.Is(err, store.ErrBadVersion) {
+				return
+			}
+			// Lost a CAS race (a vote landed, or the coordinator decided);
+			// re-read and re-check.
+		}
+	}()
+}
+
+// gcReapable guards the terminal-record sweep against breaking 2PC
+// recovery: a PARENT may be reaped only once every ledger entry is
+// terminal (children still resolve their in-doubt state by reading it),
+// and a CHILD only once its parent is terminal or gone (an in-flight
+// parent's ledger sync still reads child records directly). Peer-read
+// failures err toward keeping the record — the next checkpoint retries.
+func (c *Controller) gcReapable(rec *txn.Txn) bool {
+	if rec.IsParent() {
+		if !c.xEnabled() {
+			// The unconfigured-platform abort path leaves an empty ledger.
+			return true
+		}
+		return xAllTerminal(rec)
+	}
+	if !rec.IsChild() {
+		return true
+	}
+	x := c.cfg.XShard
+	if x == nil {
+		return true
+	}
+	coord, parentLocal, ok := shard.ParseID(rec.Parent, x.Router.Shards())
+	if !ok {
+		return true
+	}
+	cli, err := c.xPeer(coord)
+	if err != nil {
+		return false
+	}
+	data, _, err := cli.Get(proto.TxnsPath + "/" + parentLocal)
+	if errors.Is(err, store.ErrNoNode) {
+		return true // parent already reaped: its ledger completed
+	}
+	if err != nil {
+		return false
+	}
+	parent, err := txn.Decode(data)
+	if err != nil {
+		return false
+	}
+	return parent.State.Terminal()
 }

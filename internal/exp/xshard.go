@@ -37,6 +37,15 @@ type CrossShardParams struct {
 	CommitLatency time.Duration
 	// BatchMaxOps sizes each shard pipeline's group commits (default 32).
 	BatchMaxOps int
+	// SlowPath disables the coalesced 2PC message flow, measuring the
+	// per-message-round-trip ablation arm instead of the fast path.
+	SlowPath bool
+	// Reps measures each workload this many times on the same platform
+	// (default 1), keeping the best-throughput run per workload. On a
+	// CPU-starved CI box a single draw confounds scheduler interference
+	// with protocol cost; the best of a few reps is a far more stable
+	// capability measurement for both arms of the overhead ratio.
+	Reps int
 }
 
 func (p CrossShardParams) withDefaults() CrossShardParams {
@@ -57,6 +66,9 @@ func (p CrossShardParams) withDefaults() CrossShardParams {
 	}
 	if p.BatchMaxOps <= 0 {
 		p.BatchMaxOps = 32
+	}
+	if p.Reps <= 0 {
+		p.Reps = 1
 	}
 	return p
 }
@@ -79,6 +91,9 @@ type CrossShardLoadResult struct {
 type CrossShardResult struct {
 	// Shards echoes the partition count under test.
 	Shards int `json:"shards"`
+	// FastPath reports which 2PC message-flow arm this point measured
+	// (true: coalesced flow; false: per-message round trips).
+	FastPath bool `json:"fastPath"`
 	// CrossPairs is how many distinct cross-shard (storage, compute)
 	// pairings the topology offered (0 at one shard).
 	CrossPairs int `json:"crossPairs"`
@@ -113,20 +128,12 @@ func CrossShard(ctx context.Context, p CrossShardParams) (CrossShardResult, erro
 		BatchMaxOps:    p.BatchMaxOps,
 		Shards:         p.Shards,
 		Controllers:    1,
+		XShardSlowPath: p.SlowPath,
 	})
 	if err != nil {
 		return CrossShardResult{}, err
 	}
 	defer env.Stop()
-
-	crossOps, crossPairs, err := crossShardSpawnOps(env.Platform, p.Hosts, p.Txns, "xs")
-	if err != nil {
-		return CrossShardResult{}, err
-	}
-	localOps, _, err := shardLocalSpawnOps(env.Platform, p.Hosts, p.Txns)
-	if err != nil {
-		return CrossShardResult{}, err
-	}
 
 	run := func(ops []workload.Op) (CrossShardLoadResult, error) {
 		start := time.Now()
@@ -144,12 +151,45 @@ func CrossShard(ctx context.Context, p CrossShardParams) (CrossShardResult, erro
 			P99LatencyMs:  lat.Quantile(0.99) * 1000,
 		}, nil
 	}
+	// best reruns a workload Reps times (fresh VM names each rep — spawns
+	// are creations and must not collide) and keeps the fastest run.
+	best := func(build func(rep int) ([]workload.Op, error)) (CrossShardLoadResult, error) {
+		var out CrossShardLoadResult
+		for rep := 0; rep < p.Reps; rep++ {
+			ops, err := build(rep)
+			if err != nil {
+				return out, err
+			}
+			r, err := run(ops)
+			if err != nil {
+				return out, err
+			}
+			if rep == 0 || r.PerSecond > out.PerSecond {
+				out = r
+			}
+		}
+		return out, nil
+	}
 
-	res := CrossShardResult{Shards: p.Shards, CrossPairs: crossPairs}
-	if res.Cross, err = run(crossOps); err != nil {
+	crossPairs := 0
+	res := CrossShardResult{Shards: p.Shards, FastPath: !p.SlowPath}
+	res.Cross, err = best(func(rep int) ([]workload.Op, error) {
+		ops, pairs, err := crossShardSpawnOps(env.Platform, p.Hosts, p.Txns, fmt.Sprintf("x%d", rep))
+		crossPairs = pairs
+		return ops, err
+	})
+	if err != nil {
 		return res, err
 	}
-	if res.Local, err = run(localOps); err != nil {
+	res.CrossPairs = crossPairs
+	res.Local, err = best(func(rep int) ([]workload.Op, error) {
+		ops, _, err := shardLocalSpawnOps(env.Platform, p.Hosts, p.Txns)
+		for i := range ops {
+			ops[i].Args[2] = fmt.Sprintf("l%dvm%06d", rep, i)
+		}
+		return ops, err
+	})
+	if err != nil {
 		return res, err
 	}
 	if res.Cross.PerSecond > 0 {

@@ -242,6 +242,39 @@ func (m *Manager) WouldConflict(owner string, reqs []Request) *ConflictError {
 	return nil
 }
 
+// Conflicts returns every conflicting (path, holder) pair Acquire would
+// trip over, one ConflictError per distinct pair, without acquiring
+// anything. Where Acquire and WouldConflict stop at the first conflict,
+// this enumerates them all — the wound-wait path needs every holder
+// standing between a high-priority cross-shard child and its locks, not
+// just the first one found.
+func (m *Manager) Conflicts(owner string, reqs []Request) []*ConflictError {
+	full := ExpandRequests(reqs)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []*ConflictError
+	for _, r := range full {
+		for other, h := range m.nodes[r.Path] {
+			if other == owner {
+				continue
+			}
+			for held := range h.modes {
+				if compatible(r.Mode, held) {
+					continue
+				}
+				key := r.Path + "\x00" + other
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, &ConflictError{Path: r.Path, Requested: r.Mode, Holder: other, Held: held})
+			}
+		}
+	}
+	return out
+}
+
 // ReleaseAll frees every lock held by owner (transaction cleanup, step 5
 // in Figure 2).
 func (m *Manager) ReleaseAll(owner string) {

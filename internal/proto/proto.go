@@ -113,6 +113,11 @@ const (
 	// prepare deadline is aborted; a decided one re-delivers its
 	// decision to children still outstanding.
 	KindXTimeout MsgKind = "xtimeout"
+	// KindXAdvance: a peer shard mutated a parent record out of band (a
+	// wound-wait abort decision written by a participant) and asks the
+	// coordinator to advance it now — exactly the deadline check's state
+	// machine, minus the presumed-abort escalation.
+	KindXAdvance MsgKind = "xadvance"
 )
 
 // InputMsg is one inputQ item.
@@ -146,6 +151,12 @@ type InputMsg struct {
 	// Decision carries the coordinator's 2PC decision for KindXDecide
 	// (txn.DecisionCommit or txn.DecisionAbort).
 	Decision string `json:"decision,omitempty"`
+	// Via records how a KindXDecide reached the participant when it
+	// skipped the decide-notice round trip: "local" for a coordinator-
+	// local child whose decision rode the coordinator's own event round,
+	// "ack" for a decision read off the parent record by the vote-ack
+	// watch. Empty for a store-delivered decide notice.
+	Via string `json:"via,omitempty"`
 }
 
 // Reply reports the outcome of a reload/repair request.

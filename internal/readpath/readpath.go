@@ -30,6 +30,7 @@ package readpath
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 
 	"repro/internal/metrics"
@@ -102,8 +103,12 @@ type hub struct {
 	stat    store.Stat
 	zxid    int64
 	hasData bool
-	cost    int64
-	elem    *list.Element // position in the LRU when hasData
+	// negative marks a resident entry that records authoritative ABSENCE:
+	// the path did not exist as of zxid. Served as ErrNoNode under the
+	// watermark; invalidated by the same watch when the node is created.
+	negative bool
+	cost     int64
+	elem     *list.Element // position in the LRU when hasData
 }
 
 // kidsEntry caches one path's sorted child names under its own
@@ -201,7 +206,7 @@ type Shard struct {
 
 	hits, misses, invals, evicts *metrics.Counter
 	srcCache, srcFollower        *metrics.Counter
-	srcLeader                    *metrics.Counter
+	srcLeader, negHits           *metrics.Counter
 }
 
 // New builds one shard's read path over the given store session. Every
@@ -224,6 +229,7 @@ func New(cfg Config) *Shard {
 		s.srcCache = &metrics.Counter{}
 		s.srcFollower = &metrics.Counter{}
 		s.srcLeader = &metrics.Counter{}
+		s.negHits = &metrics.Counter{}
 		return s
 	}
 	shard := cfg.Shard
@@ -239,6 +245,8 @@ func New(cfg Config) *Shard {
 		"Cache entries dropped by a store watch event.", "shard").With(shard)
 	s.evicts = r.CounterVec("tropic_read_cache_evictions_total",
 		"Cache entries dropped by the byte-budget LRU.", "shard").With(shard)
+	s.negHits = r.CounterVec("tropic_read_cache_negative_hits_total",
+		"Reads answered ErrNoNode from a cached negative entry.", "shard").With(shard)
 	reads := r.CounterVec("tropic_reads_total",
 		"Reads served by the read path, by serving tier.", "shard", "source")
 	s.srcCache = reads.With(shard, "cache")
@@ -304,6 +312,18 @@ func (s *Shard) GetRecord(path string, minZxid int64) ([]byte, store.Stat, int64
 		s.mu.Lock()
 		if !s.closed {
 			if hh := s.hubs[path]; hh != nil && hh.hasData && hh.zxid >= minZxid {
+				if hh.negative {
+					// Authoritative absence under the watermark: the path
+					// did not exist as of hh.zxid, and the hub's watch has
+					// not seen it created since.
+					z := hh.zxid
+					s.lru.MoveToFront(hh.elem)
+					s.mu.Unlock()
+					s.hits.Inc()
+					s.negHits.Inc()
+					s.srcCache.Inc()
+					return nil, store.Stat{}, z, SourceCache, store.ErrNoNode
+				}
 				data := append([]byte(nil), hh.data...)
 				st, z := hh.stat, hh.zxid
 				s.lru.MoveToFront(hh.elem)
@@ -330,7 +350,14 @@ func (s *Shard) GetRecord(path string, minZxid int64) ([]byte, store.Stat, int64
 		if s.hubs[path] == h && h.gen == gen && !s.closed {
 			switch {
 			case err == nil:
-				s.storeLocked(h, data, st, z)
+				s.storeLocked(h, data, st, z, false)
+				victims = s.evictLocked()
+			case errors.Is(err, store.ErrNoNode) && z > 0:
+				// Cache the absence itself: the store answered "no such
+				// node as of z", and any later create fires the hub's
+				// watch (creates fire node watches on the created path),
+				// so repeated misses on a hot absent path are hits.
+				s.storeLocked(h, nil, store.Stat{}, z, true)
 				victims = s.evictLocked()
 			case len(h.subs) == 0 && !h.hasData:
 				// The read failed (e.g. no such record) and nothing else
@@ -349,7 +376,9 @@ func (s *Shard) GetRecord(path string, minZxid int64) ([]byte, store.Stat, int64
 		}
 	}
 	if err != nil {
-		return nil, store.Stat{}, 0, SourceLeader, err
+		// ErrNoNode carries the zxid the absence was observed at, so the
+		// caller can thread it like any other read watermark.
+		return nil, store.Stat{}, z, SourceLeader, err
 	}
 	src := SourceLeader
 	if follower {
@@ -568,11 +597,12 @@ func (s *Shard) kidsPump(k *kidsEntry) {
 	s.mu.Unlock()
 }
 
-// storeLocked installs a fill into h and the LRU. A fill older than the
+// storeLocked installs a fill into h and the LRU — negative marks an
+// absence fill (ErrNoNode observed at z). A fill older than the
 // resident entry is skipped (two same-generation readers may resolve at
 // different zxids; data is identical but the watermark must not
 // regress). Caller holds s.mu.
-func (s *Shard) storeLocked(h *hub, data []byte, st store.Stat, z int64) {
+func (s *Shard) storeLocked(h *hub, data []byte, st store.Stat, z int64, negative bool) {
 	if h.hasData {
 		if h.zxid > z {
 			return
@@ -580,7 +610,7 @@ func (s *Shard) storeLocked(h *hub, data []byte, st store.Stat, z int64) {
 		s.bytes -= h.cost
 		s.lru.Remove(h.elem)
 	}
-	h.data, h.stat, h.zxid, h.hasData = data, st, z, true
+	h.data, h.stat, h.zxid, h.hasData, h.negative = data, st, z, true, negative
 	h.cost = int64(len(data)+len(h.path)) + entryOverhead
 	h.elem = s.lru.PushFront(h)
 	s.bytes += h.cost
@@ -591,7 +621,7 @@ func (s *Shard) storeLocked(h *hub, data []byte, st store.Stat, z int64) {
 func (s *Shard) dropDataLocked(h *hub) {
 	s.bytes -= h.cost
 	s.lru.Remove(h.elem)
-	h.data, h.hasData, h.cost, h.elem = nil, false, 0, nil
+	h.data, h.hasData, h.negative, h.cost, h.elem = nil, false, false, 0, nil
 }
 
 // evictLocked enforces the byte budget, least-recently-used first,
@@ -657,11 +687,13 @@ type Stats struct {
 	// CacheBytes and CachedRecords describe residency right now.
 	CacheBytes    int64 `json:"cacheBytes"`
 	CachedRecords int   `json:"cachedRecords"`
-	// Hits/Misses/Invalidations/Evictions are cumulative cache counters.
+	// Hits/Misses/Invalidations/Evictions are cumulative cache counters;
+	// NegativeHits is the subset of Hits answered from a cached absence.
 	Hits          int64 `json:"hits"`
 	Misses        int64 `json:"misses"`
 	Invalidations int64 `json:"invalidations"`
 	Evictions     int64 `json:"evictions"`
+	NegativeHits  int64 `json:"negativeHits"`
 	// CacheServed/FollowerServed/LeaderServed split reads by tier.
 	CacheServed    int64 `json:"cacheServed"`
 	FollowerServed int64 `json:"followerServed"`
@@ -690,6 +722,7 @@ func (s *Shard) Stats() Stats {
 	st.Misses = s.misses.Load()
 	st.Invalidations = s.invals.Load()
 	st.Evictions = s.evicts.Load()
+	st.NegativeHits = s.negHits.Load()
 	st.CacheServed = s.srcCache.Load()
 	st.FollowerServed = s.srcFollower.Load()
 	st.LeaderServed = s.srcLeader.Load()

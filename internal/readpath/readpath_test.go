@@ -1,6 +1,7 @@
 package readpath
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -330,6 +331,7 @@ func TestMetricsPrecreatedAtZero(t *testing.T) {
 		`tropic_read_cache_misses_total{shard="7"} 0`,
 		`tropic_read_cache_invalidations_total{shard="7"} 0`,
 		`tropic_read_cache_evictions_total{shard="7"} 0`,
+		`tropic_read_cache_negative_hits_total{shard="7"} 0`,
 		`tropic_reads_total{shard="7",source="cache"} 0`,
 		`tropic_reads_total{shard="7",source="follower"} 0`,
 		`tropic_reads_total{shard="7",source="leader"} 0`,
@@ -340,5 +342,58 @@ func TestMetricsPrecreatedAtZero(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+}
+
+// TestNegativeCacheServesAuthoritativeAbsence: a miss on an absent path
+// caches the absence itself; repeated reads under the watermark are
+// ErrNoNode cache hits, and creating the node invalidates the entry
+// through the hub's watch so the next read sees the data.
+func TestNegativeCacheServesAuthoritativeAbsence(t *testing.T) {
+	e, s := newShard(t, 1<<20)
+	w := e.Connect()
+	defer w.Close()
+	// Materialize at least one commit so the ensemble zxid is nonzero.
+	if _, err := w.Create("/other", []byte("x"), 0); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	_, _, z, src, err := s.GetRecord("/a", 0)
+	if !errors.Is(err, store.ErrNoNode) {
+		t.Fatalf("absent read err=%v, want ErrNoNode", err)
+	}
+	if src == SourceCache || z <= 0 {
+		t.Fatalf("first absent read src=%v z=%d, want store-served with watermark", src, z)
+	}
+
+	_, _, z2, src, err := s.GetRecord("/a", z)
+	if !errors.Is(err, store.ErrNoNode) {
+		t.Fatalf("cached absent read err=%v, want ErrNoNode", err)
+	}
+	if src != SourceCache || z2 != z {
+		t.Errorf("cached absent read src=%v z=%d, want cache at %d", src, z2, z)
+	}
+	if st := s.Stats(); st.NegativeHits != 1 {
+		t.Errorf("NegativeHits=%d, want 1", st.NegativeHits)
+	}
+
+	// A watermark past the entry must bypass the cache: absence is only
+	// authoritative as of the zxid it was observed at.
+	if _, _, _, src, err = s.GetRecord("/a", z+10); errors.Is(err, store.ErrNoNode) && src == SourceCache {
+		t.Errorf("cache served absence for a watermark past its zxid")
+	}
+
+	// Creation fires the hub's node watch and drops the negative entry.
+	if _, err := w.Create("/a", []byte("v0"), 0); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	waitFor(t, "negative invalidation", func() bool {
+		data, _, _, _, err := s.GetRecord("/a", w.LastWriteZxid())
+		return err == nil && string(data) == "v0"
+	})
+	// And the fresh fill is a normal positive entry: next read hits.
+	data, _, _, src, err := s.GetRecord("/a", 0)
+	if err != nil || src != SourceCache || string(data) != "v0" {
+		t.Errorf("post-create read = %q src=%v err=%v, want cached v0", data, src, err)
 	}
 }

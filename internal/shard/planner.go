@@ -35,9 +35,39 @@ type Split struct {
 // CrossShard reports whether the plan spans more than one shard.
 func (s Split) CrossShard() bool { return len(s.Shards) > 1 }
 
-// Coordinator returns the coordinating shard: the lowest-numbered
-// participant.
+// Coordinator returns the default coordinating shard: the
+// lowest-numbered participant.
 func (s Split) Coordinator() int { return s.Shards[0] }
+
+// CoordinatorFor picks the participant that coordinates a submission
+// with the given identity (its procedure and arguments): an FNV-1a
+// hash spreads the 2PC hot path — parent record, vote ledger, decision
+// write, finalize — across the participants instead of concentrating
+// every plan's coordination on its lowest-numbered shard (at two
+// shards that would make shard 0 coordinate ALL spanning work). The
+// choice is deterministic per (proc, args), so idempotent
+// resubmissions place their key claim on the same shard; every other
+// component derives the coordinator from the parent id prefix and
+// needs no policy agreement.
+func (s Split) CoordinatorFor(proc string, args []string) int {
+	if len(s.Shards) == 1 {
+		return s.Shards[0]
+	}
+	h := uint32(2166136261)
+	mix := func(str string) {
+		for i := 0; i < len(str); i++ {
+			h ^= uint32(str[i])
+			h *= 16777619
+		}
+		h ^= 0xff // separator: ("ab","c") != ("a","bc")
+		h *= 16777619
+	}
+	mix(proc)
+	for _, a := range args {
+		mix(a)
+	}
+	return s.Shards[h%uint32(len(s.Shards))]
+}
 
 // Split derives the plan of a submission from its path-shaped
 // arguments: every argument with a leading '/' contributes its resource
@@ -128,4 +158,24 @@ func ParseChildID(id string) (parent string, k int, ok bool) {
 func IsChildID(id string) bool {
 	_, _, ok := ParseChildID(id)
 	return ok
+}
+
+// PrepareLess defines the deterministic global prepare order over
+// cross-shard children: by parent id (lexicographic — parent ids embed
+// their coordinator shard and a client-unique sequence, so the order is
+// total and identical on every shard), then by child index. Every
+// participant acquiring child locks in this order cannot create a
+// cross-shard lock-order inversion with another participant doing the
+// same; the wound-wait path only has to resolve races that slipped in
+// before both children were queued.
+func PrepareLess(aID, bID string) bool {
+	ap, ak, aok := ParseChildID(aID)
+	bp, bk, bok := ParseChildID(bID)
+	if !aok || !bok {
+		return aID < bID
+	}
+	if ap != bp {
+		return ap < bp
+	}
+	return ak < bk
 }

@@ -542,7 +542,7 @@ func (c *Client) SubmitIdempotent(ctx context.Context, key, proc string, args ..
 		}
 		// The recorded id is the (already qualified) parent id, returned
 		// verbatim on dedup.
-		return c.subs[split.Coordinator()].submitIdempotentVia(ctx, key, proc, args,
+		return c.subs[split.CoordinatorFor(proc, args)].submitIdempotentVia(ctx, key, proc, args,
 			func() (string, error) { return c.xSubmit(split, proc, args) })
 	}
 	return c.submitIdempotentVia(ctx, key, proc, args,
@@ -577,7 +577,10 @@ func (c *Client) submitIdempotentVia(ctx context.Context, key, proc string, args
 		_ = c.cli.Delete(keyPath, -1)
 		return "", false, err
 	}
-	entry, merr := json.Marshal(idemEntry{ID: id, Proc: proc, Args: args})
+	// The resolved mapping keeps a timestamp so the controller's TTL
+	// sweep can reap it once any retry storm has surely passed (the
+	// claim-takeover path only consults ClaimedAt while ID is empty).
+	entry, merr := json.Marshal(idemEntry{ID: id, Proc: proc, Args: args, ClaimedAt: time.Now()})
 	if merr != nil {
 		return id, false, nil
 	}

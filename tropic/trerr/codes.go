@@ -121,6 +121,12 @@ var (
 	// transaction by recording an ABORT decision.
 	XShardInDoubtTimeout = register("xshard.indoubt_timeout", http.StatusGatewayTimeout,
 		"cross-shard prepare deadline elapsed before every participant voted; transaction aborted")
+	// XShardWounded: wound-wait resolved a cross-shard lock-order
+	// inversion by aborting this (younger) transaction so an older one
+	// could take its locks immediately, instead of both waiting out the
+	// prepare deadline. Safe to resubmit.
+	XShardWounded = register("xshard.wounded", http.StatusConflict,
+		"aborted by wound-wait: an older cross-shard transaction claimed conflicting locks")
 
 	// StoreNoNode: the target znode does not exist.
 	StoreNoNode = register("store.no_node", http.StatusNotFound,

@@ -149,6 +149,28 @@ const (
 // enabled resolves the mode (Auto → enabled).
 func (m CrossShardMode) enabled() bool { return m != CrossShardDisabled }
 
+// XShardFastPathMode selects the cross-shard 2PC message flow
+// (Config.XShardFastPath).
+type XShardFastPathMode int
+
+const (
+	// XShardFastPathAuto (the zero value) resolves to enabled.
+	XShardFastPathAuto XShardFastPathMode = iota
+	// XShardFastPathEnabled coalesces the 2PC message flow:
+	// coordinator-local children skip the cross-store prepare round,
+	// decisions piggyback on vote acks, per-peer sends batch into one
+	// Multi per event round, and children prepare in a deterministic
+	// global order with wound-wait resolving lock-order inversions.
+	XShardFastPathEnabled
+	// XShardFastPathDisabled restores the one-store-round-trip-per-
+	// message flow — the slow-path ablation the cross-shard overhead
+	// benchmark compares against. Correctness is identical.
+	XShardFastPathDisabled
+)
+
+// enabled resolves the mode (Auto → enabled).
+func (m XShardFastPathMode) enabled() bool { return m != XShardFastPathDisabled }
+
 // NewSchema creates an empty schema.
 func NewSchema() *Schema { return model.NewSchema() }
 
@@ -199,6 +221,12 @@ type Config struct {
 	// CheckpointEvery folds the commit log into a snapshot after this
 	// many commits (0 disables checkpointing).
 	CheckpointEvery int
+	// RetainTerminal bounds how many terminal transaction records each
+	// shard keeps after a checkpoint (0 keeps all). Cross-shard records
+	// are reaped ledger-aware: a child outlives its parent's decision
+	// and a parent outlives its children's terminal reports, never the
+	// reverse.
+	RetainTerminal int
 	// Reconciler handles reload/repair requests (§4). Typically
 	// reconcile.New(cloud, cloud, tcloud.RepairRules()); nil rejects
 	// reconciliation requests.
@@ -252,6 +280,21 @@ type Config struct {
 	// aborted (trerr.XShardInDoubtTimeout), and paces re-delivery of
 	// decisions to outstanding children. Default 10s.
 	XShardPrepareTimeout time.Duration
+	// XShardFastPath selects the cross-shard 2PC message flow:
+	// XShardFastPathAuto (the zero value) and XShardFastPathEnabled use
+	// the coalesced fast path (local-child coalescing, piggybacked
+	// decisions, per-peer fan-out batching, deterministic prepare order
+	// with wound-wait); XShardFastPathDisabled restores the
+	// per-message-round-trip slow path, kept runnable for the ablation
+	// benchmarks. See docs/cross-shard.md.
+	XShardFastPath XShardFastPathMode
+	// IdempotencyTTL bounds how long an unfinished idempotency claim
+	// (a submission that crashed between claiming its key and recording
+	// its transaction id) survives before the leader's checkpoint sweep
+	// reclaims it. Completed claims — those carrying a transaction id —
+	// are never swept. 0 selects the default (5m); negative disables the
+	// sweep.
+	IdempotencyTTL time.Duration
 	// CrossShardHook observes coordinator protocol milestones
 	// ("prepare_sent", "decided") per shard — chaos-test
 	// instrumentation for crashing leaders at exact protocol points.
@@ -387,6 +430,9 @@ func New(cfg Config) (*Platform, error) {
 	}
 	if cfg.XShardPrepareTimeout <= 0 {
 		cfg.XShardPrepareTimeout = controller.DefaultPrepareTimeout
+	}
+	if cfg.IdempotencyTTL == 0 {
+		cfg.IdempotencyTTL = 5 * time.Minute
 	}
 	if cfg.ShardExecutors != nil && len(cfg.ShardExecutors) != cfg.Shards {
 		return nil, fmt.Errorf("tropic: Config.ShardExecutors has %d entries for %d shards",
@@ -539,6 +585,7 @@ func (p *Platform) newShardUnit(i int) (*shardUnit, error) {
 			Self:           shardIdx,
 			Router:         p.router,
 			PrepareTimeout: cfg.XShardPrepareTimeout,
+			FastPath:       cfg.XShardFastPath.enabled(),
 			Connect: func(j int) *store.Client {
 				if j < 0 || j >= len(p.units) {
 					return nil
@@ -559,9 +606,11 @@ func (p *Platform) newShardUnit(i int) (*shardUnit, error) {
 			Procedures:      cfg.Procedures,
 			Bootstrap:       cfg.Bootstrap,
 			CheckpointEvery: cfg.CheckpointEvery,
+			RetainTerminal:  cfg.RetainTerminal,
 			Reconciler:      cfg.Reconciler,
 			Policy:          cfg.Policy,
 			BatchMaxOps:     cfg.BatchMaxOps,
+			IdempotencyTTL:  cfg.IdempotencyTTL,
 			XShard:          xs,
 			Registry:        p.reg,
 			Shard:           fmt.Sprint(i),
@@ -762,6 +811,10 @@ type PipelineInfo struct {
 	// CrossShard reports whether submissions spanning shards execute as
 	// two-phase-commit transactions (false: rejected, the ablation).
 	CrossShard bool `json:"crossShard"`
+	// XShardFastPath reports whether the coalesced cross-shard message
+	// flow is active (false: per-message round trips, the slow-path
+	// ablation). Meaningful only when CrossShard is true.
+	XShardFastPath bool `json:"xshardFastPath"`
 	// FollowerReads reports whether watermarked reads may be served
 	// from follower replicas (false: every read goes to the leader, the
 	// read-path ablation).
@@ -780,6 +833,7 @@ func (p *Platform) PipelineInfo() PipelineInfo {
 		WorkerThreads:    p.cfg.WorkerThreads,
 		Shards:           p.cfg.Shards,
 		CrossShard:       p.cfg.Shards > 1 && p.cfg.CrossShard.enabled(),
+		XShardFastPath:   p.cfg.Shards > 1 && p.cfg.CrossShard.enabled() && p.cfg.XShardFastPath.enabled(),
 		FollowerReads:    p.cfg.FollowerReads,
 		ReadCacheBytes:   p.cfg.ReadCacheBytes,
 	}
@@ -1220,15 +1274,15 @@ func (c *Client) rejectCrossShard(proc string, args []string) error {
 }
 
 // xSubmit initiates a cross-shard transaction: one PARENT record on the
-// coordinator shard (the plan's lowest-numbered participant) naming one
-// child per participant shard, created atomically with its submit
-// notice. The coordinator's lead controller drives the two-phase commit
+// coordinator shard (a deterministic hash of the submission over the
+// participants, balancing coordination load) naming one child per
+// participant shard, created atomically with its submit notice. The coordinator's lead controller drives the two-phase commit
 // from there; the returned parent id supports Get/Wait/WatchTxn like
 // any other. The parent id is client-generated (session id + local
 // counter, a distinct "t-x" prefix) so the deterministic child ids can
 // be derived before anything is written.
 func (c *Client) xSubmit(split shard.Split, proc string, args []string) (string, error) {
-	coord := split.Coordinator()
+	coord := split.CoordinatorFor(proc, args)
 	sub := c.subs[coord]
 	local := fmt.Sprintf("%s%xc%08d", shard.ParentLocalPrefix, sub.cli.SessionID(), sub.seq.Add(1))
 	qualified := shard.FormatID(coord, local)
@@ -1246,7 +1300,10 @@ func (c *Client) xSubmit(split shard.Split, proc string, args []string) (string,
 		Children:    children,
 	}
 	path := proto.TxnsPath + "/" + local
-	err := sub.cli.Multi(
+	// Asynchronous through the session batcher (like batched single-shard
+	// submits): concurrent cross-shard submitters coalesce into shared
+	// proposal rounds instead of each paying a private commit.
+	err := <-sub.cli.MultiAsync(
 		store.CreateOp(path, rec.Encode(), 0),
 		store.CreateOp(proto.InputQPath+"/item-",
 			proto.InputMsg{Kind: proto.KindSubmit, TxnPath: path}.Encode(), store.FlagSequence),

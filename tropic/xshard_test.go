@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/proto"
 	"repro/tcloud"
 	"repro/tropic"
 	"repro/tropic/trerr"
@@ -265,10 +266,23 @@ func TestCrossShardAbort(t *testing.T) {
 // vm-memory constraint — plus same-shard traffic on every shard. All
 // transactions reach terminal states, committed ones have exact
 // physical effects executed exactly once on the owning shards, aborted
-// ones leave none, and no locks leak anywhere.
+// ones leave none, and no locks leak anywhere. The matrix runs on BOTH
+// message-flow arms: the coalesced fast path and the per-round-trip
+// slow path must produce identical outcomes.
 func TestCrossShardMatrix(t *testing.T) {
+	t.Run("fastpath", func(t *testing.T) {
+		runCrossShardMatrix(t, tropic.XShardFastPathEnabled)
+	})
+	t.Run("slowpath", func(t *testing.T) {
+		runCrossShardMatrix(t, tropic.XShardFastPathDisabled)
+	})
+}
+
+func runCrossShardMatrix(t *testing.T, mode tropic.XShardFastPathMode) {
 	const shards, hosts, seed = 3, 12, 2012
-	p, counters := xshardPlatform(t, shards, hosts, 1, nil)
+	p, counters := xshardPlatform(t, shards, hosts, 1, func(cfg *tropic.Config) {
+		cfg.XShardFastPath = mode
+	})
 	cli := p.Client()
 	defer cli.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -464,6 +478,257 @@ func TestCrossShardCoordinatorCrash(t *testing.T) {
 	if err != nil || rec2.State != tropic.StateCommitted {
 		t.Fatalf("post-crash cross-shard spawn: %v %v", rec2, err)
 	}
+}
+
+// TestCrossShardContentionNoInDoubtAborts is the reversed-lock-order
+// chaos suite: many concurrent spanning transactions all contending on
+// ONE (storage, compute) pair, so each participant shard receives the
+// same children in racing, potentially inverted orders. Deterministic
+// global prepare ordering (parent-id order with wound-wait) must
+// resolve every inversion WITHOUT tripping the prepare deadline: zero
+// xshard.indoubt_timeout aborts, every transaction terminal, and
+// exactly-once physical execution for the committed ones.
+func TestCrossShardContentionNoInDoubtAborts(t *testing.T) {
+	const shards, hosts, seed, txns = 2, 8, 511, 12
+	p, counters := xshardPlatform(t, shards, hosts, 1, func(cfg *tropic.Config) {
+		// A generous deadline: the test completes far sooner, so any
+		// indoubt abort would be a protocol failure (a real deadlock or
+		// lost decision), not an artifact of a tight timer.
+		cfg.XShardPrepareTimeout = 30 * time.Second
+		// All transactions target ONE pair by design; size the hosts so
+		// capacity constraints never mask the contention result.
+		cfg.Bootstrap = tcloud.Topology{
+			ComputeHosts: hosts, ComputePerStorage: 1,
+			StorageCapGB: 1 << 20, HostMemMB: 1 << 20,
+		}.BuildModel()
+	})
+	cli := p.Client()
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	pairs, _ := crossShardPairs(t, p, hosts)
+	storage, compute := pairs[0][0], pairs[0][1]
+
+	// Seeded shuffle of the submission order; all submissions race
+	// concurrently so participant shards interleave prepares freely.
+	order := rand.New(rand.NewSource(seed)).Perm(txns)
+	ids := make([]string, txns)
+	var wg sync.WaitGroup
+	errs := make([]error, txns)
+	for _, i := range order {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i], errs[i] = cli.Submit(tcloud.ProcSpawnVM,
+				storage, compute, fmt.Sprintf("cnvm%02d", i), "1")
+		}(i)
+	}
+	wg.Wait()
+
+	committed, wounded := 0, 0
+	for i, id := range ids {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		rec, err := cli.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if !rec.State.Terminal() {
+			t.Fatalf("txn %s non-terminal: %s", id, rec.State)
+		}
+		if rec.Code == string(trerr.XShardInDoubtTimeout) {
+			t.Errorf("txn %s aborted in-doubt (%s) — prepare deadline hit under contention", id, rec.Error)
+		}
+		switch rec.State {
+		case tropic.StateCommitted:
+			committed++
+		case tropic.StateAborted:
+			if rec.Code == string(trerr.XShardWounded) {
+				wounded++
+			} else {
+				t.Errorf("txn %s aborted with %s (%s)", id, rec.Code, rec.Error)
+			}
+		}
+	}
+	t.Logf("contention run: %d committed, %d wounded of %d", committed, wounded, txns)
+	if committed == 0 {
+		t.Fatalf("nothing committed under contention")
+	}
+	// Exactly-once physical execution: no action signature ran twice on
+	// any shard, wounded transactions left no physical effects.
+	for i, ce := range counters {
+		if dups := ce.duplicates(); len(dups) != 0 {
+			t.Fatalf("shard %d executed signatures more than once:\n%s",
+				i, strings.Join(dups, "\n"))
+		}
+	}
+	drainAndCheckLocks(t, p, shards)
+}
+
+// TestCrossShardCoordinatorCrashAfterDecision kills the coordinator's
+// leader immediately after the DECISION is durable (the piggybacked
+// write that rode the final vote's event round) but before fan-out is
+// guaranteed delivered. Recovery must read the decision off the parent
+// record and finish driving both children to COMMITTED — never re-vote,
+// never double-execute.
+func TestCrossShardCoordinatorCrashAfterDecision(t *testing.T) {
+	const shards, hosts = 3, 12
+	var p *tropic.Platform
+	var once sync.Once
+	killedCh := make(chan string, 1)
+	pp, counters := xshardPlatform(t, shards, hosts, 3, func(cfg *tropic.Config) {
+		cfg.SessionTimeout = 150 * time.Millisecond
+		cfg.CrossShardHook = func(s int, event, parentID string) {
+			if event != "decided" {
+				return
+			}
+			once.Do(func() {
+				name := p.KillShardLeader(s)
+				killedCh <- fmt.Sprintf("shard %d leader %s", s, name)
+			})
+		}
+	})
+	p = pp
+	cli := p.Client()
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	pairs, owners := crossShardPairs(t, p, hosts)
+	storage, compute := pairs[0][0], pairs[0][1]
+	sShard, cShard := owners[0][0], owners[0][1]
+	const vm = "xdecvm"
+
+	id, err := cli.Submit(tcloud.ProcSpawnVM, storage, compute, vm, "1024")
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case who := <-killedCh:
+		t.Logf("killed %s after the durable decision", who)
+	case <-time.After(20 * time.Second):
+		t.Fatal("decided hook never fired")
+	}
+
+	rec, err := cli.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	// The decision was durable before the crash; recovery may only
+	// re-deliver it, never reconsider it.
+	if rec.State != tropic.StateCommitted || rec.Decision != "commit" {
+		t.Fatalf("parent after post-decision crash = %s decision %q (%s)",
+			rec.State, rec.Decision, rec.Error)
+	}
+	for _, ref := range rec.Children {
+		if ref.State != tropic.StateCommitted {
+			t.Fatalf("child %s = %s (%s)", ref.ID, ref.State, ref.Error)
+		}
+	}
+	img := tcloud.ImageName(vm)
+	for i, ce := range counters {
+		if dups := ce.duplicates(); len(dups) != 0 {
+			t.Fatalf("shard %d executed signatures more than once:\n%s",
+				i, strings.Join(dups, "\n"))
+		}
+		wantClone, wantStart := 0, 0
+		if i == sShard {
+			wantClone = 1
+		}
+		if i == cShard {
+			wantStart = 1
+		}
+		if got := ce.count("cloneImage " + storage + " " + tcloud.TemplateImage + "," + img); got != wantClone {
+			t.Fatalf("shard %d ran cloneImage %d times, want %d", i, got, wantClone)
+		}
+		if got := ce.count("startVM " + compute + " " + vm); got != wantStart {
+			t.Fatalf("shard %d ran startVM %d times, want %d", i, got, wantStart)
+		}
+	}
+	drainAndCheckLocks(t, p, shards)
+}
+
+// TestCrossShardBoundedLedgerGC: with checkpointing and terminal-record
+// retention configured, a stream of cross-shard transactions leaves
+// each shard's record set BOUNDED — parents and children are reaped
+// once (and only once) their cross-shard ledger is fully terminal — and
+// TTL-swept idempotency claims do not accumulate.
+func TestCrossShardBoundedLedgerGC(t *testing.T) {
+	const shards, hosts, txns = 2, 8, 10
+	p, _ := xshardPlatform(t, shards, hosts, 1, func(cfg *tropic.Config) {
+		cfg.CheckpointEvery = 2
+		cfg.RetainTerminal = 2
+		cfg.IdempotencyTTL = 100 * time.Millisecond
+		// The stream reuses one pair; capacity must not cap the run.
+		cfg.Bootstrap = tcloud.Topology{
+			ComputeHosts: hosts, ComputePerStorage: 1,
+			StorageCapGB: 1 << 20, HostMemMB: 1 << 20,
+		}.BuildModel()
+	})
+	cli := p.Client()
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	pairs, _ := crossShardPairs(t, p, hosts)
+	storage, compute := pairs[0][0], pairs[0][1]
+	for i := 0; i < txns; i++ {
+		key := fmt.Sprintf("gc-key-%02d", i)
+		id, _, err := cli.SubmitIdempotent(ctx, key, tcloud.ProcSpawnVM,
+			storage, compute, fmt.Sprintf("gcvm%02d", i), "1")
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		rec, err := cli.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if rec.State != tropic.StateCommitted {
+			t.Fatalf("txn %d = %s (%s)", i, rec.State, rec.Error)
+		}
+	}
+
+	// Each committed cross-shard transaction left a parent plus one
+	// child per participant; with RetainTerminal=2 the sweep must drain
+	// them all down to the retention bound (+ records the most recent
+	// checkpoint hasn't folded yet). The idempotency claims expire by
+	// TTL at the same sweeps.
+	count := func(shard int, path string) int {
+		c := p.ShardEnsemble(shard).Connect()
+		defer c.Close()
+		names, err := c.Children(path)
+		if err != nil {
+			return 0
+		}
+		return len(names)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		recs, claims := 0, 0
+		for s := 0; s < shards; s++ {
+			recs += count(s, proto.TxnsPath)
+			claims += count(s, proto.IdempotencyPath)
+		}
+		// Retention bound per shard plus slack for the tail the last
+		// checkpoint hasn't folded (checkpoints fire every 2 commits).
+		if recs <= shards*5 && claims == 0 {
+			t.Logf("ledger bounded: %d records, %d claims across %d shards", recs, claims, shards)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ledger not bounded: %d records, %d claims remain", recs, claims)
+		}
+		// Keep the pipeline ticking so checkpoints keep firing.
+		rec, err := cli.SubmitAndWait(ctx, tcloud.ProcSpawnVM,
+			storage, compute, fmt.Sprintf("gctick%d", time.Now().UnixNano()), "1")
+		if err != nil || rec.State != tropic.StateCommitted {
+			t.Fatalf("tick spawn: %v %v", rec, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	drainAndCheckLocks(t, p, shards)
 }
 
 // TestCrossShardDurableRestart: the coordinator's decision record and
